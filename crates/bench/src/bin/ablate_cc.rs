@@ -1,0 +1,62 @@
+//! **Ablation A1** — the SCTP congestion-control features §4.1.1 credits
+//! for its loss resilience: unlimited SACK gap blocks and byte-counting
+//! cwnd growth. Each variant runs the lossy ping-pong of Table 1.
+//!
+//! Usage: `ablate_cc [--quick]`
+
+use bench_harness::{mean_over_seeds, render_table, save_json, Scale};
+use mpi_core::MpiCfg;
+use serde::Serialize;
+use workloads::pingpong::{run, PingPongCfg};
+
+#[derive(Serialize)]
+struct Row {
+    variant: &'static str,
+    loss: f64,
+    tput: f64,
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let (iters, runs) = match scale {
+        Scale::Paper => (150, 4),
+        Scale::Quick => (10, 1),
+    };
+    let pp = PingPongCfg { size: 300 * 1024, iters };
+    let mut rows = Vec::new();
+    for loss in [0.01, 0.02] {
+        for (variant, gaps, byte_cc, crc) in [
+            ("full SCTP", usize::MAX, true, false),
+            ("3 gap blocks (TCP-like SACK)", 3usize, true, false),
+            ("ack-counting cwnd", usize::MAX, false, false),
+            ("both limits", 3, false, false),
+            ("CRC32c enabled (SW checksum, §3.6)", usize::MAX, true, true),
+        ] {
+            let tput = mean_over_seeds(runs, |s| {
+                let mut m = MpiCfg::sctp(2, loss).with_seed(s);
+                m.sctp.max_gap_blocks = gaps;
+                m.sctp.byte_counting_cc = byte_cc;
+                m.sctp.crc_enabled = crc;
+                run(m, pp).throughput
+            });
+            rows.push(Row { variant, loss, tput });
+        }
+    }
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![r.variant.to_string(), format!("{:.0}%", r.loss * 100.0), format!("{:.0}", r.tput)]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Ablation A1: SCTP CC features under loss (300K ping-pong, B/s)",
+            &["variant", "loss", "throughput"],
+            &table,
+        )
+    );
+    println!("note: effects are modest and workload-dependent in this reproduction — the");
+    println!("      headline SCTP wins come from HOL elimination and recovery structure");
+    save_json("ablate_cc", &rows);
+}

@@ -1,0 +1,32 @@
+//! **Ablation A2** — the §3.4 long-message race fixes: Option A (spin on
+//! the body write, no other sends progress) vs Option B (per-stream write
+//! serialization, the shipped design).
+//!
+//! Usage: `ablate_race [--quick]`
+
+use bench_harness::{ablate_race, render_table, save_json, Scale};
+
+fn main() {
+    let rows = ablate_race(Scale::from_args());
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.0}%", r.loss * 100.0),
+                format!("{:.1}", r.option_a_secs),
+                format!("{:.1}", r.option_b_secs),
+                format!("{:.2}x", r.option_a_secs / r.option_b_secs),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Ablation A2: long-message race fix, farm 300K fanout 10 (s)",
+            &["loss", "Option A", "Option B", "A/B"],
+            &table,
+        )
+    );
+    println!("expected: Option A >= Option B (serializing everything costs concurrency)");
+    save_json("ablate_race", &rows);
+}

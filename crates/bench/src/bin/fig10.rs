@@ -1,0 +1,38 @@
+//! **Figure 10** — Bulk Processor Farm, Fanout 1: total run time for short
+//! (30 KB) and long (300 KB) tasks at 0/1/2 % loss.
+//!
+//! Paper: short 5.9/79.9/131.5 s (TCP) vs 6.8/7.7/11.2 s (SCTP);
+//!        long  83/2080/4311 s (TCP) vs 114/804/1595 s (SCTP).
+//!
+//! Usage: `fig10 [--quick]`
+
+use bench_harness::{farm_figure, human_size, render_table, save_json, Scale};
+
+fn main() {
+    let rows = farm_figure(Scale::from_args(), 1);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                human_size(r.task_bytes),
+                format!("{:.0}%", r.loss * 100.0),
+                format!("{:.1}", r.sctp_secs),
+                format!("{:.1}", r.tcp_secs),
+                format!("{:.1}", r.tcp_era_secs),
+                format!("{:.2}x", r.ratio_tcp_over_sctp),
+                format!("{:.2}x", r.ratio_era),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Figure 10: Bulk Processor Farm, Fanout 1 (total run time, s)",
+            &["task", "loss", "SCTP s", "TCP s", "TCPera s", "TCP/SCTP", "era/SCTP"],
+            &table,
+        )
+    );
+    println!("paper (short): TCP/SCTP = 0.87x @0%, 10.4x @1%, 11.7x @2%");
+    println!("paper (long):  TCP/SCTP = 0.73x @0%, 2.59x @1%, 2.70x @2%");
+    save_json("fig10", &rows);
+}

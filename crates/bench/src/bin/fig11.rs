@@ -1,0 +1,38 @@
+//! **Figure 11** — Bulk Processor Farm, Fanout 10 (more head-of-line
+//! blocking opportunity for TCP).
+//!
+//! Paper: short 6.2/88.1/154.7 s (TCP) vs 8.7/11.7/16.0 s (SCTP);
+//!        long  79/3103/6414 s (TCP) vs 129/786/1585 s (SCTP).
+//!
+//! Usage: `fig11 [--quick]`
+
+use bench_harness::{farm_figure, human_size, render_table, save_json, Scale};
+
+fn main() {
+    let rows = farm_figure(Scale::from_args(), 10);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                human_size(r.task_bytes),
+                format!("{:.0}%", r.loss * 100.0),
+                format!("{:.1}", r.sctp_secs),
+                format!("{:.1}", r.tcp_secs),
+                format!("{:.1}", r.tcp_era_secs),
+                format!("{:.2}x", r.ratio_tcp_over_sctp),
+                format!("{:.2}x", r.ratio_era),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Figure 11: Bulk Processor Farm, Fanout 10 (total run time, s)",
+            &["task", "loss", "SCTP s", "TCP s", "TCPera s", "TCP/SCTP", "era/SCTP"],
+            &table,
+        )
+    );
+    println!("paper (short): TCP/SCTP = 0.71x @0%, 7.5x @1%, 9.7x @2%");
+    println!("paper (long):  TCP/SCTP = 0.61x @0%, 3.9x @1%, 4.0x @2%");
+    save_json("fig11", &rows);
+}

@@ -1,0 +1,36 @@
+//! **Figure 12** — head-of-line-blocking isolation: SCTP with 10 streams
+//! vs SCTP with a single stream, farm with Fanout 10.
+//!
+//! Paper: long tasks ~25% slower on one stream under loss; short tasks
+//! ~35% slower at 2% loss.
+//!
+//! Usage: `fig12 [--quick]`
+
+use bench_harness::{fig12, human_size, render_table, save_json, Scale};
+
+fn main() {
+    let rows = fig12(Scale::from_args());
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                human_size(r.task_bytes),
+                format!("{:.0}%", r.loss * 100.0),
+                format!("{:.1}", r.streams10_secs),
+                format!("{:.1}", r.stream1_secs),
+                format!("{:.2}x", r.ratio_1_over_10),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Figure 12: SCTP 10 streams vs 1 stream, farm Fanout 10 (s)",
+            &["task", "loss", "10 streams", "1 stream", "1/10 ratio"],
+            &table,
+        )
+    );
+    println!("paper (short): 1.07x @0%, 0.94x @1%, 1.35x @2%");
+    println!("paper (long):  1.00x @0%, 1.27x @1%, 1.23x @2%");
+    save_json("fig12", &rows);
+}

@@ -1,0 +1,36 @@
+//! **Figure 8** — MPBench ping-pong throughput, no loss, SCTP normalized
+//! to TCP, message sizes 1 B … 128 KB. Paper: TCP wins below ≈ 22 KB, SCTP
+//! wins above.
+//!
+//! Usage: `fig8 [--quick]`
+
+use bench_harness::{fig8, fig8_crossover, human_size, render_table, save_json, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let rows = fig8(scale);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                human_size(r.size),
+                format!("{:.0}", r.tcp_tput),
+                format!("{:.0}", r.sctp_tput),
+                format!("{:.3}", r.normalized),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Figure 8: ping-pong throughput, 0% loss (SCTP normalized to TCP)",
+            &["size", "TCP B/s", "SCTP B/s", "SCTP/TCP"],
+            &table,
+        )
+    );
+    match fig8_crossover(&rows) {
+        Some(size) => println!("crossover (SCTP >= TCP) at ~{} (paper: ~22K)", human_size(size)),
+        None => println!("no crossover found in the sweep (paper: ~22K)"),
+    }
+    save_json("fig8", &rows);
+}

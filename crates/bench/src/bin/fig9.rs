@@ -1,0 +1,44 @@
+//! **Figure 9** — NAS-like kernels, class B, 8 processes, Mop/s for SCTP
+//! and TCP. Paper: comparable overall; TCP slightly ahead on MG and BT.
+//!
+//! Usage: `fig9 [--quick] [--class S|W|A|B]`
+
+use bench_harness::{fig9, render_table, save_json, Scale};
+use workloads::nas::Class;
+
+fn main() {
+    let scale = Scale::from_args();
+    let class = std::env::args()
+        .skip_while(|a| a != "--class")
+        .nth(1)
+        .map(|c| match c.as_str() {
+            "S" => Class::S,
+            "W" => Class::W,
+            "A" => Class::A,
+            _ => Class::B,
+        })
+        .unwrap_or(Class::B);
+    let rows = fig9(scale, class);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.kernel.to_string(),
+                r.class.to_string(),
+                format!("{:.0}", r.sctp_mops),
+                format!("{:.0}", r.tcp_mops),
+                format!("{:.3}", r.ratio),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Figure 9: NAS kernels (Mop/s total)",
+            &["kernel", "class", "SCTP", "TCP", "SCTP/TCP"],
+            &table,
+        )
+    );
+    println!("paper: SCTP ~ TCP on average; TCP slightly ahead on MG and BT");
+    save_json("fig9", &rows);
+}

@@ -1,0 +1,36 @@
+//! Diagnostic: era-TCP ping-pong and farm under loss.
+use mpi_core::MpiCfg;
+use workloads::pingpong::{run, PingPongCfg};
+
+fn main() {
+    if std::env::args().any(|a| a == "--burst-sweep") {
+        for burst in [4u32, 8, 12, 16, u32::MAX] {
+            let mut m = MpiCfg::sctp(2, 0.0);
+            m.sctp.max_burst = burst;
+            let r = run(m, PingPongCfg { size: 22528, iters: 100 });
+            let mut m2 = MpiCfg::sctp(2, 0.0);
+            m2.sctp.max_burst = burst;
+            let r2 = run(m2.with_seed(3), PingPongCfg { size: 131069, iters: 100 });
+            let mut mf = MpiCfg::sctp(8, 0.01).with_seed(0xBA5E);
+            mf.sctp.max_burst = burst;
+            let f = workloads::farm::run(mf, workloads::farm::FarmCfg::small(307200, 10));
+            let mut mf0 = MpiCfg::sctp(8, 0.0).with_seed(0xBA5E);
+            mf0.sctp.max_burst = burst;
+            let f0 = workloads::farm::run(mf0, workloads::farm::FarmCfg::small(307200, 10));
+            println!("burst={burst:>10}: pp22K={:.1}MB/s pp128K={:.1}MB/s farm-long@1%={:.2}s farm-long@0%={:.2}s",
+                r.throughput / 1e6, r2.throughput / 1e6, f.secs, f0.secs);
+        }
+        return;
+    }
+    let loss: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.02);
+    let size: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(300 * 1024);
+    if std::env::args().any(|a| a == "--farm") {
+        let fanout: u32 = std::env::args().nth(3).and_then(|s| s.parse().ok()).unwrap_or(1);
+        let cfg = workloads::farm::FarmCfg::small(size, fanout);
+        let r = workloads::farm::run(MpiCfg::tcp_era(8, loss).with_seed(0xBA5E), cfg);
+        println!("era farm {size}@{loss} fanout{fanout}: {:.3}s tasks={}", r.secs, r.tasks_done);
+        return;
+    }
+    let r = run(MpiCfg::tcp_era(2, loss).with_seed(0xBA5E), PingPongCfg { size, iters: 20 });
+    println!("era pingpong {size}@{loss}: {:.3}s tput={:.0}", r.secs, r.throughput);
+}

@@ -1,0 +1,25 @@
+//! Diagnostic: one NAS kernel, one transport, with stats.
+use mpi_core::MpiCfg;
+use workloads::nas::{run, Class, Kernel};
+
+fn main() {
+    let k = match std::env::args().nth(1).as_deref() {
+        Some("IS") => Kernel::IS,
+        Some("MG") => Kernel::MG,
+        Some("BT") => Kernel::BT,
+        Some("LU") => Kernel::LU,
+        Some("CG") => Kernel::CG,
+        Some("SP") => Kernel::SP,
+        _ => Kernel::EP,
+    };
+    let c = match std::env::args().nth(2).as_deref() {
+        Some("S") => Class::S,
+        Some("W") => Class::W,
+        Some("A") => Class::A,
+        _ => Class::B,
+    };
+    let tcp = std::env::args().any(|a| a == "--tcp");
+    let cfg = if tcp { MpiCfg::tcp(8, 0.0) } else { MpiCfg::sctp(8, 0.0) };
+    let r = run(cfg, k, c);
+    println!("{} {} {}: {:.3}s -> {:.0} Mop/s", k.name(), c.name(), if tcp {"tcp"} else {"sctp"}, r.secs, r.mops_per_sec);
+}

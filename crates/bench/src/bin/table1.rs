@@ -1,0 +1,35 @@
+//! **Table 1** — ping-pong throughput under 1% and 2% loss, 30 KB and
+//! 300 KB messages. Paper: SCTP far ahead of TCP, larger factor for short
+//! messages.
+//!
+//! Usage: `table1 [--quick]`
+
+use bench_harness::{human_size, render_table, save_json, table1, Scale};
+
+fn main() {
+    let rows = table1(Scale::from_args());
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                human_size(r.size),
+                format!("{:.0}%", r.loss * 100.0),
+                format!("{:.0}", r.sctp_tput),
+                format!("{:.0}", r.tcp_tput),
+                format!("{:.0}", r.tcp_era_tput),
+                format!("{:.2}x", r.ratio),
+                format!("{:.2}x", r.ratio_era),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Table 1: ping-pong throughput under loss (bytes/second)",
+            &["size", "loss", "SCTP", "TCP", "TCP-era", "SCTP/TCP", "SCTP/TCP-era"],
+            &table,
+        )
+    );
+    println!("paper: 30K: 28.5x @1%, 43.3x @2%; 300K: 3.2x @1%, 3.2x @2%");
+    save_json("table1", &rows);
+}

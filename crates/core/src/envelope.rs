@@ -1,0 +1,137 @@
+//! The LAM-style message envelope (paper Figure 2).
+//!
+//! Every message body is preceded by a fixed-size envelope carrying the
+//! matching triple (context, source rank, tag), a flags field identifying
+//! the protocol step, the body length, and a sender sequence number used to
+//! pair rendezvous/synchronous ACKs with their send requests.
+
+use bytes::Bytes;
+
+/// Serialized envelope size on the wire.
+pub const ENV_SIZE: usize = 24;
+
+/// What kind of protocol message this envelope introduces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnvKind {
+    /// Short message sent eagerly; `len` body bytes follow.
+    Eager,
+    /// Synchronous short message; body follows; receiver must ACK `seq`.
+    SyncEager,
+    /// Rendezvous request for a long message of `len` bytes; no body.
+    RndvReq,
+    /// Receiver's clear-to-send for the long message `seq`; no body.
+    RndvAck,
+    /// Long-message body announcement for `seq`; `len` body bytes follow.
+    RndvBody,
+    /// Completion ACK for a synchronous send `seq`; no body.
+    SyncAck,
+}
+
+impl EnvKind {
+    fn to_u16(self) -> u16 {
+        match self {
+            EnvKind::Eager => 1,
+            EnvKind::SyncEager => 2,
+            EnvKind::RndvReq => 3,
+            EnvKind::RndvAck => 4,
+            EnvKind::RndvBody => 5,
+            EnvKind::SyncAck => 6,
+        }
+    }
+
+    fn from_u16(v: u16) -> Option<Self> {
+        Some(match v {
+            1 => EnvKind::Eager,
+            2 => EnvKind::SyncEager,
+            3 => EnvKind::RndvReq,
+            4 => EnvKind::RndvAck,
+            5 => EnvKind::RndvBody,
+            6 => EnvKind::SyncAck,
+            _ => return None,
+        })
+    }
+
+    /// Does a body follow this envelope on the wire?
+    pub fn has_body(self) -> bool {
+        matches!(self, EnvKind::Eager | EnvKind::SyncEager | EnvKind::RndvBody)
+    }
+}
+
+/// A message envelope. `src` is the sender's rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Envelope {
+    pub kind: EnvKind,
+    pub src: u16,
+    pub tag: i32,
+    pub cxt: u32,
+    pub len: u32,
+    pub seq: u32,
+}
+
+impl Envelope {
+    /// Serialize to the 24-byte wire format.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut v = Vec::with_capacity(ENV_SIZE);
+        v.extend_from_slice(&self.kind.to_u16().to_le_bytes());
+        v.extend_from_slice(&self.src.to_le_bytes());
+        v.extend_from_slice(&self.tag.to_le_bytes());
+        v.extend_from_slice(&self.cxt.to_le_bytes());
+        v.extend_from_slice(&self.len.to_le_bytes());
+        v.extend_from_slice(&self.seq.to_le_bytes());
+        v.extend_from_slice(&[0u8; 4]); // pad to 24
+        Bytes::from(v)
+    }
+
+    /// Parse from exactly [`ENV_SIZE`] bytes.
+    pub fn from_bytes(b: &[u8]) -> Envelope {
+        assert!(b.len() >= ENV_SIZE, "short envelope: {} bytes", b.len());
+        let u16le = |i: usize| u16::from_le_bytes([b[i], b[i + 1]]);
+        let u32le = |i: usize| u32::from_le_bytes([b[i], b[i + 1], b[i + 2], b[i + 3]]);
+        Envelope {
+            kind: EnvKind::from_u16(u16le(0)).expect("bad envelope kind"),
+            src: u16le(2),
+            tag: u32le(4) as i32,
+            cxt: u32le(8),
+            len: u32le(12),
+            seq: u32le(16),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_kinds() {
+        for kind in [
+            EnvKind::Eager,
+            EnvKind::SyncEager,
+            EnvKind::RndvReq,
+            EnvKind::RndvAck,
+            EnvKind::RndvBody,
+            EnvKind::SyncAck,
+        ] {
+            let e = Envelope { kind, src: 7, tag: -42, cxt: 3, len: 123_456, seq: 99 };
+            let b = e.to_bytes();
+            assert_eq!(b.len(), ENV_SIZE);
+            assert_eq!(Envelope::from_bytes(&b), e);
+        }
+    }
+
+    #[test]
+    fn body_presence_matches_protocol() {
+        assert!(EnvKind::Eager.has_body());
+        assert!(EnvKind::SyncEager.has_body());
+        assert!(EnvKind::RndvBody.has_body());
+        assert!(!EnvKind::RndvReq.has_body());
+        assert!(!EnvKind::RndvAck.has_body());
+        assert!(!EnvKind::SyncAck.has_body());
+    }
+
+    #[test]
+    fn negative_tags_roundtrip() {
+        let e = Envelope { kind: EnvKind::Eager, src: 0, tag: i32::MIN, cxt: 0, len: 0, seq: 0 };
+        assert_eq!(Envelope::from_bytes(&e.to_bytes()).tag, i32::MIN);
+    }
+}

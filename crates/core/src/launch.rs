@@ -1,0 +1,305 @@
+//! `mpirun` — build a simulated cluster, spawn one virtual process per
+//! rank, run the program, and collect a report.
+
+use std::sync::Arc;
+
+use netsim::{NetCfg, NetStats};
+use simcore::{ProcEnv, Runtime, SimTime};
+use transport::sctp::{AssocStats, SctpCfg};
+use transport::tcp::{SockStats, TcpCfg};
+use transport::World;
+
+use crate::api::{Mpi, MpiProcCfg, TransportSel};
+use crate::cost::CostCfg;
+use crate::rpi_sctp::{ContextMap, RaceFix};
+
+/// Full configuration of one MPI run.
+#[derive(Debug, Clone)]
+pub struct MpiCfg {
+    pub nprocs: u16,
+    pub transport: TransportSel,
+    pub net: NetCfg,
+    pub tcp: TcpCfg,
+    pub sctp: SctpCfg,
+    pub cost: CostCfg,
+    pub seed: u64,
+    /// Eager/rendezvous switchover (LAM default 64 KB).
+    pub short_limit: u32,
+    /// RPI-level long-message piece size for SCTP (§3.4).
+    pub long_piece: u32,
+}
+
+impl MpiCfg {
+    /// LAM-TCP over the paper's cluster at the given loss rate.
+    pub fn tcp(nprocs: u16, loss: f64) -> Self {
+        MpiCfg {
+            nprocs,
+            transport: TransportSel::Tcp,
+            net: NetCfg::paper_cluster(loss),
+            tcp: TcpCfg::default(),
+            sctp: SctpCfg::default(),
+            cost: CostCfg::default(),
+            seed: 1,
+            short_limit: 64 * 1024,
+            long_piece: 64 * 1024,
+        }
+    }
+
+    /// LAM-TCP on an era-faithful stack: FreeBSD 5.3's SACK recovery was
+    /// brand new and had no RFC 6675-style scoreboard retransmission, so
+    /// multi-loss windows degenerate into RTO chains — the regime behind
+    /// the paper's TCP loss numbers.
+    pub fn tcp_era(nprocs: u16, loss: f64) -> Self {
+        let mut c = MpiCfg::tcp(nprocs, loss);
+        c.tcp.sack_hole_repair = false;
+        c
+    }
+
+    /// LAM-SCTP (10-stream pool, Option B) over the paper's cluster.
+    pub fn sctp(nprocs: u16, loss: f64) -> Self {
+        MpiCfg {
+            transport: TransportSel::Sctp {
+                streams: 10,
+                race_fix: RaceFix::OptionB,
+                ctx_map: ContextMap::StreamHash,
+            },
+            ..MpiCfg::tcp(nprocs, loss)
+        }
+    }
+
+    /// The single-stream SCTP variant used to isolate head-of-line
+    /// blocking (paper §4.2.2 / Figure 12).
+    pub fn sctp_single_stream(nprocs: u16, loss: f64) -> Self {
+        MpiCfg {
+            transport: TransportSel::Sctp {
+                streams: 1,
+                race_fix: RaceFix::OptionB,
+                ctx_map: ContextMap::StreamHash,
+            },
+            ..MpiCfg::tcp(nprocs, loss)
+        }
+    }
+
+    /// LAM-SCTP with the §2.3 PPID context mapping: the stream pool is
+    /// keyed by tag alone and the context rides in the SCTP PPID field.
+    pub fn sctp_ppid(nprocs: u16, loss: f64) -> Self {
+        MpiCfg {
+            transport: TransportSel::Sctp {
+                streams: 10,
+                race_fix: RaceFix::OptionB,
+                ctx_map: ContextMap::Ppid,
+            },
+            ..MpiCfg::tcp(nprocs, loss)
+        }
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn validate(&self) {
+        assert!(self.nprocs as usize <= self.net.hosts as usize, "more ranks than hosts");
+        if let TransportSel::Sctp { streams, .. } = self.transport {
+            assert!(streams >= 1);
+        }
+    }
+}
+
+/// Result of one MPI run.
+#[derive(Debug, Clone)]
+pub struct MpiReport {
+    /// Simulated wall time until the last rank finished.
+    pub sim_time: SimTime,
+    /// Events fired (diagnostic).
+    pub events: u64,
+    pub net: NetStats,
+    /// Aggregate TCP socket stats across hosts (zero for SCTP runs).
+    pub tcp: SockStats,
+    /// Aggregate SCTP association stats across hosts (zero for TCP runs).
+    pub sctp: AssocStats,
+}
+
+impl MpiReport {
+    /// Total run time in seconds (the farm figures' metric).
+    pub fn secs(&self) -> f64 {
+        self.sim_time.as_secs_f64()
+    }
+}
+
+/// Like [`mpirun`], but with the paper's §3.5.3 environment: one SCTP
+/// daemon per host (lamboot star rooted at host 0), ranks reporting
+/// start / progress / end to their local daemon, and a clean `lamhalt`
+/// when the job finishes. Returns the aggregated job table alongside the
+/// report — what an `mpitask`-style monitor would have observed.
+pub fn mpirun_monitored<F>(cfg: MpiCfg, f: F) -> (MpiReport, crate::daemon::JobTable)
+where
+    F: Fn(&mut Mpi) + Send + Sync + 'static,
+{
+    use crate::daemon::{daemon_main, DaemonClient, DaemonMsg, JobTable};
+    cfg.validate();
+    let mut sctp_cfg = cfg.sctp.clone();
+    if let TransportSel::Sctp { streams, .. } = cfg.transport {
+        sctp_cfg.out_streams = sctp_cfg.out_streams.max(streams);
+    }
+    let world = World::new(cfg.net, cfg.tcp, sctp_cfg);
+    let mut rt = Runtime::new(world, cfg.seed);
+    let f = Arc::new(f);
+    let table = Arc::new(std::sync::Mutex::new(JobTable::default()));
+    let proc_cfg = MpiProcCfg {
+        size: cfg.nprocs,
+        transport: cfg.transport,
+        cost: cfg.cost,
+        short_limit: cfg.short_limit,
+        long_piece: cfg.long_piece,
+    };
+    let n = cfg.nprocs;
+    for rank in 0..n {
+        let f = Arc::clone(&f);
+        rt.spawn(format!("rank{rank}"), move |env: ProcEnv<World>| {
+            // Report to the local daemon over SCTP (stock LAM used UDP).
+            let client = DaemonClient::connect(&env, rank, rank);
+            client.report(&env, DaemonMsg::JobStart { rank });
+            let mut mpi = Mpi::init(env, proc_cfg);
+            f(&mut mpi);
+            let sent = mpi.stats.sends as u32;
+            client.report(mpi.proc_env(), DaemonMsg::Heartbeat { rank, msgs_sent: sent });
+            client.report(mpi.proc_env(), DaemonMsg::JobEnd { rank });
+            mpi.finalize();
+        });
+    }
+    for host in 0..n {
+        let table = Arc::clone(&table);
+        rt.spawn(format!("lamd{host}"), move |env: ProcEnv<World>| {
+            daemon_main(env, host, n, n, table);
+        });
+    }
+    let out = rt.run();
+    let w = &out.world;
+    let report = MpiReport {
+        sim_time: out.sim_time,
+        events: out.events,
+        net: w.net.stats,
+        tcp: w.hosts.iter().map(|h| h.tcp.total_stats()).fold(SockStats::default(), fold_tcp),
+        sctp: w.hosts.iter().map(|h| h.sctp.total_stats()).fold(AssocStats::default(), fold_sctp),
+    };
+    let table = Arc::try_unwrap(table).expect("daemons exited").into_inner().unwrap();
+    (report, table)
+}
+
+fn fold_tcp(mut a: SockStats, s: SockStats) -> SockStats {
+    a.segs_out += s.segs_out;
+    a.segs_in += s.segs_in;
+    a.bytes_out += s.bytes_out;
+    a.bytes_in += s.bytes_in;
+    a.retransmits += s.retransmits;
+    a.fast_retransmits += s.fast_retransmits;
+    a.timeouts += s.timeouts;
+    a.dup_acks_in += s.dup_acks_in;
+    a
+}
+
+fn fold_sctp(mut a: AssocStats, s: AssocStats) -> AssocStats {
+    a.packets_out += s.packets_out;
+    a.packets_in += s.packets_in;
+    a.data_chunks_out += s.data_chunks_out;
+    a.data_chunks_in += s.data_chunks_in;
+    a.bytes_out += s.bytes_out;
+    a.bytes_in += s.bytes_in;
+    a.retransmits += s.retransmits;
+    a.fast_retransmits += s.fast_retransmits;
+    a.timeouts += s.timeouts;
+    a.dup_tsns_in += s.dup_tsns_in;
+    a.sacks_out += s.sacks_out;
+    a.sacks_in += s.sacks_in;
+    a.msgs_delivered += s.msgs_delivered;
+    a.failovers += s.failovers;
+    a
+}
+
+/// Run `f` as an `nprocs`-rank MPI program on the simulated cluster.
+///
+/// `f` is invoked once per rank with an initialized [`Mpi`] handle
+/// (connections established, init barrier passed).
+pub fn mpirun<F>(cfg: MpiCfg, f: F) -> MpiReport
+where
+    F: Fn(&mut Mpi) + Send + Sync + 'static,
+{
+    cfg.validate();
+    let mut sctp_cfg = cfg.sctp.clone();
+    if let TransportSel::Sctp { streams, .. } = cfg.transport {
+        sctp_cfg.out_streams = sctp_cfg.out_streams.max(streams);
+    }
+    let world = World::new(cfg.net, cfg.tcp, sctp_cfg);
+    let mut rt = Runtime::new(world, cfg.seed);
+    let f = Arc::new(f);
+    let proc_cfg = MpiProcCfg {
+        size: cfg.nprocs,
+        transport: cfg.transport,
+        cost: cfg.cost,
+        short_limit: cfg.short_limit,
+        long_piece: cfg.long_piece,
+    };
+    for rank in 0..cfg.nprocs {
+        let f = Arc::clone(&f);
+        rt.spawn(format!("rank{rank}"), move |env: ProcEnv<World>| {
+            let mut mpi = Mpi::init(env, proc_cfg);
+            f(&mut mpi);
+            mpi.finalize();
+        });
+    }
+    // Debug aid: abort runaway simulations (panics with diagnostics).
+    if let Ok(s) = std::env::var("SCTP_MPI_DEADLINE_SECS") {
+        if let Ok(secs) = s.parse::<u64>() {
+            rt.set_deadline(simcore::SimTime::ZERO + simcore::Dur::from_secs(secs));
+        }
+    }
+    // Debug aid: dump transport state at a given simulated time.
+    if let Ok(s) = std::env::var("SCTP_MPI_DUMP_AT_SECS") {
+        if let Ok(secs) = s.parse::<u64>() {
+            rt.schedule_at(simcore::SimTime::ZERO + simcore::Dur::from_secs(secs), |w, ctx| {
+                eprintln!("=== watchdog dump at {} ===", ctx.now());
+                transport::sctp::dump_all(w);
+            });
+        }
+    }
+    let out = rt.run();
+    let w = &out.world;
+    let mut tcp_total = SockStats::default();
+    for h in &w.hosts {
+        let s = h.tcp.total_stats();
+        tcp_total.segs_out += s.segs_out;
+        tcp_total.segs_in += s.segs_in;
+        tcp_total.bytes_out += s.bytes_out;
+        tcp_total.bytes_in += s.bytes_in;
+        tcp_total.retransmits += s.retransmits;
+        tcp_total.fast_retransmits += s.fast_retransmits;
+        tcp_total.timeouts += s.timeouts;
+        tcp_total.dup_acks_in += s.dup_acks_in;
+    }
+    let mut sctp_total = AssocStats::default();
+    for h in &w.hosts {
+        let s = h.sctp.total_stats();
+        sctp_total.packets_out += s.packets_out;
+        sctp_total.packets_in += s.packets_in;
+        sctp_total.data_chunks_out += s.data_chunks_out;
+        sctp_total.data_chunks_in += s.data_chunks_in;
+        sctp_total.bytes_out += s.bytes_out;
+        sctp_total.bytes_in += s.bytes_in;
+        sctp_total.retransmits += s.retransmits;
+        sctp_total.fast_retransmits += s.fast_retransmits;
+        sctp_total.timeouts += s.timeouts;
+        sctp_total.dup_tsns_in += s.dup_tsns_in;
+        sctp_total.sacks_out += s.sacks_out;
+        sctp_total.sacks_in += s.sacks_in;
+        sctp_total.msgs_delivered += s.msgs_delivered;
+        sctp_total.failovers += s.failovers;
+    }
+    MpiReport {
+        sim_time: out.sim_time,
+        events: out.events,
+        net: w.net.stats,
+        tcp: tcp_total,
+        sctp: sctp_total,
+    }
+}

@@ -1,0 +1,54 @@
+//! Addressing: hosts and interfaces.
+//!
+//! The testbed in the paper is eight hosts, each with three gigabit NICs on
+//! three *independent* switched networks (one per interface index). An
+//! address is therefore `(host, iface)`; interface `i` of every host sits on
+//! network `i`, and a packet travels between same-indexed interfaces.
+
+use std::fmt;
+
+/// A simulated host (one MPI node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HostId(pub u16);
+
+/// An interface address: `(host, iface)` — the simulator's analogue of an
+/// IP address bound to one NIC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IfAddr {
+    pub host: u16,
+    pub iface: u8,
+}
+
+impl IfAddr {
+    pub const fn new(host: u16, iface: u8) -> Self {
+        IfAddr { host, iface }
+    }
+
+    pub const fn host_id(self) -> HostId {
+        HostId(self.host)
+    }
+
+    /// The same host's address on another network (used by SCTP failover).
+    pub const fn on_iface(self, iface: u8) -> IfAddr {
+        IfAddr { host: self.host, iface }
+    }
+}
+
+impl fmt::Display for IfAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}.{}", self.host, self.iface)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn on_iface_keeps_host() {
+        let a = IfAddr::new(3, 0);
+        assert_eq!(a.on_iface(2), IfAddr::new(3, 2));
+        assert_eq!(a.host_id(), HostId(3));
+        assert_eq!(format!("{a}"), "h3.0");
+    }
+}

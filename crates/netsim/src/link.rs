@@ -1,0 +1,155 @@
+//! A unidirectional link with serialization delay, propagation delay, and a
+//! bounded FIFO queue.
+//!
+//! The queue is *virtual*: rather than holding packet objects and scheduling
+//! departure events, the link tracks `busy_until` — the instant its
+//! transmitter frees up. A packet offered at `now` starts serializing at
+//! `max(now, busy_until)`; the backlog in bytes is implied by
+//! `busy_until - now` and the link rate, which is exactly the occupancy a
+//! real FIFO would have. Tail drop happens when that implied occupancy plus
+//! the new packet would exceed the configured capacity.
+
+use simcore::{transmission_time, Dur, SimTime};
+
+/// Static link parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkCfg {
+    /// Line rate in bits per second (paper: 1 Gb/s).
+    pub bandwidth_bps: u64,
+    /// One-way propagation delay.
+    pub prop_delay: Dur,
+    /// FIFO capacity in bytes (switch/NIC buffer).
+    pub queue_cap_bytes: u64,
+}
+
+impl Default for LinkCfg {
+    fn default() -> Self {
+        LinkCfg {
+            bandwidth_bps: 1_000_000_000,
+            prop_delay: Dur::from_micros(20),
+            // 256 KB per port: generous for a LAN switch of the era.
+            queue_cap_bytes: 256 * 1024,
+        }
+    }
+}
+
+/// Why a packet did not make it onto / across the link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// Random loss (the Dummynet pipe).
+    Loss,
+    /// FIFO overflow (congestion).
+    QueueFull,
+    /// Interface or path administratively down (failover experiments).
+    LinkDown,
+}
+
+/// Per-link counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LinkStats {
+    pub packets: u64,
+    pub bytes: u64,
+    pub drops_queue: u64,
+    pub drops_down: u64,
+}
+
+/// Mutable link state.
+#[derive(Debug)]
+pub struct Link {
+    pub cfg: LinkCfg,
+    pub up: bool,
+    busy_until: SimTime,
+    pub stats: LinkStats,
+}
+
+impl Link {
+    pub fn new(cfg: LinkCfg) -> Self {
+        Link { cfg, up: true, busy_until: SimTime::ZERO, stats: LinkStats::default() }
+    }
+
+    /// Bytes currently backlogged in the (virtual) queue at `now`.
+    pub fn backlog_bytes(&self, now: SimTime) -> u64 {
+        let backlog = self.busy_until.since(now);
+        // bytes = time * bps / 8e9 (ns)
+        (backlog.as_nanos() as u128 * self.cfg.bandwidth_bps as u128 / 8_000_000_000) as u64
+    }
+
+    /// Offer a packet of `wire_bytes` to the link at `now`. On success,
+    /// returns the instant the last bit arrives at the far end.
+    pub fn transmit(&mut self, now: SimTime, wire_bytes: u32) -> Result<SimTime, DropReason> {
+        if !self.up {
+            self.stats.drops_down += 1;
+            return Err(DropReason::LinkDown);
+        }
+        if self.backlog_bytes(now) + wire_bytes as u64 > self.cfg.queue_cap_bytes {
+            self.stats.drops_queue += 1;
+            return Err(DropReason::QueueFull);
+        }
+        let start = self.busy_until.max(now);
+        let depart = start + transmission_time(wire_bytes as u64, self.cfg.bandwidth_bps);
+        self.busy_until = depart;
+        self.stats.packets += 1;
+        self.stats.bytes += wire_bytes as u64;
+        Ok(depart + self.cfg.prop_delay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gig_link() -> Link {
+        Link::new(LinkCfg {
+            bandwidth_bps: 1_000_000_000,
+            prop_delay: Dur::from_micros(20),
+            queue_cap_bytes: 10_000,
+        })
+    }
+
+    #[test]
+    fn single_packet_timing() {
+        let mut l = gig_link();
+        // 1500 B at 1 Gb/s = 12 us serialization + 20 us propagation.
+        let arrive = l.transmit(SimTime::ZERO, 1500).unwrap();
+        assert_eq!(arrive, SimTime::ZERO + Dur::from_micros(32));
+    }
+
+    #[test]
+    fn back_to_back_packets_queue_behind_each_other() {
+        let mut l = gig_link();
+        let a1 = l.transmit(SimTime::ZERO, 1500).unwrap();
+        let a2 = l.transmit(SimTime::ZERO, 1500).unwrap();
+        assert_eq!(a2.since(a1), Dur::from_micros(12), "second waits for first");
+    }
+
+    #[test]
+    fn queue_drains_over_time() {
+        let mut l = gig_link();
+        l.transmit(SimTime::ZERO, 1500).unwrap();
+        assert!(l.backlog_bytes(SimTime::ZERO) > 0);
+        assert_eq!(l.backlog_bytes(SimTime::ZERO + Dur::from_micros(12)), 0);
+    }
+
+    #[test]
+    fn tail_drop_when_full() {
+        let mut l = gig_link(); // 10_000 B capacity
+        for _ in 0..6 {
+            l.transmit(SimTime::ZERO, 1500).unwrap(); // 9000 B backlog
+        }
+        assert_eq!(l.transmit(SimTime::ZERO, 1500), Err(DropReason::QueueFull));
+        assert_eq!(l.stats.drops_queue, 1);
+        // After the backlog drains, transmission works again.
+        let later = SimTime::ZERO + Dur::from_millis(1);
+        assert!(l.transmit(later, 1500).is_ok());
+    }
+
+    #[test]
+    fn down_link_drops_everything() {
+        let mut l = gig_link();
+        l.up = false;
+        assert_eq!(l.transmit(SimTime::ZERO, 100), Err(DropReason::LinkDown));
+        assert_eq!(l.stats.drops_down, 1);
+        l.up = true;
+        assert!(l.transmit(SimTime::ZERO, 100).is_ok());
+    }
+}

@@ -1,0 +1,318 @@
+//! The cluster network: N hosts × K interfaces, one switched network per
+//! interface index, and a Dummynet-style loss pipe on every path.
+//!
+//! Topology (matching the paper's testbed):
+//!
+//! ```text
+//!   host a ── uplink ──▶ switch[iface] ── downlink ──▶ host b
+//! ```
+//!
+//! Each network `i` is a star: every host's interface `i` has a full-duplex
+//! link to switch `i`. A packet from `(a, i)` to `(b, i)` serializes on a's
+//! uplink, crosses the switch (store-and-forward, small fixed latency), then
+//! serializes on b's downlink. Random loss is applied **once per path**, like
+//! a Dummynet pipe configured between each pair of nodes, so a configured
+//! loss rate of 1 % means 1 % of packets end-to-end — not 1 % per hop.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use simcore::{Dur, SimTime};
+
+use crate::addr::IfAddr;
+use crate::link::{DropReason, Link, LinkCfg, LinkStats};
+
+/// Network-wide configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct NetCfg {
+    pub hosts: u16,
+    pub ifaces_per_host: u8,
+    pub link: LinkCfg,
+    /// Store-and-forward latency of the switch.
+    pub switch_latency: Dur,
+    /// Dummynet pipe loss probability (applied once per packet per path).
+    pub loss_prob: f64,
+    /// Loopback delivery delay for self-addressed packets.
+    pub loopback_delay: Dur,
+}
+
+impl Default for NetCfg {
+    fn default() -> Self {
+        NetCfg {
+            hosts: 8,
+            ifaces_per_host: 3,
+            link: LinkCfg::default(),
+            switch_latency: Dur::from_micros(2),
+            loss_prob: 0.0,
+            loopback_delay: Dur::from_micros(5),
+        }
+    }
+}
+
+impl NetCfg {
+    /// The paper's testbed: 8 nodes, 3 × 1 Gb/s interfaces, given loss rate.
+    pub fn paper_cluster(loss_prob: f64) -> Self {
+        NetCfg { loss_prob, ..Default::default() }
+    }
+}
+
+/// Outcome of offering a packet to the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The last bit arrives at the destination interface at this instant.
+    Deliver { at: SimTime },
+    Drop(DropReason),
+}
+
+/// Aggregate counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NetStats {
+    pub packets_offered: u64,
+    pub packets_delivered: u64,
+    pub bytes_delivered: u64,
+    pub drops_loss: u64,
+    pub drops_queue: u64,
+    pub drops_down: u64,
+}
+
+/// The simulated cluster network.
+pub struct Net {
+    pub cfg: NetCfg,
+    /// `links[host][iface]` = (uplink to switch, downlink from switch).
+    links: Vec<Vec<(Link, Link)>>,
+    pub stats: NetStats,
+}
+
+impl Net {
+    pub fn new(cfg: NetCfg) -> Self {
+        let links = (0..cfg.hosts)
+            .map(|_| {
+                (0..cfg.ifaces_per_host)
+                    .map(|_| (Link::new(cfg.link), Link::new(cfg.link)))
+                    .collect()
+            })
+            .collect();
+        Net { cfg, links, stats: NetStats::default() }
+    }
+
+    /// Number of hosts.
+    pub fn hosts(&self) -> u16 {
+        self.cfg.hosts
+    }
+
+    /// Number of interfaces per host.
+    pub fn ifaces(&self) -> u8 {
+        self.cfg.ifaces_per_host
+    }
+
+    fn check_addr(&self, a: IfAddr) {
+        assert!(
+            a.host < self.cfg.hosts && a.iface < self.cfg.ifaces_per_host,
+            "address {a} outside topology ({} hosts x {} ifaces)",
+            self.cfg.hosts,
+            self.cfg.ifaces_per_host
+        );
+    }
+
+    /// Offer a packet at `now`. `src.iface` and `dst.iface` must match (the
+    /// networks are independent); self-addressed packets go via loopback.
+    pub fn transmit(
+        &mut self,
+        now: SimTime,
+        src: IfAddr,
+        dst: IfAddr,
+        wire_bytes: u32,
+        rng: &mut SmallRng,
+    ) -> Verdict {
+        self.check_addr(src);
+        self.check_addr(dst);
+        self.stats.packets_offered += 1;
+
+        if src.host == dst.host {
+            // Loopback: no loss, no queueing.
+            self.stats.packets_delivered += 1;
+            self.stats.bytes_delivered += wire_bytes as u64;
+            return Verdict::Deliver { at: now + self.cfg.loopback_delay };
+        }
+
+        assert_eq!(
+            src.iface, dst.iface,
+            "networks are independent: cannot route {src} -> {dst}"
+        );
+
+        // Dummynet pipe: one Bernoulli trial per packet per path.
+        if self.cfg.loss_prob > 0.0 && rng.gen_bool(self.cfg.loss_prob) {
+            self.stats.drops_loss += 1;
+            return Verdict::Drop(DropReason::Loss);
+        }
+
+        // Uplink: src host -> switch.
+        let up = &mut self.links[src.host as usize][src.iface as usize].0;
+        let at_switch = match up.transmit(now, wire_bytes) {
+            Ok(t) => t,
+            Err(r) => return self.record_drop(r),
+        };
+
+        // Downlink: switch -> dst host (store-and-forward).
+        let start = at_switch + self.cfg.switch_latency;
+        let down = &mut self.links[dst.host as usize][dst.iface as usize].1;
+        match down.transmit(start, wire_bytes) {
+            Ok(t) => {
+                self.stats.packets_delivered += 1;
+                self.stats.bytes_delivered += wire_bytes as u64;
+                Verdict::Deliver { at: t }
+            }
+            Err(r) => self.record_drop(r),
+        }
+    }
+
+    fn record_drop(&mut self, r: DropReason) -> Verdict {
+        match r {
+            DropReason::Loss => self.stats.drops_loss += 1,
+            DropReason::QueueFull => self.stats.drops_queue += 1,
+            DropReason::LinkDown => self.stats.drops_down += 1,
+        }
+        Verdict::Drop(r)
+    }
+
+    /// Administratively set one interface (both directions) up or down —
+    /// used by the multihoming failover experiments.
+    pub fn set_iface_up(&mut self, addr: IfAddr, up: bool) {
+        self.check_addr(addr);
+        let (ul, dl) = &mut self.links[addr.host as usize][addr.iface as usize];
+        ul.up = up;
+        dl.up = up;
+    }
+
+    /// Take down network `iface` for every host (switch failure).
+    pub fn set_network_up(&mut self, iface: u8, up: bool) {
+        for h in 0..self.cfg.hosts {
+            self.set_iface_up(IfAddr::new(h, iface), up);
+        }
+    }
+
+    /// Change the path loss probability mid-run.
+    pub fn set_loss(&mut self, loss_prob: f64) {
+        assert!((0.0..=1.0).contains(&loss_prob));
+        self.cfg.loss_prob = loss_prob;
+    }
+
+    /// Per-link stats of one interface: (uplink, downlink).
+    pub fn iface_stats(&self, addr: IfAddr) -> (LinkStats, LinkStats) {
+        self.check_addr(addr);
+        let (ul, dl) = &self.links[addr.host as usize][addr.iface as usize];
+        (ul.stats, dl.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::derive_rng;
+
+    fn net(loss: f64) -> (Net, SmallRng) {
+        (Net::new(NetCfg::paper_cluster(loss)), derive_rng(1, 2))
+    }
+
+    #[test]
+    fn end_to_end_latency_is_two_hops_plus_switch() {
+        let (mut n, mut rng) = net(0.0);
+        let v = n.transmit(SimTime::ZERO, IfAddr::new(0, 0), IfAddr::new(1, 0), 1500, &mut rng);
+        // uplink 12us ser + 20us prop, switch 2us, downlink 12us ser + 20us prop
+        assert_eq!(v, Verdict::Deliver { at: SimTime::ZERO + Dur::from_micros(66) });
+    }
+
+    #[test]
+    fn loopback_is_fast_and_lossless() {
+        let (mut n, mut rng) = net(1.0); // even at 100% loss
+        let v = n.transmit(SimTime::ZERO, IfAddr::new(2, 0), IfAddr::new(2, 0), 1500, &mut rng);
+        assert!(matches!(v, Verdict::Deliver { .. }));
+    }
+
+    #[test]
+    fn loss_rate_is_statistically_right() {
+        let (mut n, mut rng) = net(0.01);
+        let trials = 200_000;
+        let mut dropped = 0;
+        for _ in 0..trials {
+            // Use a far-future `now` each time so queues never interfere.
+            let v = n.transmit(
+                SimTime::from_nanos(u64::MAX / 2),
+                IfAddr::new(0, 0),
+                IfAddr::new(1, 0),
+                100,
+                &mut rng,
+            );
+            if matches!(v, Verdict::Drop(DropReason::Loss)) {
+                dropped += 1;
+            }
+        }
+        let rate = dropped as f64 / trials as f64;
+        assert!((rate - 0.01).abs() < 0.002, "measured loss {rate}, expected ~0.01");
+        assert_eq!(n.stats.drops_loss, dropped);
+    }
+
+    #[test]
+    fn independent_networks_cannot_cross() {
+        let (mut n, mut rng) = net(0.0);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            n.transmit(SimTime::ZERO, IfAddr::new(0, 0), IfAddr::new(1, 1), 100, &mut rng)
+        }));
+        assert!(r.is_err(), "routing across networks must be rejected");
+    }
+
+    #[test]
+    fn downed_interface_drops() {
+        let (mut n, mut rng) = net(0.0);
+        n.set_iface_up(IfAddr::new(0, 1), false);
+        let v = n.transmit(SimTime::ZERO, IfAddr::new(0, 1), IfAddr::new(1, 1), 100, &mut rng);
+        assert_eq!(v, Verdict::Drop(DropReason::LinkDown));
+        // Other networks unaffected.
+        let v = n.transmit(SimTime::ZERO, IfAddr::new(0, 0), IfAddr::new(1, 0), 100, &mut rng);
+        assert!(matches!(v, Verdict::Deliver { .. }));
+        // Receiving side down also drops.
+        n.set_iface_up(IfAddr::new(1, 2), false);
+        let v = n.transmit(SimTime::ZERO, IfAddr::new(0, 2), IfAddr::new(1, 2), 100, &mut rng);
+        assert_eq!(v, Verdict::Drop(DropReason::LinkDown));
+    }
+
+    #[test]
+    fn congestion_fills_destination_downlink() {
+        // Two senders blast the same destination; the shared downlink must
+        // eventually tail-drop.
+        let (mut n, mut rng) = net(0.0);
+        let mut drops = 0;
+        for _ in 0..400 {
+            for src in [0u16, 2] {
+                let v = n.transmit(
+                    SimTime::ZERO,
+                    IfAddr::new(src, 0),
+                    IfAddr::new(1, 0),
+                    1500,
+                    &mut rng,
+                );
+                if matches!(v, Verdict::Drop(DropReason::QueueFull)) {
+                    drops += 1;
+                }
+            }
+        }
+        assert!(drops > 0, "overload must cause queue drops");
+        assert_eq!(n.stats.drops_queue, drops);
+    }
+
+    #[test]
+    fn bandwidth_is_shared_fifo() {
+        // 10 packets back-to-back: last arrives ~ 10 serialization times after
+        // the first, since the uplink is the bottleneck.
+        let (mut n, mut rng) = net(0.0);
+        let mut last = SimTime::ZERO;
+        for _ in 0..10 {
+            if let Verdict::Deliver { at } =
+                n.transmit(SimTime::ZERO, IfAddr::new(0, 0), IfAddr::new(1, 0), 1500, &mut rng)
+            {
+                last = at;
+            }
+        }
+        // first arrives at 66us; each subsequent +12us
+        assert_eq!(last, SimTime::ZERO + Dur::from_micros(66 + 9 * 12));
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests for the network model.
+
+use netsim::{IfAddr, LinkCfg, Net, NetCfg, Verdict};
+use proptest::prelude::*;
+use simcore::{derive_rng, Dur, SimTime};
+
+proptest! {
+    /// FIFO invariant: packets offered to the same path in time order are
+    /// delivered in time order (no reordering inside one network).
+    #[test]
+    fn links_never_reorder(
+        sizes in prop::collection::vec(40u32..1500, 1..60),
+        gaps in prop::collection::vec(0u64..20_000, 1..60),
+    ) {
+        let mut net = Net::new(NetCfg::paper_cluster(0.0));
+        let mut rng = derive_rng(1, 1);
+        let mut now = SimTime::ZERO;
+        let mut last_arrival = SimTime::ZERO;
+        for (i, &sz) in sizes.iter().enumerate() {
+            now += Dur::from_nanos(*gaps.get(i).unwrap_or(&0));
+            match net.transmit(now, IfAddr::new(0, 0), IfAddr::new(1, 0), sz, &mut rng) {
+                Verdict::Deliver { at } => {
+                    prop_assert!(at >= last_arrival, "reordered: {} < {}", at, last_arrival);
+                    prop_assert!(at > now, "arrival not after send");
+                    last_arrival = at;
+                }
+                Verdict::Drop(_) => {} // tail drop is fine; order still holds
+            }
+        }
+    }
+
+    /// Latency lower bound: nothing arrives faster than serialization on
+    /// two hops plus propagation plus switch latency.
+    #[test]
+    fn latency_never_beats_physics(sz in 40u32..1500) {
+        let cfg = NetCfg::paper_cluster(0.0);
+        let mut net = Net::new(cfg);
+        let mut rng = derive_rng(2, 2);
+        let now = SimTime::from_nanos(1_000_000);
+        if let Verdict::Deliver { at } =
+            net.transmit(now, IfAddr::new(2, 1), IfAddr::new(5, 1), sz, &mut rng)
+        {
+            let ser = simcore::transmission_time(sz as u64, cfg.link.bandwidth_bps);
+            let floor = ser + ser + cfg.link.prop_delay + cfg.link.prop_delay + cfg.switch_latency;
+            prop_assert!(at.since(now) >= floor);
+        }
+    }
+
+    /// Full loss drops everything; zero loss (uncongested) drops nothing.
+    #[test]
+    fn loss_extremes(sz in 40u32..1500, t in 0u64..1_000_000) {
+        let mut rng = derive_rng(3, 3);
+        let mut all = Net::new(NetCfg::paper_cluster(1.0));
+        let v = all.transmit(SimTime::from_nanos(t), IfAddr::new(0, 0), IfAddr::new(1, 0), sz, &mut rng);
+        let dropped = matches!(v, Verdict::Drop(netsim::DropReason::Loss));
+        prop_assert!(dropped);
+        let mut none = Net::new(NetCfg::paper_cluster(0.0));
+        let v = none.transmit(SimTime::from_nanos(t), IfAddr::new(0, 0), IfAddr::new(1, 0), sz, &mut rng);
+        let delivered = matches!(v, Verdict::Deliver { .. });
+        prop_assert!(delivered);
+    }
+
+    /// Stats bookkeeping: offered = delivered + dropped, always.
+    #[test]
+    fn stats_balance(ops in prop::collection::vec((0u16..8, 0u16..8, 40u32..1500), 0..100)) {
+        let mut cfg = NetCfg::paper_cluster(0.3);
+        cfg.link = LinkCfg { queue_cap_bytes: 5_000, ..LinkCfg::default() };
+        let mut net = Net::new(cfg);
+        let mut rng = derive_rng(4, 4);
+        for (src, dst, sz) in ops {
+            let _ = net.transmit(
+                SimTime::ZERO,
+                IfAddr::new(src, 0),
+                IfAddr::new(dst, 0),
+                sz,
+                &mut rng,
+            );
+        }
+        let s = net.stats;
+        prop_assert_eq!(
+            s.packets_offered,
+            s.packets_delivered + s.drops_loss + s.drops_queue + s.drops_down
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! `simcore` — deterministic discrete-event simulation core.
+//!
+//! This crate is the foundation of the `sctp-mpi` reproduction of
+//! *“SCTP versus TCP for MPI”* (SC 2005). It provides:
+//!
+//! * [`time`] — nanosecond-resolution simulated time ([`SimTime`], [`Dur`]);
+//! * [`sched`] — the event queue and scheduler context ([`Ctx`]), with
+//!   deterministic tie-breaking and cancellable timers;
+//! * [`process`] — a virtual-process runtime ([`Runtime`], [`ProcEnv`]) that
+//!   runs simulated programs as blocking Rust code on real threads while
+//!   keeping the whole simulation single-threaded in effect (exactly one
+//!   runnable thread at any instant), hence fully deterministic;
+//! * [`rng`] — seed-derived independent random streams.
+//!
+//! Everything above this crate (network, transports, MPI middleware,
+//! workloads) is built on these four pieces.
+
+pub mod process;
+pub mod rng;
+pub mod sched;
+pub mod time;
+
+pub use process::{ProcEnv, ProcId, RunOutcome, Runtime};
+pub use rng::{derive_rng, stream_id};
+pub use sched::{Ctx, TimerId};
+pub use time::{transmission_time, Dur, SimTime};

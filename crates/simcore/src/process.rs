@@ -1,0 +1,572 @@
+//! Virtual-process runtime.
+//!
+//! Simulated programs (e.g. MPI ranks) run as ordinary blocking Rust code on
+//! their own OS threads, but **exactly one thread is runnable at a time**:
+//! either the driver (which fires timed events) or a single resumed process.
+//! Control passes driver → process on wakeup and process → driver on park.
+//! This makes whole simulations deterministic — same seed, same world, same
+//! result, bit for bit — while letting workloads be written as
+//! straight-line code instead of hand-rolled state machines.
+//!
+//! Wakeup discipline: a parked process is resumed only via
+//! [`crate::sched::Ctx::wake`]. Wakeups may be *spurious* from the waiter's
+//! perspective (e.g. a CPU-charge sleep can consume a readiness wake), so all
+//! waiting code must follow condition-variable style: re-check the condition
+//! after every park. [`ProcEnv::block_on`] encodes that pattern.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::rng::derive_rng;
+use crate::sched::Ctx;
+use crate::time::{Dur, SimTime};
+
+/// Identifies a simulated process within one [`Runtime`]. Process ids are
+/// assigned densely from zero in spawn order, so MPI ranks map directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcId(pub usize);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProcState {
+    /// Thread spawned, waiting for its first resume.
+    Created,
+    /// The one thread currently allowed to run.
+    Running,
+    /// Blocked in `park`, waiting for `Running`.
+    Parked,
+    /// User closure returned (or panicked).
+    Done,
+}
+
+struct CtlInner {
+    state: ProcState,
+    panicked: bool,
+}
+
+struct ProcCtl {
+    name: String,
+    inner: Mutex<CtlInner>,
+    cv: Condvar,
+}
+
+impl ProcCtl {
+    fn new(name: String) -> Self {
+        ProcCtl {
+            name,
+            inner: Mutex::new(CtlInner { state: ProcState::Created, panicked: false }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Called from the process thread: yield control to the driver and wait
+    /// to be resumed.
+    fn park(&self) {
+        let mut g = self.inner.lock();
+        debug_assert_eq!(g.state, ProcState::Running);
+        g.state = ProcState::Parked;
+        self.cv.notify_all();
+        while g.state == ProcState::Parked {
+            self.cv.wait(&mut g);
+        }
+        debug_assert_eq!(g.state, ProcState::Running);
+    }
+
+    /// Called from the process thread on first entry: wait for initial resume.
+    fn wait_first_resume(&self) {
+        let mut g = self.inner.lock();
+        while g.state != ProcState::Running {
+            self.cv.wait(&mut g);
+        }
+    }
+
+    /// Called from the driver: hand control to this process and block until
+    /// it parks or finishes. Returns immediately if the process is done.
+    fn resume_and_wait(&self) {
+        let mut g = self.inner.lock();
+        match g.state {
+            ProcState::Done => return,
+            ProcState::Parked | ProcState::Created => {
+                g.state = ProcState::Running;
+                self.cv.notify_all();
+            }
+            ProcState::Running => unreachable!("driver resumed a running process"),
+        }
+        while g.state == ProcState::Running {
+            self.cv.wait(&mut g);
+        }
+    }
+
+    fn finish(&self, panicked: bool) {
+        let mut g = self.inner.lock();
+        g.state = ProcState::Done;
+        g.panicked = panicked;
+        self.cv.notify_all();
+    }
+
+    fn is_done(&self) -> bool {
+        self.inner.lock().state == ProcState::Done
+    }
+
+    fn is_parked_or_created(&self) -> bool {
+        matches!(self.inner.lock().state, ProcState::Parked | ProcState::Created)
+    }
+}
+
+/// World + scheduler behind one mutex. Only one thread touches it at a time
+/// by construction, so there is never contention — the mutex exists to
+/// satisfy the borrow checker across threads.
+struct Sim<W> {
+    world: W,
+    ctx: Ctx<W>,
+}
+
+struct Shared<W> {
+    sim: Mutex<Sim<W>>,
+    ctls: Vec<Arc<ProcCtl>>,
+}
+
+/// A handle a simulated process uses to touch the shared world, sleep, and
+/// block. Cheap to clone would be possible but each process gets exactly one.
+pub struct ProcEnv<W> {
+    id: ProcId,
+    shared: Arc<Shared<W>>,
+    ctl: Arc<ProcCtl>,
+}
+
+impl<W: Send + 'static> ProcEnv<W> {
+    /// This process's id (== its MPI rank in the middleware).
+    #[inline]
+    pub fn id(&self) -> ProcId {
+        self.id
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.shared.sim.lock().ctx.now()
+    }
+
+    /// Run `f` with exclusive access to the world and scheduler.
+    ///
+    /// Do not call `with` re-entrantly from inside `f` — the lock is not
+    /// re-entrant and doing so deadlocks (caught only at runtime).
+    pub fn with<R>(&self, f: impl FnOnce(&mut W, &mut Ctx<W>) -> R) -> R {
+        let mut g = self.shared.sim.lock();
+        let Sim { world, ctx } = &mut *g;
+        f(world, ctx)
+    }
+
+    /// Yield to the driver until someone calls `ctx.wake(self.id())`.
+    ///
+    /// May return spuriously (see module docs); re-check your condition.
+    pub fn park(&self) {
+        self.ctl.park();
+    }
+
+    /// Block until `poll` returns `Some`. `poll` runs under the world lock
+    /// and is responsible for registering this process wherever the eventual
+    /// wake will come from (waiter lists, timers, ...).
+    pub fn block_on<R>(&self, mut poll: impl FnMut(&mut W, &mut Ctx<W>) -> Option<R>) -> R {
+        loop {
+            if let Some(r) = self.with(&mut poll) {
+                return r;
+            }
+            self.park();
+        }
+    }
+
+    /// Advance this process's local time by `d` without doing anything —
+    /// models computation or CPU charges. Simulated time continues for the
+    /// network and for other processes.
+    pub fn sleep(&self, d: Dur) {
+        if d.is_zero() {
+            return;
+        }
+        let done = Arc::new(Mutex::new(false));
+        let done2 = Arc::clone(&done);
+        let id = self.id;
+        self.with(move |_, ctx| {
+            ctx.schedule_in(d, move |_, ctx| {
+                *done2.lock() = true;
+                ctx.wake(id);
+            });
+        });
+        while !*done.lock() {
+            self.park();
+        }
+    }
+
+    /// Let every other currently-runnable process run before continuing.
+    pub fn yield_now(&self) {
+        let id = self.id;
+        self.with(|_, ctx| ctx.wake(id));
+        self.park();
+    }
+}
+
+/// Outcome of a completed simulation run.
+#[derive(Debug)]
+pub struct RunOutcome<W> {
+    /// Final world state.
+    pub world: W,
+    /// Simulated time at which the last process finished (or the deadline).
+    pub sim_time: SimTime,
+    /// Total events fired (diagnostic).
+    pub events: u64,
+    /// True if the run was cut short by the deadline.
+    pub hit_deadline: bool,
+}
+
+type ProcMain<W> = Box<dyn FnOnce(ProcEnv<W>) + Send + 'static>;
+
+/// Builds and drives one simulation: a world, a scheduler, and a set of
+/// virtual processes.
+type PreEvent<W> = (SimTime, Box<dyn FnOnce(&mut W, &mut Ctx<W>) + Send + 'static>);
+
+pub struct Runtime<W> {
+    world: Option<W>,
+    seed: u64,
+    mains: Vec<(String, ProcMain<W>)>,
+    deadline: SimTime,
+    pre_events: Vec<PreEvent<W>>,
+}
+
+impl<W: Send + 'static> Runtime<W> {
+    /// Create a runtime over `world`, deriving all randomness from `seed`.
+    pub fn new(world: W, seed: u64) -> Self {
+        Runtime {
+            world: Some(world),
+            seed,
+            mains: Vec::new(),
+            deadline: SimTime::MAX,
+            pre_events: Vec::new(),
+        }
+    }
+
+    /// Abort the run (returning `hit_deadline = true`) if simulated time
+    /// would pass `deadline`. Guards against runaway simulations in tests.
+    pub fn set_deadline(&mut self, deadline: SimTime) {
+        self.deadline = deadline;
+    }
+
+    /// Register a process. Ids are assigned densely in spawn order.
+    pub fn spawn(&mut self, name: impl Into<String>, f: impl FnOnce(ProcEnv<W>) + Send + 'static) -> ProcId {
+        let id = ProcId(self.mains.len());
+        self.mains.push((name.into(), Box::new(f)));
+        id
+    }
+
+    /// Schedule an event before the run starts (watchdogs, fault injection).
+    pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut W, &mut Ctx<W>) + Send + 'static) {
+        self.pre_events.push((at, Box::new(f)));
+    }
+
+    /// Drive the simulation to completion: all processes finished, or
+    /// deadlock (panics), or deadline.
+    pub fn run(mut self) -> RunOutcome<W> {
+        let world = self.world.take().expect("run() called twice");
+        let ctx = Ctx::new(derive_rng(self.seed, u64::MAX));
+        let ctls: Vec<Arc<ProcCtl>> = self
+            .mains
+            .iter()
+            .map(|(name, _)| Arc::new(ProcCtl::new(name.clone())))
+            .collect();
+        let shared = Arc::new(Shared { sim: Mutex::new(Sim { world, ctx }), ctls });
+
+        // Spawn process threads; each waits for its first resume.
+        let mut joins: Vec<JoinHandle<()>> = Vec::with_capacity(self.mains.len());
+        for (i, (name, main)) in self.mains.drain(..).enumerate() {
+            let ctl = Arc::clone(&shared.ctls[i]);
+            let env = ProcEnv { id: ProcId(i), shared: Arc::clone(&shared), ctl: Arc::clone(&ctl) };
+            let handle = std::thread::Builder::new()
+                .name(format!("sim-{name}"))
+                .spawn(move || {
+                    ctl.wait_first_resume();
+                    let result = catch_unwind(AssertUnwindSafe(move || main(env)));
+                    let panicked = result.is_err();
+                    ctl.finish(panicked);
+                    if let Err(payload) = result {
+                        // Preserve the panic message in test output; the
+                        // driver aborts the run when it notices.
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic".into());
+                        eprintln!("simulated process panicked: {msg}");
+                    }
+                })
+                .expect("failed to spawn process thread");
+            joins.push(handle);
+        }
+
+        // Seed: every process gets an initial wakeup, in id order.
+        {
+            let mut g = shared.sim.lock();
+            for (at, f) in self.pre_events.drain(..) {
+                g.ctx.schedule_at(at, f);
+            }
+            for i in 0..shared.ctls.len() {
+                g.ctx.wake(ProcId(i));
+            }
+        }
+
+        let mut hit_deadline = false;
+        'driver: loop {
+            // Drain wakeups first: same-timestamp readiness beats timers.
+            let wakes = shared.sim.lock().ctx.take_wakes();
+            if !wakes.is_empty() {
+                for p in wakes {
+                    shared.ctls[p.0].resume_and_wait();
+                    if shared.ctls[p.0].inner.lock().panicked {
+                        break 'driver;
+                    }
+                }
+                continue;
+            }
+
+            if shared.ctls.iter().all(|c| c.is_done()) {
+                break;
+            }
+
+            // Fire the next timed event.
+            let fired = {
+                let mut g = shared.sim.lock();
+                if let Some(t) = g.ctx.next_event_time() {
+                    if t > self.deadline {
+                        hit_deadline = true;
+                        false
+                    } else {
+                        match g.ctx.pop_event() {
+                            Some(f) => {
+                                let Sim { world, ctx } = &mut *g;
+                                f(world, ctx);
+                                true
+                            }
+                            None => false,
+                        }
+                    }
+                } else {
+                    false
+                }
+            };
+
+            if fired {
+                continue;
+            }
+            if hit_deadline {
+                break;
+            }
+
+            // No wakes, no events, processes still alive: deadlock.
+            if !shared.sim.lock().ctx.has_wakes() {
+                let stuck: Vec<&str> = shared
+                    .ctls
+                    .iter()
+                    .filter(|c| c.is_parked_or_created())
+                    .map(|c| c.name.as_str())
+                    .collect();
+                panic!("simulation deadlock: no pending events, processes still blocked: {stuck:?}");
+            }
+        }
+
+        let panicked = shared.ctls.iter().any(|c| c.inner.lock().panicked);
+
+        // On deadline or panic, stranded threads are parked forever; we must
+        // not join them. In the normal path all are done and join cleanly.
+        if !hit_deadline && !panicked {
+            for j in joins {
+                let _ = j.join();
+            }
+        } else {
+            std::mem::forget(joins);
+        }
+
+        if panicked {
+            panic!("a simulated process panicked; see stderr for details");
+        }
+
+        let shared = match Arc::try_unwrap(shared) {
+            Ok(s) => s,
+            Err(arc) => {
+                // Threads stranded by a deadline still hold clones; steal the
+                // world by swapping. Safe: they are parked and will never run.
+                let g = arc.sim.lock();
+                let events = g.ctx.events_fired();
+                let sim_time = g.ctx.now();
+                // This path only happens on deadline; require W: Default?
+                // Avoid that bound: panic with a clear message instead.
+                drop(g);
+                let _ = arc;
+                panic!(
+                    "deadline hit at {sim_time} after {events} events; \
+                     world cannot be recovered from a deadline-aborted run"
+                );
+            }
+        };
+        let sim = shared.sim.into_inner();
+        RunOutcome {
+            sim_time: sim.ctx.now(),
+            events: sim.ctx.events_fired(),
+            world: sim.world,
+            hit_deadline,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct W {
+        log: Vec<String>,
+    }
+
+    #[test]
+    fn single_process_runs_to_completion() {
+        let mut rt = Runtime::new(W::default(), 1);
+        rt.spawn("p0", |env: ProcEnv<W>| {
+            env.with(|w, _| w.log.push("hello".into()));
+        });
+        let out = rt.run();
+        assert_eq!(out.world.log, vec!["hello"]);
+        assert_eq!(out.sim_time, SimTime::ZERO);
+    }
+
+    #[test]
+    fn sleep_advances_time() {
+        let mut rt = Runtime::new(W::default(), 1);
+        rt.spawn("p0", |env: ProcEnv<W>| {
+            env.sleep(Dur::from_millis(250));
+            assert_eq!(env.now(), SimTime::ZERO + Dur::from_millis(250));
+        });
+        let out = rt.run();
+        assert_eq!(out.sim_time, SimTime::ZERO + Dur::from_millis(250));
+    }
+
+    #[test]
+    fn processes_interleave_deterministically() {
+        fn run_once() -> Vec<String> {
+            let mut rt = Runtime::new(W::default(), 7);
+            for p in 0..4 {
+                rt.spawn(format!("p{p}"), move |env: ProcEnv<W>| {
+                    for step in 0..3 {
+                        env.sleep(Dur::from_millis(10 * (p as u64 + 1)));
+                        env.with(|w, _| w.log.push(format!("p{p}.{step}")));
+                    }
+                });
+            }
+            rt.run().world.log
+        }
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a, b, "same seed must give identical interleavings");
+        assert_eq!(a.len(), 12);
+        assert_eq!(a[0], "p0.0", "shortest sleeper logs first");
+    }
+
+    #[test]
+    fn block_on_wakes_from_event() {
+        struct Flag {
+            ready: bool,
+        }
+        let mut rt = Runtime::new(Flag { ready: false }, 1);
+        rt.spawn("waiter", |env: ProcEnv<Flag>| {
+            let id = env.id();
+            // Arrange for an event to set the flag and wake us.
+            env.with(move |_, ctx| {
+                ctx.schedule_in(Dur::from_secs(1), move |w: &mut Flag, ctx| {
+                    w.ready = true;
+                    ctx.wake(id);
+                });
+            });
+            env.block_on(|w, _| if w.ready { Some(()) } else { None });
+            assert_eq!(env.now(), SimTime::ZERO + Dur::from_secs(1));
+        });
+        let out = rt.run();
+        assert!(out.world.ready);
+    }
+
+    #[test]
+    fn two_processes_ping_pong_via_world() {
+        // p0 waits for a token p1 deposits after 5ms; then p0 responds and
+        // p1 waits for the response. Exercises wake() round trips.
+        #[derive(Default)]
+        struct Mailbox {
+            to_p0: Option<u32>,
+            to_p1: Option<u32>,
+        }
+        let mut rt = Runtime::new(Mailbox::default(), 3);
+        rt.spawn("p0", |env: ProcEnv<Mailbox>| {
+            let v = env.block_on(|w, _| w.to_p0.take());
+            env.with(|w, ctx| {
+                w.to_p1 = Some(v + 1);
+                ctx.wake(ProcId(1));
+            });
+        });
+        rt.spawn("p1", |env: ProcEnv<Mailbox>| {
+            env.sleep(Dur::from_millis(5));
+            env.with(|w, ctx| {
+                w.to_p0 = Some(41);
+                ctx.wake(ProcId(0));
+            });
+            let v = env.block_on(|w, _| w.to_p1.take());
+            assert_eq!(v, 42);
+        });
+        rt.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn deadlock_is_detected() {
+        let mut rt = Runtime::new(W::default(), 1);
+        rt.spawn("stuck", |env: ProcEnv<W>| {
+            env.park(); // nothing will ever wake us
+        });
+        rt.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "simulated process panicked")]
+    fn process_panic_propagates() {
+        let mut rt = Runtime::new(W::default(), 1);
+        rt.spawn("boom", |_env: ProcEnv<W>| {
+            panic!("intentional test panic");
+        });
+        rt.run();
+    }
+
+    #[test]
+    fn yield_now_lets_peers_run() {
+        let mut rt = Runtime::new(W::default(), 1);
+        rt.spawn("a", |env: ProcEnv<W>| {
+            env.with(|w, _| w.log.push("a1".into()));
+            env.yield_now();
+            env.with(|w, _| w.log.push("a2".into()));
+        });
+        rt.spawn("b", |env: ProcEnv<W>| {
+            env.with(|w, _| w.log.push("b1".into()));
+        });
+        let out = rt.run();
+        assert_eq!(out.world.log, vec!["a1", "b1", "a2"]);
+    }
+
+    #[test]
+    fn spurious_wake_does_not_break_sleep() {
+        // A process sleeping 100ms gets woken at 10ms by an unrelated event;
+        // sleep must still take the full 100ms.
+        let mut rt = Runtime::new(W::default(), 1);
+        rt.spawn("sleeper", |env: ProcEnv<W>| {
+            let id = env.id();
+            env.with(move |_, ctx| {
+                ctx.schedule_in(Dur::from_millis(10), move |_, ctx| ctx.wake(id));
+            });
+            env.sleep(Dur::from_millis(100));
+            assert_eq!(env.now(), SimTime::ZERO + Dur::from_millis(100));
+        });
+        rt.run();
+    }
+}

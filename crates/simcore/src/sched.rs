@@ -1,0 +1,247 @@
+//! The discrete-event scheduler.
+//!
+//! [`Ctx<W>`] is the handle every event callback and every world-access
+//! closure receives alongside `&mut W`. It provides the current simulated
+//! time, timer scheduling/cancellation, process wakeups, and the master RNG.
+//!
+//! Determinism: events at equal timestamps fire in insertion order (a
+//! monotonic sequence number breaks ties), and process wakeups drain FIFO.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet, VecDeque};
+
+use rand::rngs::SmallRng;
+
+use crate::process::ProcId;
+use crate::time::{Dur, SimTime};
+
+/// Identifies a scheduled timer so it can be cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerId(u64);
+
+type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Ctx<W>) + Send>;
+
+struct Entry<W> {
+    at: SimTime,
+    seq: u64,
+    f: EventFn<W>,
+}
+
+impl<W> PartialEq for Entry<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<W> Eq for Entry<W> {}
+impl<W> PartialOrd for Entry<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Entry<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Scheduler context: simulated clock, event queue, wake queue, RNG.
+pub struct Ctx<W> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Entry<W>>,
+    cancelled: HashSet<u64>,
+    wake_fifo: VecDeque<ProcId>,
+    wake_pending: HashSet<ProcId>,
+    /// Master RNG for the simulation. Components that need reproducible
+    /// independent streams should use [`crate::rng::derive_rng`] instead and
+    /// keep their own generator; this one is for ad-hoc draws (e.g. link loss).
+    pub rng: SmallRng,
+    events_fired: u64,
+}
+
+impl<W> Ctx<W> {
+    pub(crate) fn new(rng: SmallRng) -> Self {
+        Ctx {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            wake_fifo: VecDeque::new(),
+            wake_pending: HashSet::new(),
+            rng,
+            events_fired: 0,
+        }
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events fired so far (diagnostic).
+    #[inline]
+    pub fn events_fired(&self) -> u64 {
+        self.events_fired
+    }
+
+    /// Schedule `f` to run at absolute time `at` (clamped to be >= now).
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        f: impl FnOnce(&mut W, &mut Ctx<W>) + Send + 'static,
+    ) -> TimerId {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Entry { at, seq, f: Box::new(f) });
+        TimerId(seq)
+    }
+
+    /// Schedule `f` to run after `delay`.
+    pub fn schedule_in(
+        &mut self,
+        delay: Dur,
+        f: impl FnOnce(&mut W, &mut Ctx<W>) + Send + 'static,
+    ) -> TimerId {
+        self.schedule_at(self.now + delay, f)
+    }
+
+    /// Cancel a previously scheduled timer. Cancelling an already-fired or
+    /// already-cancelled timer is a no-op.
+    pub fn cancel(&mut self, id: TimerId) {
+        self.cancelled.insert(id.0);
+    }
+
+    /// Mark a process runnable. Wakeups are drained FIFO by the driver before
+    /// the next timed event fires. Duplicate wakes of an already-pending
+    /// process coalesce.
+    pub fn wake(&mut self, p: ProcId) {
+        if self.wake_pending.insert(p) {
+            self.wake_fifo.push_back(p);
+        }
+    }
+
+    /// Wake every process in a slice (convenience for waiter lists).
+    pub fn wake_all(&mut self, ps: &[ProcId]) {
+        for &p in ps {
+            self.wake(p);
+        }
+    }
+
+    pub(crate) fn take_wakes(&mut self) -> Vec<ProcId> {
+        self.wake_pending.clear();
+        self.wake_fifo.drain(..).collect()
+    }
+
+    pub(crate) fn has_wakes(&self) -> bool {
+        !self.wake_fifo.is_empty()
+    }
+
+    /// Pop the next non-cancelled event, advancing the clock to its
+    /// timestamp. Returns `None` when the queue is exhausted.
+    pub(crate) fn pop_event(&mut self) -> Option<EventFn<W>> {
+        while let Some(e) = self.queue.pop() {
+            if self.cancelled.remove(&e.seq) {
+                continue;
+            }
+            debug_assert!(e.at >= self.now, "time went backwards");
+            self.now = e.at;
+            self.events_fired += 1;
+            return Some(e.f);
+        }
+        None
+    }
+
+    /// Timestamp of the next pending (possibly cancelled) event, if any.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|e| e.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::derive_rng;
+
+    fn ctx() -> Ctx<Vec<u32>> {
+        Ctx::new(derive_rng(0, 0))
+    }
+
+    fn drain(world: &mut Vec<u32>, ctx: &mut Ctx<Vec<u32>>) {
+        while let Some(f) = ctx.pop_event() {
+            f(world, ctx);
+        }
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut c = ctx();
+        let mut w = Vec::new();
+        c.schedule_in(Dur::from_secs(2), |w: &mut Vec<u32>, _| w.push(2));
+        c.schedule_in(Dur::from_secs(1), |w: &mut Vec<u32>, _| w.push(1));
+        c.schedule_in(Dur::from_secs(3), |w: &mut Vec<u32>, _| w.push(3));
+        drain(&mut w, &mut c);
+        assert_eq!(w, vec![1, 2, 3]);
+        assert_eq!(c.now(), SimTime::ZERO + Dur::from_secs(3));
+    }
+
+    #[test]
+    fn equal_timestamps_fire_in_insertion_order() {
+        let mut c = ctx();
+        let mut w = Vec::new();
+        for i in 0..10 {
+            c.schedule_in(Dur::from_secs(1), move |w: &mut Vec<u32>, _| w.push(i));
+        }
+        drain(&mut w, &mut c);
+        assert_eq!(w, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancelled_timers_do_not_fire() {
+        let mut c = ctx();
+        let mut w = Vec::new();
+        let id = c.schedule_in(Dur::from_secs(1), |w: &mut Vec<u32>, _| w.push(99));
+        c.schedule_in(Dur::from_secs(2), |w: &mut Vec<u32>, _| w.push(1));
+        c.cancel(id);
+        drain(&mut w, &mut c);
+        assert_eq!(w, vec![1]);
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut c = ctx();
+        let mut w = Vec::new();
+        c.schedule_in(Dur::from_secs(1), |w: &mut Vec<u32>, c: &mut Ctx<Vec<u32>>| {
+            w.push(1);
+            c.schedule_in(Dur::from_secs(1), |w: &mut Vec<u32>, _| w.push(2));
+        });
+        drain(&mut w, &mut c);
+        assert_eq!(w, vec![1, 2]);
+        assert_eq!(c.now(), SimTime::ZERO + Dur::from_secs(2));
+    }
+
+    #[test]
+    fn schedule_at_past_clamps_to_now() {
+        let mut c = ctx();
+        let mut w = Vec::new();
+        c.schedule_in(Dur::from_secs(5), |w: &mut Vec<u32>, c: &mut Ctx<Vec<u32>>| {
+            w.push(1);
+            // Try to schedule in the past; must fire at `now`, not panic.
+            c.schedule_at(SimTime::ZERO, |w: &mut Vec<u32>, _| w.push(2));
+        });
+        drain(&mut w, &mut c);
+        assert_eq!(w, vec![1, 2]);
+    }
+
+    #[test]
+    fn duplicate_wakes_coalesce() {
+        let mut c = ctx();
+        c.wake(ProcId(3));
+        c.wake(ProcId(3));
+        c.wake(ProcId(1));
+        assert_eq!(c.take_wakes(), vec![ProcId(3), ProcId(1)]);
+        assert!(c.take_wakes().is_empty());
+    }
+}

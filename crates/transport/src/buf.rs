@@ -1,0 +1,176 @@
+//! Byte-sequence buffers built on reference-counted [`Bytes`] chunks.
+//!
+//! The simulator moves *real* bytes end to end (so integrity is testable),
+//! but never copies payloads: a segment carries cheap `Bytes` slices into
+//! the sender's original buffers.
+
+use std::collections::VecDeque;
+
+use bytes::{Buf, Bytes};
+
+/// A FIFO of bytes addressed by an absolute, monotonically increasing
+/// sequence number — the retained send window of a TCP socket.
+///
+/// `head_seq` is the sequence number of the first retained byte; bytes below
+/// it have been acknowledged and dropped.
+#[derive(Debug, Default)]
+pub struct ByteQueue {
+    chunks: VecDeque<Bytes>,
+    head_seq: u64,
+    len: u64,
+}
+
+impl ByteQueue {
+    pub fn new(start_seq: u64) -> Self {
+        ByteQueue { chunks: VecDeque::new(), head_seq: start_seq, len: 0 }
+    }
+
+    /// Sequence number of the first retained byte.
+    #[inline]
+    pub fn head_seq(&self) -> u64 {
+        self.head_seq
+    }
+
+    /// One past the last byte.
+    #[inline]
+    pub fn end_seq(&self) -> u64 {
+        self.head_seq + self.len
+    }
+
+    /// Bytes currently retained.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append data at the tail.
+    pub fn push(&mut self, data: Bytes) {
+        if data.is_empty() {
+            return;
+        }
+        self.len += data.len() as u64;
+        self.chunks.push_back(data);
+    }
+
+    /// Drop all bytes below `seq` (they were acknowledged). `seq` values at
+    /// or below the current head are no-ops; `seq` beyond the end panics.
+    pub fn advance_to(&mut self, seq: u64) {
+        assert!(seq <= self.end_seq(), "ack beyond buffered data");
+        while self.head_seq < seq {
+            let front = self.chunks.front_mut().expect("length invariant");
+            let drop = ((seq - self.head_seq) as usize).min(front.len());
+            if drop == front.len() {
+                self.chunks.pop_front();
+            } else {
+                front.advance(drop);
+            }
+            self.head_seq += drop as u64;
+            self.len -= drop as u64;
+        }
+    }
+
+    /// Cheap handles to the bytes in `[seq, seq + want)`, clamped to what is
+    /// buffered. Used to (re)build segment payloads.
+    pub fn slice(&self, seq: u64, want: usize) -> Vec<Bytes> {
+        assert!(seq >= self.head_seq, "slice below retained window");
+        let mut out = Vec::new();
+        let mut skip = (seq - self.head_seq) as usize;
+        let mut want = want.min((self.end_seq() - seq) as usize);
+        for c in &self.chunks {
+            if want == 0 {
+                break;
+            }
+            if skip >= c.len() {
+                skip -= c.len();
+                continue;
+            }
+            let take = (c.len() - skip).min(want);
+            out.push(c.slice(skip..skip + take));
+            want -= take;
+            skip = 0;
+        }
+        out
+    }
+}
+
+/// Concatenate a list of chunks into one owned buffer (test/verification
+/// helper; the hot paths never do this).
+pub fn concat(chunks: &[Bytes]) -> Bytes {
+    let total: usize = chunks.iter().map(|c| c.len()).sum();
+    let mut v = Vec::with_capacity(total);
+    for c in chunks {
+        v.extend_from_slice(c);
+    }
+    Bytes::from(v)
+}
+
+/// Total length of a chunk list.
+pub fn total_len(chunks: &[Bytes]) -> usize {
+    chunks.iter().map(|c| c.len()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bq(parts: &[&[u8]]) -> ByteQueue {
+        let mut q = ByteQueue::new(100);
+        for p in parts {
+            q.push(Bytes::copy_from_slice(p));
+        }
+        q
+    }
+
+    #[test]
+    fn push_tracks_len_and_seqs() {
+        let q = bq(&[b"hello", b" world"]);
+        assert_eq!(q.head_seq(), 100);
+        assert_eq!(q.end_seq(), 111);
+        assert_eq!(q.len(), 11);
+    }
+
+    #[test]
+    fn slice_spans_chunk_boundaries() {
+        let q = bq(&[b"hello", b" world"]);
+        let s = concat(&q.slice(103, 5));
+        assert_eq!(&s[..], b"lo wo");
+    }
+
+    #[test]
+    fn slice_clamps_to_buffered() {
+        let q = bq(&[b"abc"]);
+        let s = concat(&q.slice(102, 100));
+        assert_eq!(&s[..], b"c");
+        assert!(q.slice(103, 10).is_empty());
+    }
+
+    #[test]
+    fn advance_drops_whole_and_partial_chunks() {
+        let mut q = bq(&[b"hello", b" world"]);
+        q.advance_to(107); // drops "hello" and " w"
+        assert_eq!(q.head_seq(), 107);
+        assert_eq!(concat(&q.slice(107, 10))[..], b"orld"[..]);
+        // Old acks are no-ops.
+        q.advance_to(50);
+        assert_eq!(q.head_seq(), 107);
+    }
+
+    #[test]
+    #[should_panic(expected = "ack beyond")]
+    fn advance_past_end_panics() {
+        let mut q = bq(&[b"abc"]);
+        q.advance_to(104);
+    }
+
+    #[test]
+    fn empty_push_is_noop() {
+        let mut q = ByteQueue::new(0);
+        q.push(Bytes::new());
+        assert!(q.is_empty());
+    }
+}

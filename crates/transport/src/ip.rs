@@ -1,0 +1,54 @@
+//! The IP layer: turns protocol segments into scheduled network deliveries.
+//!
+//! `send` asks the network for a delivery verdict and, on success, schedules
+//! the matching `deliver` event, which demultiplexes on protocol back into
+//! the TCP or SCTP input routines.
+
+use netsim::{IfAddr, Verdict};
+
+use crate::{sctp, tcp, World, Wx};
+
+/// IPv4 header size (no options).
+pub const IP_HEADER: u32 = 20;
+
+/// A protocol payload inside an IP packet.
+#[derive(Debug)]
+pub enum Proto {
+    Tcp(tcp::TcpSegment),
+    Sctp(sctp::SctpPacket),
+}
+
+impl Proto {
+    fn wire_len(&self) -> u32 {
+        match self {
+            Proto::Tcp(s) => s.wire_len(),
+            Proto::Sctp(p) => p.wire_len(),
+        }
+    }
+}
+
+/// An IP packet in flight.
+#[derive(Debug)]
+pub struct Packet {
+    pub src: IfAddr,
+    pub dst: IfAddr,
+    pub body: Proto,
+}
+
+/// Offer `pkt` to the network; schedule delivery if it survives.
+pub fn send(w: &mut World, ctx: &mut Wx, pkt: Packet) {
+    let size = IP_HEADER + pkt.body.wire_len();
+    match w.net.transmit(ctx.now(), pkt.src, pkt.dst, size, &mut ctx.rng) {
+        Verdict::Deliver { at } => {
+            ctx.schedule_at(at, move |w: &mut World, ctx: &mut Wx| deliver(w, ctx, pkt));
+        }
+        Verdict::Drop(_) => { /* the network recorded the drop */ }
+    }
+}
+
+fn deliver(w: &mut World, ctx: &mut Wx, pkt: Packet) {
+    match pkt.body {
+        Proto::Tcp(seg) => tcp::input(w, ctx, pkt.src, pkt.dst, seg),
+        Proto::Sctp(p) => sctp::input(w, ctx, pkt.src, pkt.dst, p),
+    }
+}

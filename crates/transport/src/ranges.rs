@@ -1,0 +1,248 @@
+//! A set of non-overlapping, sorted `u64` ranges.
+//!
+//! Used for the TCP sender's SACK scoreboard, the TCP receiver's
+//! out-of-order map summary, and the SCTP receiver's TSN gap tracking.
+
+use std::collections::BTreeMap;
+
+/// Half-open ranges `[start, end)`, kept sorted, coalesced on insert.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RangeSet {
+    // start -> end
+    map: BTreeMap<u64, u64>,
+}
+
+impl RangeSet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Insert `[start, end)`, merging with any overlapping/adjacent ranges.
+    pub fn insert(&mut self, start: u64, end: u64) {
+        if start >= end {
+            return;
+        }
+        let mut new_start = start;
+        let mut new_end = end;
+
+        // Merge with a predecessor that overlaps or touches.
+        if let Some((&s, &e)) = self.map.range(..=start).next_back() {
+            if e >= start {
+                if e >= end {
+                    return; // fully covered
+                }
+                new_start = s;
+                new_end = new_end.max(e);
+                self.map.remove(&s);
+            }
+        }
+        // Merge with successors that start within the new range.
+        loop {
+            let next = self.map.range(new_start..=new_end).next().map(|(&s, &e)| (s, e));
+            match next {
+                Some((s, e)) => {
+                    new_end = new_end.max(e);
+                    self.map.remove(&s);
+                }
+                None => break,
+            }
+        }
+        self.map.insert(new_start, new_end);
+    }
+
+    /// Insert a single value (a TSN).
+    pub fn insert_point(&mut self, v: u64) {
+        self.insert(v, v + 1);
+    }
+
+    /// Remove everything below `cut` (a cumulative ack).
+    pub fn remove_below(&mut self, cut: u64) {
+        let below: Vec<u64> = self.map.range(..cut).map(|(&s, _)| s).collect();
+        for s in below {
+            let e = self.map.remove(&s).unwrap();
+            if e > cut {
+                self.map.insert(cut, e);
+            }
+        }
+    }
+
+    /// Does the set contain the whole of `[start, end)`?
+    pub fn contains_range(&self, start: u64, end: u64) -> bool {
+        if start >= end {
+            return true;
+        }
+        match self.map.range(..=start).next_back() {
+            Some((_, &e)) => e >= end,
+            None => false,
+        }
+    }
+
+    /// Does the set contain the point `v`?
+    pub fn contains(&self, v: u64) -> bool {
+        self.contains_range(v, v + 1)
+    }
+
+    /// Iterate ranges in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.map.iter().map(|(&s, &e)| (s, e))
+    }
+
+    /// Number of disjoint ranges.
+    pub fn num_ranges(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Total number of values covered.
+    pub fn covered(&self) -> u64 {
+        self.map.iter().map(|(&s, &e)| e - s).sum()
+    }
+
+    /// First value `>= from` *not* in the set, scanning holes between ranges.
+    pub fn first_missing_from(&self, from: u64) -> u64 {
+        let mut v = from;
+        for (s, e) in self.iter() {
+            if v < s {
+                return v;
+            }
+            if v < e {
+                v = e;
+            }
+        }
+        v
+    }
+
+    /// Highest value covered, if any (exclusive end of the last range).
+    pub fn max_end(&self) -> Option<u64> {
+        self.map.iter().next_back().map(|(_, &e)| e)
+    }
+
+    /// The sub-ranges of `[start, end)` **not** covered by the set — the
+    /// holes a newly arrived byte range actually fills.
+    pub fn holes_within(&self, start: u64, end: u64) -> Vec<(u64, u64)> {
+        let mut holes = Vec::new();
+        if start >= end {
+            return holes;
+        }
+        let mut cursor = start;
+        // A predecessor range may cover the beginning.
+        if let Some((_, &e)) = self.map.range(..=start).next_back() {
+            if e > cursor {
+                cursor = e;
+            }
+        }
+        for (&s, &e) in self.map.range(start..end) {
+            if cursor >= end {
+                break;
+            }
+            if s > cursor {
+                holes.push((cursor, s.min(end)));
+            }
+            cursor = cursor.max(e);
+        }
+        if cursor < end {
+            holes.push((cursor, end));
+        }
+        holes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ranges(rs: &RangeSet) -> Vec<(u64, u64)> {
+        rs.iter().collect()
+    }
+
+    #[test]
+    fn insert_disjoint_keeps_sorted() {
+        let mut r = RangeSet::new();
+        r.insert(10, 20);
+        r.insert(30, 40);
+        r.insert(0, 5);
+        assert_eq!(ranges(&r), vec![(0, 5), (10, 20), (30, 40)]);
+        assert_eq!(r.covered(), 25);
+    }
+
+    #[test]
+    fn insert_merges_overlaps_and_adjacency() {
+        let mut r = RangeSet::new();
+        r.insert(10, 20);
+        r.insert(20, 30); // adjacent
+        assert_eq!(ranges(&r), vec![(10, 30)]);
+        r.insert(5, 15); // overlaps front
+        assert_eq!(ranges(&r), vec![(5, 30)]);
+        r.insert(0, 100); // swallows all
+        assert_eq!(ranges(&r), vec![(0, 100)]);
+        r.insert(40, 50); // fully covered no-op
+        assert_eq!(ranges(&r), vec![(0, 100)]);
+    }
+
+    #[test]
+    fn insert_bridges_multiple_ranges() {
+        let mut r = RangeSet::new();
+        r.insert(0, 10);
+        r.insert(20, 30);
+        r.insert(40, 50);
+        r.insert(5, 45);
+        assert_eq!(ranges(&r), vec![(0, 50)]);
+    }
+
+    #[test]
+    fn contains_and_holes() {
+        let mut r = RangeSet::new();
+        r.insert(10, 20);
+        r.insert(30, 40);
+        assert!(r.contains(10) && r.contains(19) && !r.contains(20));
+        assert!(r.contains_range(12, 18));
+        assert!(!r.contains_range(15, 35));
+        assert_eq!(r.first_missing_from(0), 0);
+        assert_eq!(r.first_missing_from(10), 20);
+        assert_eq!(r.first_missing_from(35), 40);
+        assert_eq!(r.first_missing_from(99), 99);
+    }
+
+    #[test]
+    fn remove_below_trims_and_splits() {
+        let mut r = RangeSet::new();
+        r.insert(10, 20);
+        r.insert(30, 40);
+        r.remove_below(15);
+        assert_eq!(ranges(&r), vec![(15, 20), (30, 40)]);
+        r.remove_below(25);
+        assert_eq!(ranges(&r), vec![(30, 40)]);
+        r.remove_below(100);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn holes_within_reports_gaps() {
+        let mut r = RangeSet::new();
+        r.insert(10, 20);
+        r.insert(30, 40);
+        assert_eq!(r.holes_within(0, 50), vec![(0, 10), (20, 30), (40, 50)]);
+        assert_eq!(r.holes_within(12, 18), vec![]);
+        assert_eq!(r.holes_within(15, 35), vec![(20, 30)]);
+        assert_eq!(r.holes_within(20, 30), vec![(20, 30)]);
+        assert_eq!(RangeSet::new().holes_within(5, 8), vec![(5, 8)]);
+        assert_eq!(r.holes_within(8, 8), vec![]);
+    }
+
+    #[test]
+    fn point_inserts_coalesce() {
+        let mut r = RangeSet::new();
+        for v in [5u64, 7, 6] {
+            r.insert_point(v);
+        }
+        assert_eq!(ranges(&r), vec![(5, 8)]);
+        assert_eq!(r.max_end(), Some(8));
+    }
+}

@@ -1,0 +1,203 @@
+//! Retransmission-timeout estimation (RFC 6298 / RFC 4960 §6.3).
+//!
+//! Both TCP and SCTP use the same SRTT/RTTVAR estimator; they differ in the
+//! parameters: minimum/initial/maximum RTO and — crucially for the era the
+//! paper measures — *timer granularity*. 4.4BSD-lineage TCP kept its
+//! retransmit timer on a coarse tick, which quantizes RTO upward; the KAME
+//! SCTP stack used fine-grained timers. Both effects are modelled here.
+
+use simcore::Dur;
+
+/// Estimator parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RtoCfg {
+    pub initial: Dur,
+    pub min: Dur,
+    pub max: Dur,
+    /// RTO values are rounded up to a multiple of this (0 = exact timers).
+    pub granularity: Dur,
+    /// RTT *samples* are rounded up to a multiple of this before feeding
+    /// the estimator — 4.4BSD-lineage stacks measured RTT in coarse timer
+    /// ticks, which inflates SRTT/RTTVAR (and hence RTO) on a LAN.
+    pub rtt_quantum: Dur,
+}
+
+impl RtoCfg {
+    /// Era BSD TCP: RTO.init 3 s, min 1 s, max 64 s, 500 ms ticks.
+    pub fn bsd_tcp() -> Self {
+        RtoCfg {
+            initial: Dur::from_secs(3),
+            min: Dur::from_secs(1),
+            max: Dur::from_secs(64),
+            granularity: Dur::from_millis(500),
+            rtt_quantum: Dur::from_millis(500),
+        }
+    }
+
+    /// KAME SCTP: RTO.init 3 s, RTO.min 1 s, RTO.max 60 s, fine timers.
+    pub fn kame_sctp() -> Self {
+        RtoCfg {
+            initial: Dur::from_secs(3),
+            min: Dur::from_secs(1),
+            max: Dur::from_secs(60),
+            granularity: Dur::from_millis(10),
+            rtt_quantum: Dur::ZERO,
+        }
+    }
+}
+
+/// SRTT/RTTVAR state plus exponential backoff.
+#[derive(Debug, Clone, Copy)]
+pub struct RtoEstimator {
+    cfg: RtoCfg,
+    srtt: Option<Dur>,
+    rttvar: Dur,
+    rto: Dur,
+    backoff_shift: u32,
+}
+
+impl RtoEstimator {
+    pub fn new(cfg: RtoCfg) -> Self {
+        RtoEstimator { cfg, srtt: None, rttvar: Dur::ZERO, rto: cfg.initial, backoff_shift: 0 }
+    }
+
+    /// Feed a round-trip measurement from a *never-retransmitted* segment
+    /// (Karn's rule: callers must not sample retransmissions). Clears any
+    /// backoff.
+    pub fn sample(&mut self, rtt: Dur) {
+        let rtt = rtt.round_up_to(self.cfg.rtt_quantum);
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = rtt / 2;
+            }
+            Some(srtt) => {
+                // RTTVAR = 3/4 RTTVAR + 1/4 |SRTT - RTT|
+                let err = if srtt > rtt { srtt - rtt } else { rtt - srtt };
+                self.rttvar = self.rttvar * 3 / 4 + err / 4;
+                // SRTT = 7/8 SRTT + 1/8 RTT
+                self.srtt = Some(srtt * 7 / 8 + rtt / 8);
+            }
+        }
+        let srtt = self.srtt.unwrap();
+        // RTO = SRTT + max(G, 4*RTTVAR); we fold G in via rounding below.
+        self.rto = srtt + self.rttvar * 4;
+        self.backoff_shift = 0;
+    }
+
+    /// Double the RTO after a timeout (Karn's backoff), capped at max.
+    pub fn backoff(&mut self) {
+        if self.backoff_shift < 16 {
+            self.backoff_shift += 1;
+        }
+    }
+
+    /// Number of consecutive backoffs applied since the last valid sample.
+    pub fn backoff_shift(&self) -> u32 {
+        self.backoff_shift
+    }
+
+    /// The RTO to arm a retransmission timer with, after clamping, backoff,
+    /// and granularity rounding.
+    pub fn current(&self) -> Dur {
+        let base = self.rto.max(self.cfg.min).min(self.cfg.max);
+        let backed = base.saturating_mul(1u64 << self.backoff_shift.min(16)).min(self.cfg.max);
+        backed.round_up_to(self.cfg.granularity)
+    }
+
+    /// True if no RTT sample has been taken yet.
+    pub fn is_initial(&self) -> bool {
+        self.srtt.is_none()
+    }
+
+    /// Smoothed RTT, if measured (diagnostics).
+    pub fn srtt(&self) -> Option<Dur> {
+        self.srtt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_rto_is_configured() {
+        let e = RtoEstimator::new(RtoCfg::bsd_tcp());
+        assert_eq!(e.current(), Dur::from_secs(3));
+        assert!(e.is_initial());
+    }
+
+    #[test]
+    fn first_sample_sets_srtt() {
+        let mut e = RtoEstimator::new(RtoCfg::kame_sctp());
+        e.sample(Dur::from_millis(100));
+        assert_eq!(e.srtt(), Some(Dur::from_millis(100)));
+        // RTO = 100ms + 4*50ms = 300ms, clamped up to min 1s.
+        assert_eq!(e.current(), Dur::from_secs(1));
+    }
+
+    #[test]
+    fn lan_rtts_clamp_to_min() {
+        let mut e = RtoEstimator::new(RtoCfg::kame_sctp());
+        for _ in 0..50 {
+            e.sample(Dur::from_micros(120));
+        }
+        assert_eq!(e.current(), Dur::from_secs(1), "RTO.min dominates on a LAN");
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let mut e = RtoEstimator::new(RtoCfg::kame_sctp());
+        e.sample(Dur::from_millis(100)); // rto -> 1s after clamping
+        e.backoff();
+        assert_eq!(e.current(), Dur::from_secs(2));
+        e.backoff();
+        assert_eq!(e.current(), Dur::from_secs(4));
+        for _ in 0..10 {
+            e.backoff();
+        }
+        assert_eq!(e.current(), Dur::from_secs(60), "capped at RTO.max");
+        // A fresh sample clears the backoff (Karn).
+        e.sample(Dur::from_millis(100));
+        assert_eq!(e.current(), Dur::from_secs(1));
+    }
+
+    #[test]
+    fn coarse_granularity_rounds_up() {
+        let mut e = RtoEstimator::new(RtoCfg::bsd_tcp());
+        // Make srtt large enough to exceed min: 1.2s + 4*~0.6s ≈ > 1s.
+        e.sample(Dur::from_millis(1100));
+        let rto = e.current();
+        assert_eq!(rto.as_nanos() % Dur::from_millis(500).as_nanos(), 0);
+        assert!(rto >= Dur::from_secs(1));
+    }
+
+    #[test]
+    fn bsd_rtt_quantization_inflates_lan_rto() {
+        // A 200 us LAN RTT rounds up to a full 500 ms tick. Early in the
+        // connection (high RTTVAR) the effective RTO sits at 1.5 s; with a
+        // long run of stable samples the variance decays and it settles on
+        // the 1 s floor like SCTP — the era cost is paid on young and
+        // jittery connections.
+        let mut e = RtoEstimator::new(RtoCfg::bsd_tcp());
+        e.sample(Dur::from_micros(200));
+        assert!(e.current() >= Dur::from_millis(1500), "young: got {}", e.current());
+        for _ in 0..50 {
+            e.sample(Dur::from_micros(200));
+        }
+        assert!(e.current() >= Dur::from_secs(1), "settled: got {}", e.current());
+        // SCTP's fine timers sit at the floor from the first sample.
+        let mut k = RtoEstimator::new(RtoCfg::kame_sctp());
+        k.sample(Dur::from_micros(200));
+        assert_eq!(k.current(), Dur::from_secs(1));
+    }
+
+    #[test]
+    fn variance_grows_rto() {
+        let mut e = RtoEstimator::new(RtoCfg::kame_sctp());
+        e.sample(Dur::from_millis(500));
+        e.sample(Dur::from_millis(1500));
+        e.sample(Dur::from_millis(500));
+        assert!(e.current() > Dur::from_secs(1), "jittery RTTs inflate RTO");
+    }
+}

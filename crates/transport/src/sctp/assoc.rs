@@ -1,0 +1,483 @@
+//! SCTP association, endpoint, and per-path state.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use bytes::Bytes;
+use netsim::IfAddr;
+use simcore::{Dur, ProcId, SimTime};
+
+use crate::ranges::RangeSet;
+use crate::rto::{RtoCfg, RtoEstimator};
+
+use super::wire::DataChunk;
+
+/// Handle to an SCTP endpoint (socket) on a host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EpId {
+    pub host: u16,
+    pub idx: u32,
+}
+
+/// Handle to an association within an endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AssocId {
+    pub host: u16,
+    pub ep: u32,
+    pub idx: u32,
+}
+
+impl AssocId {
+    pub fn endpoint(self) -> EpId {
+        EpId { host: self.host, idx: self.ep }
+    }
+}
+
+/// SCTP configuration.
+#[derive(Debug, Clone)]
+pub struct SctpCfg {
+    /// Path MTU (IP packet size ceiling).
+    pub pmtu: u32,
+    /// Send buffer: pending + outstanding user bytes per association.
+    pub sndbuf: u64,
+    /// Receive buffer per association (a_rwnd base).
+    pub rcvbuf: u64,
+    /// Outbound streams requested per association (the paper's pool of 10).
+    pub out_streams: u16,
+    /// Delayed-SACK timeout (RFC: 200 ms).
+    pub sack_delay: Dur,
+    /// SACK at least every N packets.
+    pub sack_every: u32,
+    /// Missing-report threshold for fast retransmit (RFC 2960 said 4; the
+    /// KAME implementation of the era used 3, like TCP's dup-ACK rule).
+    pub missing_thresh: u32,
+    /// RTO parameters.
+    pub rto: RtoCfg,
+    /// Initial cwnd in PMTUs (RFC 4960 §7.2.1 ≈ min(4·MTU, max(2·MTU, 4380))).
+    pub init_cwnd_mtu: u32,
+    /// Send retransmissions to an alternate active path when available
+    /// (RFC 4960 §6.4.1; the paper §4.1.1 notes this aids throughput).
+    pub rtx_alternate: bool,
+    /// Consecutive timeouts before a path is marked inactive.
+    pub path_max_retrans: u32,
+    /// Consecutive timeouts before the whole association fails.
+    pub assoc_max_retrans: u32,
+    /// INIT / COOKIE-ECHO retransmission limit.
+    pub max_init_retrans: u32,
+    /// Signed-cookie lifetime (staleness check).
+    pub cookie_lifetime: Dur,
+    /// Heartbeat interval for idle/inactive paths (None = off).
+    pub heartbeat_interval: Option<Dur>,
+    /// Close idle associations after this long (None = off). §3.5.2.
+    pub autoclose: Option<Dur>,
+    /// How many interfaces to bind (1 = singlehomed, as in the paper's main
+    /// experiments; 3 = the testbed's full multihoming).
+    pub num_paths: u8,
+    /// Charge CRC32c per-byte CPU cost (paper's setup §4 item 5 disables it).
+    pub crc_enabled: bool,
+    /// Max gap-ack blocks per SACK. SCTP's PMTU-bounded default is
+    /// effectively unlimited; setting 3 mimics TCP's option-space limit
+    /// (ablation A1, §4.1.1).
+    pub max_gap_blocks: usize,
+    /// Byte-counting cwnd growth (RFC 4960). `false` switches to TCP-style
+    /// per-SACK growth (ablation A1).
+    pub byte_counting_cc: bool,
+    /// Max.Burst (RFC 4960 §6.1): packets transmitted per send opportunity;
+    /// restores ACK clocking after idle or bulk submissions. The RFC's
+    /// suggested 4 throttles mid-size messages hard; 12 keeps single-burst
+    /// messages at wire speed while still damping retransmission storms.
+    pub max_burst: u32,
+    /// Concurrent Multipath Transfer (Iyengar et al., referenced in §2.1
+    /// and §5 of the paper as upcoming work): stripe *new* data across all
+    /// active paths instead of using only the primary. Each path keeps its
+    /// own congestion state; the TSN space provides reordering resilience.
+    pub cmt: bool,
+}
+
+impl Default for SctpCfg {
+    fn default() -> Self {
+        SctpCfg {
+            pmtu: 1500,
+            sndbuf: 220 * 1024,
+            rcvbuf: 220 * 1024,
+            out_streams: 10,
+            sack_delay: Dur::from_millis(200),
+            sack_every: 2,
+            missing_thresh: 3,
+            rto: RtoCfg::kame_sctp(),
+            init_cwnd_mtu: 3,
+            rtx_alternate: true,
+            path_max_retrans: 5,
+            assoc_max_retrans: 10,
+            max_init_retrans: 8,
+            cookie_lifetime: Dur::from_secs(60),
+            heartbeat_interval: Some(Dur::from_secs(30)),
+            autoclose: None,
+            num_paths: 1,
+            crc_enabled: false,
+            max_gap_blocks: usize::MAX,
+            byte_counting_cc: true,
+            max_burst: 12,
+            cmt: false,
+        }
+    }
+}
+
+impl SctpCfg {
+    /// User data bytes that fit in one DATA chunk:
+    /// PMTU − IP(20) − common(12) − DATA header(16).
+    pub fn max_chunk_data(&self) -> u32 {
+        self.pmtu - 20 - 12 - 16
+    }
+
+    /// Chunk budget per packet (bytes available for chunks).
+    pub fn packet_budget(&self) -> u32 {
+        self.pmtu - 20 - 12
+    }
+}
+
+/// Association lifecycle states (RFC 4960 §4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssocState {
+    CookieWait,
+    CookieEchoed,
+    Established,
+    ShutdownPending,
+    ShutdownSent,
+    ShutdownReceived,
+    ShutdownAckSent,
+    Closed,
+    /// Failed (ABORT or too many retransmissions).
+    Aborted,
+}
+
+/// A user message fragment queued for (re)transmission.
+#[derive(Debug)]
+pub(crate) struct PendingChunk {
+    pub stream: u16,
+    pub ssn: u32,
+    pub begin: bool,
+    pub end: bool,
+    pub unordered: bool,
+    pub ppid: u32,
+    pub data: Bytes,
+}
+
+/// An outstanding (sent, not cumulatively acked) chunk.
+#[derive(Debug)]
+pub(crate) struct SentChunk {
+    pub stream: u16,
+    pub ssn: u32,
+    pub begin: bool,
+    pub end: bool,
+    pub unordered: bool,
+    pub ppid: u32,
+    pub data: Bytes,
+    pub path: u8,
+    pub sent_at: SimTime,
+    pub txcount: u32,
+    /// Missing reports accumulated (fast-retransmit strikes).
+    pub missing: u32,
+    /// Gap-acked by the peer (will not be retransmitted).
+    pub acked: bool,
+    /// Queued for retransmission.
+    pub marked_rtx: bool,
+}
+
+/// Per-destination-path state: SCTP keeps congestion control, RTO, and
+/// error counts per path (§4.1.1 of the paper).
+#[derive(Debug)]
+pub struct PathState {
+    pub iface: u8,
+    pub cwnd: u64,
+    pub ssthresh: u64,
+    pub partial_bytes_acked: u64,
+    pub flight: u64,
+    pub rto: RtoEstimator,
+    pub error_count: u32,
+    pub active: bool,
+    pub hb_nonce: Option<u64>,
+    pub hb_gen: u64,
+    pub last_used: SimTime,
+}
+
+impl PathState {
+    pub(crate) fn new(iface: u8, cfg: &SctpCfg) -> Self {
+        PathState {
+            iface,
+            cwnd: cfg.init_cwnd_mtu as u64 * cfg.pmtu as u64,
+            ssthresh: u64::MAX / 2,
+            partial_bytes_acked: 0,
+            flight: 0,
+            rto: RtoEstimator::new(cfg.rto),
+            error_count: 0,
+            active: true,
+            hb_nonce: None,
+            hb_gen: 0,
+            last_used: SimTime::ZERO,
+        }
+    }
+}
+
+/// Inbound stream state: SSN ordering plus fragment reassembly.
+#[derive(Debug, Default)]
+pub(crate) struct InStream {
+    pub next_ssn: u32,
+    /// Fragments awaiting reassembly, keyed by TSN (fragments of one
+    /// message occupy consecutive TSNs).
+    pub frags: BTreeMap<u64, DataChunk>,
+    /// Complete messages waiting for their SSN turn.
+    pub ready: BTreeMap<u32, (u32, Vec<Bytes>, u32)>, // ssn -> (ppid, data, len)
+}
+
+/// A message delivered to the application by `sctp_recvmsg`.
+#[derive(Debug)]
+pub struct RecvMsg {
+    pub assoc: AssocId,
+    pub stream: u16,
+    pub ssn: u32,
+    pub ppid: u32,
+    pub data: Vec<Bytes>,
+    pub len: u32,
+}
+
+/// Association counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AssocStats {
+    pub packets_out: u64,
+    pub packets_in: u64,
+    pub data_chunks_out: u64,
+    pub data_chunks_in: u64,
+    pub bytes_out: u64,
+    pub bytes_in: u64,
+    pub retransmits: u64,
+    pub fast_retransmits: u64,
+    pub timeouts: u64,
+    pub dup_tsns_in: u64,
+    pub sacks_out: u64,
+    pub sacks_in: u64,
+    pub msgs_delivered: u64,
+    pub failovers: u64,
+}
+
+pub(crate) struct Assoc {
+    pub state: AssocState,
+    pub local_port: u16,
+    pub peer_port: u16,
+    pub peer_host: u16,
+    pub local_tag: u64,
+    pub peer_tag: u64,
+    pub paths: Vec<PathState>,
+    pub primary: u8,
+
+    // ---- transmit ----
+    pub next_tsn: u64,
+    pub out_ssn: Vec<u32>,
+    pub pending: VecDeque<PendingChunk>,
+    pub pending_bytes: u64,
+    pub sent: BTreeMap<u64, SentChunk>,
+    pub outstanding_bytes: u64,
+    pub peer_rwnd: u64,
+    /// Consecutive unanswered timeouts/heartbeats across the whole
+    /// association; reset by any acknowledged progress (RFC 4960 §8.1).
+    pub assoc_errors: u32,
+    pub t3_gen: u64,
+    pub t3_armed: bool,
+    pub in_fast_recovery: bool,
+    pub fast_recovery_exit: u64,
+    /// RTT probe (tsn, never retransmitted) per Karn.
+    pub rtt_probe: Option<u64>,
+
+    // ---- receive ----
+    pub cum_tsn: u64,
+    pub rcv_have: RangeSet,
+    pub in_streams: Vec<InStream>,
+    pub rcvbuf_used: u64,
+    pub sack_pending_pkts: u32,
+    pub sack_immediate: bool,
+    pub dup_since_sack: u32,
+    pub sack_gen: u64,
+    pub sack_armed: bool,
+    pub last_advertised_rwnd: u64,
+
+    // ---- handshake / lifecycle ----
+    pub init_retries: u32,
+    pub init_gen: u64,
+    /// When the (unretransmitted) INIT / COOKIE-ECHO went out.
+    pub hs_sent_at: Option<SimTime>,
+    pub cookie: Option<super::wire::Cookie>,
+    pub shutdown_gen: u64,
+    pub autoclose_gen: u64,
+    pub last_traffic: SimTime,
+
+    pub stats: AssocStats,
+}
+
+impl Assoc {
+    pub(crate) fn new(
+        cfg: &SctpCfg,
+        local_port: u16,
+        peer_host: u16,
+        peer_port: u16,
+        local_tag: u64,
+        state: AssocState,
+        init_tsn: u64,
+    ) -> Self {
+        let paths = (0..cfg.num_paths).map(|i| PathState::new(i, cfg)).collect();
+        Assoc {
+            state,
+            local_port,
+            peer_port,
+            peer_host,
+            local_tag,
+            peer_tag: 0,
+            paths,
+            primary: 0,
+            next_tsn: init_tsn,
+            out_ssn: vec![0; cfg.out_streams as usize],
+            pending: VecDeque::new(),
+            pending_bytes: 0,
+            sent: BTreeMap::new(),
+            outstanding_bytes: 0,
+            peer_rwnd: cfg.rcvbuf,
+            assoc_errors: 0,
+            t3_gen: 0,
+            t3_armed: false,
+            in_fast_recovery: false,
+            fast_recovery_exit: 0,
+            rtt_probe: None,
+            cum_tsn: 0, // set when peer's init_tsn learned
+            rcv_have: RangeSet::new(),
+            in_streams: Vec::new(),
+            rcvbuf_used: 0,
+            sack_pending_pkts: 0,
+            sack_immediate: false,
+            dup_since_sack: 0,
+            sack_gen: 0,
+            sack_armed: false,
+            last_advertised_rwnd: cfg.rcvbuf,
+            init_retries: 0,
+            init_gen: 0,
+            hs_sent_at: None,
+            cookie: None,
+            shutdown_gen: 0,
+            autoclose_gen: 0,
+            last_traffic: SimTime::ZERO,
+            stats: AssocStats::default(),
+        }
+    }
+
+    /// Local address of path `p`.
+    pub(crate) fn local_addr(&self, host: u16, p: u8) -> IfAddr {
+        IfAddr::new(host, self.paths[p as usize].iface)
+    }
+
+    /// Peer address of path `p` (same-index interface; the networks are
+    /// independent).
+    pub(crate) fn peer_addr(&self, p: u8) -> IfAddr {
+        IfAddr::new(self.peer_host, self.paths[p as usize].iface)
+    }
+
+    /// Receive window to advertise.
+    pub(crate) fn a_rwnd(&self, rcvbuf: u64) -> u64 {
+        rcvbuf.saturating_sub(self.rcvbuf_used)
+    }
+
+    /// Free send-buffer space.
+    pub(crate) fn snd_space(&self, sndbuf: u64) -> u64 {
+        sndbuf.saturating_sub(self.pending_bytes + self.outstanding_bytes)
+    }
+
+    /// Pick the retransmission path: an active alternate if allowed and
+    /// available, else the primary.
+    pub(crate) fn rtx_path(&self, rtx_alternate: bool) -> u8 {
+        if rtx_alternate && self.paths.len() > 1 {
+            if let Some((i, _)) = self
+                .paths
+                .iter()
+                .enumerate()
+                .find(|(i, p)| *i as u8 != self.primary && p.active)
+            {
+                return i as u8;
+            }
+        }
+        self.primary
+    }
+
+    /// Ensure the inbound stream table covers `sid`.
+    pub(crate) fn in_stream_mut(&mut self, sid: u16) -> &mut InStream {
+        let need = sid as usize + 1;
+        if self.in_streams.len() < need {
+            self.in_streams.resize_with(need, InStream::default);
+        }
+        &mut self.in_streams[sid as usize]
+    }
+}
+
+pub(crate) struct Endpoint {
+    pub port: u16,
+    #[allow(dead_code)] // kept for API parity with the socket styles (§2.1)
+    pub one_to_many: bool,
+    pub listening: bool,
+    pub assocs: Vec<Assoc>,
+    /// (peer_host, peer_port) → assoc index.
+    pub by_peer: HashMap<(u16, u16), u32>,
+    /// Endpoint-level delivery queue: messages in arrival order across all
+    /// associations (the one-to-many receive model, §3.1 of the paper).
+    pub deliver_q: VecDeque<RecvMsg>,
+    pub readers: Vec<ProcId>,
+    pub writers: Vec<ProcId>,
+    pub bad_vtag_drops: u64,
+    pub stale_cookie_drops: u64,
+    pub bad_mac_drops: u64,
+}
+
+/// All SCTP state on one host.
+pub struct SctpHost {
+    pub cfg: SctpCfg,
+    pub(crate) eps: Vec<Endpoint>,
+    pub(crate) by_port: HashMap<u16, u32>,
+    /// Cookie-MAC secret (lazily drawn from the simulation RNG).
+    pub(crate) secret: Option<u64>,
+}
+
+impl SctpHost {
+    pub fn new(cfg: SctpCfg) -> Self {
+        SctpHost { cfg, eps: Vec::new(), by_port: HashMap::new(), secret: None }
+    }
+
+    /// Aggregate stats across every association on this host.
+    pub fn total_stats(&self) -> AssocStats {
+        let mut t = AssocStats::default();
+        for ep in &self.eps {
+            for a in &ep.assocs {
+                let s = a.stats;
+                t.packets_out += s.packets_out;
+                t.packets_in += s.packets_in;
+                t.data_chunks_out += s.data_chunks_out;
+                t.data_chunks_in += s.data_chunks_in;
+                t.bytes_out += s.bytes_out;
+                t.bytes_in += s.bytes_in;
+                t.retransmits += s.retransmits;
+                t.fast_retransmits += s.fast_retransmits;
+                t.timeouts += s.timeouts;
+                t.dup_tsns_in += s.dup_tsns_in;
+                t.sacks_out += s.sacks_out;
+                t.sacks_in += s.sacks_in;
+                t.msgs_delivered += s.msgs_delivered;
+                t.failovers += s.failovers;
+            }
+        }
+        t
+    }
+
+    /// Total verification-tag / cookie drops (security counters).
+    pub fn security_drops(&self) -> (u64, u64, u64) {
+        let mut v = (0, 0, 0);
+        for ep in &self.eps {
+            v.0 += ep.bad_vtag_drops;
+            v.1 += ep.bad_mac_drops;
+            v.2 += ep.stale_cookie_drops;
+        }
+        v
+    }
+}

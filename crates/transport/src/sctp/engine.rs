@@ -1,0 +1,1669 @@
+//! The SCTP protocol engine: handshake, data transfer, SACK processing,
+//! congestion control, retransmission, multihoming, and shutdown.
+
+use bytes::Bytes;
+use netsim::IfAddr;
+use rand::Rng;
+use simcore::{Dur, ProcId};
+
+use crate::ip::{self, Packet, Proto};
+use crate::{World, Wx};
+
+use super::assoc::{
+    Assoc, AssocId, AssocState, AssocStats, Endpoint, EpId, InStream, PendingChunk, RecvMsg,
+    SctpCfg, SentChunk,
+};
+use super::wire::{Chunk, Cookie, DataChunk, SctpPacket};
+
+// ---------------------------------------------------------------------------
+// Accessors
+// ---------------------------------------------------------------------------
+
+fn cfg_of(w: &World, host: u16) -> SctpCfg {
+    w.hosts[host as usize].sctp.cfg.clone()
+}
+
+fn ep_mut(w: &mut World, e: EpId) -> &mut Endpoint {
+    &mut w.hosts[e.host as usize].sctp.eps[e.idx as usize]
+}
+
+fn ep_ref(w: &World, e: EpId) -> &Endpoint {
+    &w.hosts[e.host as usize].sctp.eps[e.idx as usize]
+}
+
+fn assoc_mut(w: &mut World, a: AssocId) -> &mut Assoc {
+    &mut w.hosts[a.host as usize].sctp.eps[a.ep as usize].assocs[a.idx as usize]
+}
+
+fn assoc_ref(w: &World, a: AssocId) -> &Assoc {
+    &w.hosts[a.host as usize].sctp.eps[a.ep as usize].assocs[a.idx as usize]
+}
+
+fn host_secret(w: &mut World, ctx: &mut Wx, host: u16) -> u64 {
+    let sh = &mut w.hosts[host as usize].sctp;
+    *sh.secret.get_or_insert_with(|| ctx.rng.gen())
+}
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+/// Errors from [`sendmsg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendErr {
+    /// Send buffer full — retry after a writable wake (EAGAIN).
+    WouldBlock,
+    /// Message exceeds the send buffer; split it (the `sctp_sendmsg` limit
+    /// the paper works around in §3.4/§3.6).
+    MsgTooBig,
+    /// Association not in a sendable state.
+    NotConnected,
+    /// Stream id out of range.
+    BadStream,
+}
+
+/// Create an SCTP socket bound to `port`.
+pub fn socket(w: &mut World, host: u16, port: u16, one_to_many: bool) -> EpId {
+    let sh = &mut w.hosts[host as usize].sctp;
+    assert!(!sh.by_port.contains_key(&port), "port {port} in use on host {host}");
+    let idx = sh.eps.len() as u32;
+    sh.eps.push(Endpoint {
+        port,
+        one_to_many,
+        listening: false,
+        assocs: Vec::new(),
+        by_peer: std::collections::HashMap::new(),
+        deliver_q: std::collections::VecDeque::new(),
+        readers: Vec::new(),
+        writers: Vec::new(),
+        bad_vtag_drops: 0,
+        stale_cookie_drops: 0,
+        bad_mac_drops: 0,
+    });
+    sh.by_port.insert(port, idx);
+    EpId { host, idx }
+}
+
+/// Accept inbound associations on this endpoint.
+pub fn listen(w: &mut World, e: EpId) {
+    ep_mut(w, e).listening = true;
+}
+
+/// Start the four-way handshake toward `(dst_host, dst_port)`.
+pub fn connect(w: &mut World, ctx: &mut Wx, e: EpId, dst_host: u16, dst_port: u16) -> AssocId {
+    let cfg = cfg_of(w, e.host);
+    let local_tag: u64 = ctx.rng.gen_range(1..u64::MAX);
+    let port = ep_ref(w, e).port;
+    let mut assoc = Assoc::new(&cfg, port, dst_host, dst_port, local_tag, AssocState::CookieWait, 1);
+    assoc.last_traffic = ctx.now();
+    let ep = ep_mut(w, e);
+    let idx = ep.assocs.len() as u32;
+    ep.assocs.push(assoc);
+    ep.by_peer.insert((dst_host, dst_port), idx);
+    let a = AssocId { host: e.host, ep: e.idx, idx };
+    send_init(w, ctx, a);
+    a
+}
+
+/// Find the association for a given peer, if any (one-to-many sockets learn
+/// of inbound associations this way).
+pub fn lookup_peer(w: &World, e: EpId, peer_host: u16, peer_port: u16) -> Option<AssocId> {
+    let ep = ep_ref(w, e);
+    ep.by_peer.get(&(peer_host, peer_port)).map(|&idx| AssocId { host: e.host, ep: e.idx, idx })
+}
+
+/// Current association state.
+pub fn assoc_state(w: &World, a: AssocId) -> AssocState {
+    assoc_ref(w, a).state
+}
+
+/// Current primary path index.
+pub fn primary_path(w: &World, a: AssocId) -> u8 {
+    assoc_ref(w, a).primary
+}
+
+/// The peer's addresses, primary first.
+pub fn peer_addrs(w: &World, a: AssocId) -> Vec<IfAddr> {
+    let ak = assoc_ref(w, a);
+    let mut v: Vec<IfAddr> = ak.paths.iter().map(|p| IfAddr::new(ak.peer_host, p.iface)).collect();
+    v.swap(0, ak.primary as usize);
+    v
+}
+
+/// Association counters.
+pub fn stats(w: &World, a: AssocId) -> AssocStats {
+    assoc_ref(w, a).stats
+}
+
+/// Would a `len`-byte message be accepted right now?
+pub fn can_send(w: &World, a: AssocId, len: u32) -> bool {
+    let cfg = &w.hosts[a.host as usize].sctp.cfg;
+    let ak = assoc_ref(w, a);
+    sendable_state(ak.state) && ak.snd_space(cfg.sndbuf) >= len as u64
+}
+
+fn sendable_state(s: AssocState) -> bool {
+    matches!(s, AssocState::CookieWait | AssocState::CookieEchoed | AssocState::Established)
+}
+
+/// Queue one user message on `stream`. All-or-nothing, like `sctp_sendmsg`.
+pub fn sendmsg(
+    w: &mut World,
+    ctx: &mut Wx,
+    a: AssocId,
+    stream: u16,
+    ppid: u32,
+    data: Bytes,
+) -> Result<(), SendErr> {
+    sendmsg_v(w, ctx, a, stream, ppid, vec![data])
+}
+
+/// Like [`sendmsg`] but the message body is a list of chunks (zero-copy for
+/// callers that frame an envelope in front of a payload). Fragment
+/// boundaries respect both the PMTU chunk limit and the input chunk
+/// boundaries.
+pub fn sendmsg_v(
+    w: &mut World,
+    ctx: &mut Wx,
+    a: AssocId,
+    stream: u16,
+    ppid: u32,
+    data: Vec<Bytes>,
+) -> Result<(), SendErr> {
+    let cfg = cfg_of(w, a.host);
+    {
+        let ak = assoc_mut(w, a);
+        if !sendable_state(ak.state) {
+            return Err(SendErr::NotConnected);
+        }
+        if stream >= cfg.out_streams {
+            return Err(SendErr::BadStream);
+        }
+        let len: u64 = data.iter().map(|c| c.len() as u64).sum();
+        if len > cfg.sndbuf {
+            return Err(SendErr::MsgTooBig);
+        }
+        if ak.snd_space(cfg.sndbuf) < len {
+            return Err(SendErr::WouldBlock);
+        }
+        // Fragment into DATA chunks, all on `stream` with one SSN.
+        let ssn = ak.out_ssn[stream as usize];
+        ak.out_ssn[stream as usize] += 1;
+        let max = cfg.max_chunk_data() as usize;
+        if len == 0 {
+            ak.pending.push_back(PendingChunk {
+                stream,
+                ssn,
+                begin: true,
+                end: true,
+                unordered: false,
+                ppid,
+                data: Bytes::new(),
+            });
+        } else {
+            let mut remaining = len;
+            for chunk in data {
+                let total = chunk.len();
+                let mut off = 0;
+                while off < total {
+                    let take = max.min(total - off);
+                    let begin = remaining == len;
+                    remaining -= take as u64;
+                    ak.pending.push_back(PendingChunk {
+                        stream,
+                        ssn,
+                        begin,
+                        end: remaining == 0,
+                        unordered: false,
+                        ppid,
+                        data: chunk.slice(off..off + take),
+                    });
+                    off += take;
+                }
+            }
+        }
+        ak.pending_bytes += len;
+        ak.last_traffic = ctx.now();
+    }
+    try_send(w, ctx, a);
+    Ok(())
+}
+
+/// Receive the next complete message delivered on this endpoint, in arrival
+/// order across all associations and streams (§3.1 of the paper). `None` =
+/// would block.
+pub fn recvmsg(w: &mut World, ctx: &mut Wx, e: EpId) -> Option<RecvMsg> {
+    let cfg = cfg_of(w, e.host);
+    let msg = ep_mut(w, e).deliver_q.pop_front()?;
+    let a = msg.assoc;
+    let send_update = {
+        let ak = assoc_mut(w, a);
+        let before = ak.a_rwnd(cfg.rcvbuf);
+        ak.rcvbuf_used = ak.rcvbuf_used.saturating_sub(msg.len as u64);
+        ak.last_traffic = ctx.now();
+        // Window-update SACK if we were pinching the sender.
+        before < cfg.pmtu as u64 && ak.a_rwnd(cfg.rcvbuf) >= cfg.pmtu as u64
+    };
+    if send_update && assoc_ref(w, a).state == AssocState::Established {
+        send_sack_now(w, ctx, a);
+    }
+    Some(msg)
+}
+
+/// Is a message ready on this endpoint?
+pub fn readable(w: &World, e: EpId) -> bool {
+    !ep_ref(w, e).deliver_q.is_empty()
+}
+
+/// Register `p` to be woken when a message arrives on this endpoint.
+pub fn register_reader(w: &mut World, e: EpId, p: ProcId) {
+    let ep = ep_mut(w, e);
+    if !ep.readers.contains(&p) {
+        ep.readers.push(p);
+    }
+}
+
+/// Register `p` to be woken when send space frees or association state
+/// changes on this endpoint.
+pub fn register_writer(w: &mut World, e: EpId, p: ProcId) {
+    let ep = ep_mut(w, e);
+    if !ep.writers.contains(&p) {
+        ep.writers.push(p);
+    }
+}
+
+/// Graceful shutdown (no half-closed state: both directions end, §3.5.2).
+pub fn shutdown(w: &mut World, ctx: &mut Wx, a: AssocId) {
+    let state = assoc_ref(w, a).state;
+    if state != AssocState::Established {
+        return;
+    }
+    assoc_mut(w, a).state = AssocState::ShutdownPending;
+    maybe_progress_shutdown(w, ctx, a);
+}
+
+/// Dump every association's state to stderr (debug watchdog).
+pub fn dump_all(w: &World) {
+    for (h, host) in w.hosts.iter().enumerate() {
+        for (e, ep) in host.sctp.eps.iter().enumerate() {
+            for (i, ak) in ep.assocs.iter().enumerate() {
+                let frag_bytes: u64 = ak
+                    .in_streams
+                    .iter()
+                    .map(|st| {
+                        st.frags.values().map(|c| c.data.len() as u64).sum::<u64>()
+                            + st.ready.values().map(|(_, _, l)| *l as u64).sum::<u64>()
+                    })
+                    .sum();
+                let ready: usize = ak.in_streams.iter().map(|st| st.ready.len()).sum();
+                let frags: usize = ak.in_streams.iter().map(|st| st.frags.len()).sum();
+                eprintln!(
+                    "h{h} ep{e} a{i} -> peer{} state={:?} out={} pend={}({}B) rwnd={} rcvused={} dq={} frags={frags} ready={ready} gated={frag_bytes}B t3={} cum={} have={:?}",
+                    ak.peer_host,
+                    ak.state,
+                    ak.outstanding_bytes,
+                    ak.pending.len(),
+                    ak.pending_bytes,
+                    ak.peer_rwnd,
+                    ak.rcvbuf_used,
+                    ep.deliver_q.len(),
+                    ak.t3_armed,
+                    ak.cum_tsn,
+                    ak.rcv_have.iter().take(4).collect::<Vec<_>>(),
+                );
+            }
+        }
+    }
+}
+
+/// Manually set the primary path (sockopt equivalent).
+pub fn set_primary(w: &mut World, a: AssocId, path: u8) {
+    let ak = assoc_mut(w, a);
+    assert!((path as usize) < ak.paths.len());
+    ak.primary = path;
+}
+
+// ---------------------------------------------------------------------------
+// Packet construction / transmission
+// ---------------------------------------------------------------------------
+
+fn send_packet(w: &mut World, ctx: &mut Wx, a: AssocId, path: u8, vtag: u64, chunks: Vec<Chunk>) {
+    let cfg = cfg_of(w, a.host);
+    let ak = assoc_mut(w, a);
+    ak.stats.packets_out += 1;
+    let src = ak.local_addr(a.host, path);
+    let dst = ak.peer_addr(path);
+    let (sp, dp) = (ak.local_port, ak.peer_port);
+    ak.paths[path as usize].last_used = ctx.now();
+    let pkt = Packet { src, dst, body: Proto::Sctp(SctpPacket { src_port: sp, dst_port: dp, vtag, chunks }) };
+    if cfg.crc_enabled {
+        // Model the CRC32c CPU cost (§3.6): sender computes, receiver
+        // verifies — charge both as added latency proportional to size.
+        let bytes = match &pkt.body {
+            Proto::Sctp(p) => p.wire_len() as u64,
+            _ => unreachable!(),
+        };
+        let delay = Dur::from_nanos(2 * bytes); // ~1 ns/B each side
+        ctx.schedule_in(delay, move |w: &mut World, ctx: &mut Wx| ip::send(w, ctx, pkt));
+    } else {
+        ip::send(w, ctx, pkt);
+    }
+}
+
+/// Build a SACK chunk from receiver state.
+fn make_sack(ak: &mut Assoc, rcvbuf: u64, max_gaps: usize) -> Chunk {
+    let gaps: Vec<(u64, u64)> = ak.rcv_have.iter().take(max_gaps).collect();
+    ak.sack_pending_pkts = 0;
+    ak.sack_immediate = false;
+    let dups = ak.dup_since_sack;
+    ak.dup_since_sack = 0;
+    ak.sack_gen += 1; // cancels pending sack timer
+    ak.sack_armed = false;
+    ak.last_advertised_rwnd = ak.a_rwnd(rcvbuf);
+    ak.stats.sacks_out += 1;
+    Chunk::Sack { cum_tsn: ak.cum_tsn, a_rwnd: ak.last_advertised_rwnd, gaps, dup_count: dups }
+}
+
+fn send_sack_now(w: &mut World, ctx: &mut Wx, a: AssocId) {
+    let cfg = cfg_of(w, a.host);
+    let (sack, path, vtag) = {
+        let ak = assoc_mut(w, a);
+        let path = ak.last_data_path();
+        (make_sack(ak, cfg.rcvbuf, cfg.max_gap_blocks), path, ak.peer_tag)
+    };
+    send_packet(w, ctx, a, path, vtag, vec![sack]);
+}
+
+impl Assoc {
+    /// The path to send SACKs on: where the peer's data last arrived, else
+    /// the primary.
+    fn last_data_path(&self) -> u8 {
+        self.primary
+    }
+}
+
+/// Transmit retransmissions first, then new data, bundling to PMTU,
+/// respecting per-path cwnd and the peer's rwnd. Implements the
+/// "full PMTU at one byte of cwnd space" rule (§4.1.1).
+fn try_send(w: &mut World, ctx: &mut Wx, a: AssocId) {
+    let cfg = cfg_of(w, a.host);
+    let mut burst = 0u32;
+    loop {
+        // Max.Burst (RFC 4960 §6.1): at most this many packets per send
+        // opportunity; the next SACK re-opens the gate (ACK clocking).
+        if burst >= cfg.max_burst {
+            return;
+        }
+        let mut packet: Vec<Chunk> = Vec::new();
+        let path;
+        let vtag;
+        {
+            let ak = assoc_mut(w, a);
+            if !matches!(
+                ak.state,
+                AssocState::Established | AssocState::ShutdownPending | AssocState::ShutdownReceived
+            ) {
+                return;
+            }
+            vtag = ak.peer_tag;
+            let mut budget = cfg.packet_budget();
+
+            // Piggyback a pending SACK on outbound data.
+            let want_sack = ak.sack_immediate || ak.sack_pending_pkts > 0;
+
+            // Phase 1: marked retransmissions (cwnd-limited on the rtx path).
+            let rtx_path = ak.rtx_path(cfg.rtx_alternate);
+            let has_marked = ak.sent.values().any(|c| c.marked_rtx && !c.acked);
+            if has_marked && ak.paths[rtx_path as usize].flight < ak.paths[rtx_path as usize].cwnd {
+                path = rtx_path;
+                if want_sack {
+                    budget -= make_sack_placeholder_len(ak);
+                    let sack = make_sack(ak, cfg.rcvbuf, cfg.max_gap_blocks);
+                    packet.push(sack);
+                }
+                let now = ctx.now();
+                let tsns: Vec<u64> = ak
+                    .sent
+                    .iter()
+                    .filter(|(_, c)| c.marked_rtx && !c.acked)
+                    .map(|(&t, _)| t)
+                    .collect();
+                for tsn in tsns {
+                    let c = ak.sent.get_mut(&tsn).unwrap();
+                    let clen = Chunk::Data(DataChunk {
+                        tsn,
+                        stream: c.stream,
+                        ssn: c.ssn,
+                        begin: c.begin,
+                        end: c.end,
+                        unordered: c.unordered,
+                        ppid: c.ppid,
+                        data: c.data.clone(),
+                    })
+                    .wire_len();
+                    if clen > budget {
+                        break;
+                    }
+                    budget -= clen;
+                    c.marked_rtx = false;
+                    c.missing = 0;
+                    c.txcount += 1;
+                    c.sent_at = now;
+                    // The chunk left the flight when it was marked; it
+                    // re-enters on the retransmission path.
+                    let len = c.data.len() as u64;
+                    c.path = path;
+                    ak.stats.retransmits += 1;
+                    let data = ak.sent.get(&tsn).unwrap();
+                    packet.push(Chunk::Data(DataChunk {
+                        tsn,
+                        stream: data.stream,
+                        ssn: data.ssn,
+                        begin: data.begin,
+                        end: data.end,
+                        unordered: data.unordered,
+                        ppid: data.ppid,
+                        data: data.data.clone(),
+                    }));
+                    ak.paths[path as usize].flight += len;
+                    ak.rtt_probe = None; // Karn
+                }
+            } else if !ak.pending.is_empty() {
+                // Phase 2: new data. Normally on the primary path; with CMT
+                // enabled, pick the active path with the most free cwnd,
+                // striping the association's data across all networks.
+                path = if cfg.cmt {
+                    ak.paths
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, ps)| ps.active)
+                        .max_by_key(|(_, ps)| ps.cwnd.saturating_sub(ps.flight))
+                        .map(|(i, _)| i as u8)
+                        .unwrap_or(ak.primary)
+                } else {
+                    ak.primary
+                };
+                let p = &ak.paths[path as usize];
+                let cwnd_ok = p.flight < p.cwnd; // the 1-byte rule
+                // RFC 4960 §6.1.A: regardless of rwnd, one DATA chunk may
+                // always be in flight — the probe that recovers from a
+                // window-update SACK lost in transit.
+                let probe_ok = ak.outstanding_bytes == 0;
+                let rwnd_ok = ak.peer_rwnd >= ak.pending.front().map(|c| c.data.len() as u64).unwrap_or(0);
+                if std::env::var("SCTP_TS_TRACE").is_ok() && a.host == 0 && a.idx == 2 {
+                    eprintln!(
+                        "[{}] try_send h0a2 pend={} out={} flight={} cwnd={} rwnd={} burst={} -> send={}",
+                        ctx.now(), ak.pending.len(), ak.outstanding_bytes,
+                        p.flight, p.cwnd, ak.peer_rwnd, burst,
+                        cwnd_ok && (rwnd_ok || probe_ok)
+                    );
+                }
+                if !cwnd_ok || !(rwnd_ok || probe_ok) {
+                    return;
+                }
+                if want_sack {
+                    budget -= make_sack_placeholder_len(ak);
+                    let sack = make_sack(ak, cfg.rcvbuf, cfg.max_gap_blocks);
+                    packet.push(sack);
+                }
+                let now = ctx.now();
+                let mut sent_any_probe = false;
+                while let Some(front) = ak.pending.front() {
+                    let len = front.data.len() as u64;
+                    let clen = 16 + ((front.data.len() as u32).div_ceil(4)) * 4;
+                    if clen > budget {
+                        break;
+                    }
+                    if ak.peer_rwnd < len && (ak.outstanding_bytes != 0 || sent_any_probe) {
+                        break;
+                    }
+                    let pc = ak.pending.pop_front().unwrap();
+                    let tsn = ak.next_tsn;
+                    ak.next_tsn += 1;
+                    budget -= clen;
+                    ak.pending_bytes -= len;
+                    ak.outstanding_bytes += len;
+                    ak.peer_rwnd = ak.peer_rwnd.saturating_sub(len);
+                    ak.paths[path as usize].flight += len;
+                    if ak.peer_rwnd == 0 {
+                        sent_any_probe = true;
+                    }
+                    if ak.rtt_probe.is_none() {
+                        ak.rtt_probe = Some(tsn);
+                    }
+                    ak.stats.data_chunks_out += 1;
+                    ak.stats.bytes_out += len;
+                    packet.push(Chunk::Data(DataChunk {
+                        tsn,
+                        stream: pc.stream,
+                        ssn: pc.ssn,
+                        begin: pc.begin,
+                        end: pc.end,
+                        unordered: pc.unordered,
+                        ppid: pc.ppid,
+                        data: pc.data.clone(),
+                    }));
+                    ak.sent.insert(
+                        tsn,
+                        SentChunk {
+                            stream: pc.stream,
+                            ssn: pc.ssn,
+                            begin: pc.begin,
+                            end: pc.end,
+                            unordered: pc.unordered,
+                            ppid: pc.ppid,
+                            data: pc.data,
+                            path,
+                            sent_at: now,
+                            txcount: 1,
+                            missing: 0,
+                            acked: false,
+                            marked_rtx: false,
+                        },
+                    );
+                    // Stop bundling if cwnd exhausted (1-byte rule applies
+                    // per packet, not per chunk beyond the first).
+                    if ak.paths[path as usize].flight >= ak.paths[path as usize].cwnd {
+                        break;
+                    }
+                }
+            } else {
+                return;
+            }
+            if packet.iter().all(|c| !matches!(c, Chunk::Data(_))) {
+                // Nothing fit; don't emit a data-less packet from here.
+                if !packet.is_empty() {
+                    // We consumed the SACK state; send it standalone.
+                } else {
+                    return;
+                }
+            }
+        }
+        let has_data = packet.iter().any(|c| matches!(c, Chunk::Data(_)));
+        if packet.is_empty() {
+            return;
+        }
+        send_packet(w, ctx, a, path, vtag, packet);
+        burst += 1;
+        if has_data && !assoc_ref(w, a).t3_armed {
+            arm_t3(w, ctx, a);
+        }
+        // A SACK-only packet can happen when the pending SACK's budget
+        // reservation leaves no room for a full-size DATA chunk: flush the
+        // SACK and loop — the next packet carries the data. Returning here
+        // would strand the pending queue with nothing left to re-trigger
+        // this function.
+        if !has_data {
+            continue;
+        }
+    }
+}
+
+fn make_sack_placeholder_len(ak: &Assoc) -> u32 {
+    16 + 4 * ak.rcv_have.num_ranges() as u32
+}
+
+// ---------------------------------------------------------------------------
+// Timers
+// ---------------------------------------------------------------------------
+
+fn earliest_outstanding_path(ak: &Assoc) -> u8 {
+    ak.sent
+        .values()
+        .find(|c| !c.acked)
+        .map(|c| c.path)
+        .unwrap_or(ak.primary)
+}
+
+fn arm_t3(w: &mut World, ctx: &mut Wx, a: AssocId) {
+    let ak = assoc_mut(w, a);
+    ak.t3_gen += 1;
+    ak.t3_armed = true;
+    let gen = ak.t3_gen;
+    let path = earliest_outstanding_path(ak);
+    let d = ak.paths[path as usize].rto.current();
+    ctx.schedule_in(d, move |w: &mut World, ctx: &mut Wx| on_t3(w, ctx, a, gen));
+}
+
+fn on_t3(w: &mut World, ctx: &mut Wx, a: AssocId, gen: u64) {
+    let cfg = cfg_of(w, a.host);
+    let mut failed = false;
+    {
+        let ak = assoc_mut(w, a);
+        if ak.t3_gen != gen || !ak.t3_armed {
+            return;
+        }
+        if ak.outstanding_bytes == 0 {
+            ak.t3_armed = false;
+            return;
+        }
+        if std::env::var("SCTP_TRACE").is_ok() {
+            let first = ak.sent.iter().find(|(_, c)| !c.acked).map(|(&t, c)| (t, c.data.len()));
+            eprintln!("[{}] T3 h{} assoc({},{}) errors={} outstanding={} pending={} first_unacked={:?} rwnd={}",
+                ctx.now(), a.host, a.ep, a.idx, ak.assoc_errors, ak.outstanding_bytes, ak.pending.len(), first, ak.peer_rwnd);
+        }
+        ak.stats.timeouts += 1;
+        ak.assoc_errors += 1;
+        let p = earliest_outstanding_path(ak);
+        let path = &mut ak.paths[p as usize];
+        path.rto.backoff();
+        path.error_count = (path.error_count + 1).min(cfg.path_max_retrans + 1);
+        path.ssthresh = (path.cwnd / 2).max(4 * cfg.pmtu as u64);
+        path.cwnd = cfg.pmtu as u64;
+        path.partial_bytes_acked = 0;
+        if path.error_count > cfg.path_max_retrans && path.active {
+            path.active = false;
+            if ak.primary == p {
+                // Failover: move the primary to an active alternate.
+                if let Some((np, _)) =
+                    ak.paths.iter().enumerate().find(|(i, ps)| *i as u8 != p && ps.active)
+                {
+                    ak.primary = np as u8;
+                    ak.stats.failovers += 1;
+                }
+            }
+        }
+        if ak.assoc_errors > cfg.assoc_max_retrans {
+            failed = true;
+        } else {
+            // Mark everything outstanding for retransmission; marked
+            // chunks leave the flight so the cwnd=1·PMTU restart can
+            // actually retransmit them.
+            let mut unfly: Vec<(usize, u64)> = Vec::new();
+            for c in ak.sent.values_mut() {
+                if !c.acked && !c.marked_rtx {
+                    unfly.push((c.path as usize, c.data.len() as u64));
+                }
+                if !c.acked {
+                    c.marked_rtx = true;
+                    c.missing = 0;
+                }
+            }
+            for (p, len) in unfly {
+                ak.paths[p].flight = ak.paths[p].flight.saturating_sub(len);
+            }
+            ak.in_fast_recovery = false;
+            ak.rtt_probe = None;
+        }
+    }
+    if failed {
+        fail_assoc(w, ctx, a);
+        return;
+    }
+    check_flight(assoc_ref(w, a), "on_t3", ctx.now());
+    try_send(w, ctx, a); // retransmits the first PMTU immediately (cwnd = 1 PMTU)
+    arm_t3(w, ctx, a);
+}
+
+fn arm_sack_timer(w: &mut World, ctx: &mut Wx, a: AssocId) {
+    let cfg = cfg_of(w, a.host);
+    let ak = assoc_mut(w, a);
+    if ak.sack_armed {
+        return;
+    }
+    ak.sack_gen += 1;
+    ak.sack_armed = true;
+    let gen = ak.sack_gen;
+    ctx.schedule_in(cfg.sack_delay, move |w: &mut World, ctx: &mut Wx| {
+        let ak = assoc_mut(w, a);
+        if ak.sack_gen != gen || !ak.sack_armed {
+            return;
+        }
+        ak.sack_armed = false;
+        if ak.sack_pending_pkts > 0 {
+            send_sack_now(w, ctx, a);
+        }
+    });
+}
+
+fn arm_heartbeat(w: &mut World, ctx: &mut Wx, a: AssocId, path: u8) {
+    let cfg = cfg_of(w, a.host);
+    let Some(interval) = cfg.heartbeat_interval else { return };
+    let ak = assoc_mut(w, a);
+    let ps = &mut ak.paths[path as usize];
+    ps.hb_gen += 1;
+    let gen = ps.hb_gen;
+    ctx.schedule_in(interval, move |w: &mut World, ctx: &mut Wx| on_heartbeat(w, ctx, a, path, gen));
+}
+
+fn on_heartbeat(w: &mut World, ctx: &mut Wx, a: AssocId, path: u8, gen: u64) {
+    let cfg = cfg_of(w, a.host);
+    let nonce: u64 = ctx.rng.gen();
+    let send;
+    let vtag;
+    {
+        let ak = assoc_mut(w, a);
+        if ak.paths[path as usize].hb_gen != gen {
+            return;
+        }
+        if !matches!(ak.state, AssocState::Established) {
+            return;
+        }
+        let primary = ak.primary;
+        {
+            let ps = &mut ak.paths[path as usize];
+            // Previous heartbeat unanswered → path error.
+            if ps.hb_nonce.is_some() {
+                ps.error_count = (ps.error_count + 1).min(cfg.path_max_retrans + 1);
+                if ps.error_count > cfg.path_max_retrans && ps.active {
+                    ps.active = false;
+                }
+            }
+            ps.hb_nonce = Some(nonce);
+            send = true;
+            vtag = ak.peer_tag;
+        }
+        if !ak.paths[primary as usize].active {
+            if let Some((np, _)) = ak.paths.iter().enumerate().find(|(_, ps)| ps.active) {
+                if ak.primary != np as u8 {
+                    ak.primary = np as u8;
+                    ak.stats.failovers += 1;
+                }
+            }
+        }
+    }
+    if send {
+        send_packet(w, ctx, a, path, vtag, vec![Chunk::Heartbeat { path, nonce }]);
+    }
+    arm_heartbeat(w, ctx, a, path);
+}
+
+fn arm_autoclose(w: &mut World, ctx: &mut Wx, a: AssocId) {
+    let cfg = cfg_of(w, a.host);
+    let Some(d) = cfg.autoclose else { return };
+    let ak = assoc_mut(w, a);
+    ak.autoclose_gen += 1;
+    let gen = ak.autoclose_gen;
+    ctx.schedule_in(d, move |w: &mut World, ctx: &mut Wx| {
+        let cfg = cfg_of(w, a.host);
+        let d = cfg.autoclose.unwrap();
+        let (expired, rearm) = {
+            let ak = assoc_mut(w, a);
+            if ak.autoclose_gen != gen || ak.state != AssocState::Established {
+                return;
+            }
+            let idle = ctx.now().since(ak.last_traffic);
+            (idle >= d && ak.outstanding_bytes == 0 && ak.pending.is_empty(), idle < d)
+        };
+        if expired {
+            shutdown(w, ctx, a);
+        } else {
+            let _ = rearm;
+            arm_autoclose(w, ctx, a);
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Handshake
+// ---------------------------------------------------------------------------
+
+fn send_init(w: &mut World, ctx: &mut Wx, a: AssocId) {
+    let cfg = cfg_of(w, a.host);
+    let (chunk, path) = {
+        let ak = assoc_mut(w, a);
+        (
+            Chunk::Init {
+                init_tag: ak.local_tag,
+                a_rwnd: cfg.rcvbuf,
+                out_streams: cfg.out_streams,
+                in_streams: cfg.out_streams,
+                init_tsn: 1,
+            },
+            ak.primary,
+        )
+    };
+    {
+        let ak = assoc_mut(w, a);
+        ak.hs_sent_at = if ak.init_retries == 0 { Some(ctx.now()) } else { None };
+    }
+    // INIT goes out with vtag 0.
+    send_packet(w, ctx, a, path, 0, vec![chunk]);
+    arm_init_timer(w, ctx, a);
+}
+
+fn send_cookie_echo(w: &mut World, ctx: &mut Wx, a: AssocId) {
+    let (cookie, vtag, path) = {
+        let ak = assoc_mut(w, a);
+        ak.hs_sent_at = if ak.init_retries == 0 { Some(ctx.now()) } else { None };
+        (ak.cookie.expect("cookie present in CookieEchoed"), ak.peer_tag, ak.primary)
+    };
+    send_packet(w, ctx, a, path, vtag, vec![Chunk::CookieEcho { cookie }]);
+    arm_init_timer(w, ctx, a);
+}
+
+fn arm_init_timer(w: &mut World, ctx: &mut Wx, a: AssocId) {
+    let ak = assoc_mut(w, a);
+    ak.init_gen += 1;
+    let gen = ak.init_gen;
+    let d = ak.paths[ak.primary as usize].rto.current();
+    ctx.schedule_in(d, move |w: &mut World, ctx: &mut Wx| {
+        let cfg = cfg_of(w, a.host);
+        let state = {
+            let ak = assoc_mut(w, a);
+            if ak.init_gen != gen {
+                return;
+            }
+            if !matches!(ak.state, AssocState::CookieWait | AssocState::CookieEchoed) {
+                return;
+            }
+            ak.init_retries += 1;
+            if ak.init_retries > cfg.max_init_retrans {
+                AssocState::Aborted
+            } else {
+                let p = ak.primary;
+                ak.paths[p as usize].rto.backoff();
+                ak.state
+            }
+        };
+        match state {
+            AssocState::Aborted => fail_assoc(w, ctx, a),
+            AssocState::CookieWait => send_init(w, ctx, a),
+            AssocState::CookieEchoed => send_cookie_echo(w, ctx, a),
+            _ => {}
+        }
+    });
+}
+
+/// A passive listener received an INIT: reply statelessly with a signed
+/// cookie (no resources reserved — §3.5.2).
+#[allow(clippy::too_many_arguments)]
+fn handle_init(
+    w: &mut World,
+    ctx: &mut Wx,
+    e: EpId,
+    src: IfAddr,
+    src_port: u16,
+    init_tag: u64,
+    a_rwnd: u64,
+    out_streams: u16,
+    init_tsn: u64,
+) {
+    let cfg = cfg_of(w, e.host);
+    let secret = host_secret(w, ctx, e.host);
+    let port = ep_ref(w, e).port;
+    let local_tag: u64 = ctx.rng.gen_range(1..u64::MAX);
+    let cookie = Cookie {
+        peer_host: src.host,
+        peer_port: src_port,
+        local_port: port,
+        peer_tag: init_tag,
+        local_tag,
+        peer_rwnd: a_rwnd,
+        peer_init_tsn: init_tsn,
+        my_init_tsn: 1,
+        out_streams,
+        in_streams: cfg.out_streams,
+        created_at: ctx.now(),
+        mac: 0,
+    }
+    .sign(secret);
+    let reply = SctpPacket {
+        src_port: port,
+        dst_port: src_port,
+        vtag: init_tag,
+        chunks: vec![Chunk::InitAck {
+            init_tag: local_tag,
+            a_rwnd: cfg.rcvbuf,
+            out_streams: cfg.out_streams,
+            in_streams: out_streams,
+            init_tsn: 1,
+            cookie,
+        }],
+    };
+    // Stateless reply: addressed straight back to the INIT's source.
+    let dst = src;
+    let from = IfAddr::new(e.host, src.iface);
+    ip::send(w, ctx, Packet { src: from, dst, body: Proto::Sctp(reply) });
+}
+
+fn handle_init_ack(
+    w: &mut World,
+    ctx: &mut Wx,
+    a: AssocId,
+    init_tag: u64,
+    a_rwnd: u64,
+    init_tsn: u64,
+    cookie: Cookie,
+) {
+    {
+        let ak = assoc_mut(w, a);
+        if ak.state != AssocState::CookieWait {
+            return; // duplicate INIT-ACK
+        }
+        // Handshake RTT sample (unretransmitted INITs only).
+        if let Some(t0) = ak.hs_sent_at.take() {
+            let now = ctx.now();
+            let p = ak.primary as usize;
+            ak.paths[p].rto.sample(now.since(t0));
+        }
+        ak.peer_tag = init_tag;
+        ak.peer_rwnd = a_rwnd;
+        ak.cum_tsn = init_tsn - 1;
+        ak.rcv_have.clear();
+        ak.cookie = Some(cookie);
+        ak.state = AssocState::CookieEchoed;
+        ak.init_retries = 0;
+    }
+    send_cookie_echo(w, ctx, a);
+}
+
+fn handle_cookie_echo(w: &mut World, ctx: &mut Wx, e: EpId, src: IfAddr, src_port: u16, cookie: Cookie) {
+    let cfg = cfg_of(w, e.host);
+    let secret = host_secret(w, ctx, e.host);
+    // Verify the signature, then staleness.
+    if !cookie.verify(secret) {
+        ep_mut(w, e).bad_mac_drops += 1;
+        return;
+    }
+    if ctx.now().since(cookie.created_at) > cfg.cookie_lifetime {
+        ep_mut(w, e).stale_cookie_drops += 1;
+        return;
+    }
+    // Duplicate COOKIE-ECHO for an existing association: re-ack.
+    if let Some(a) = lookup_peer(w, e, src.host, src_port) {
+        let (vtag, path) = {
+            let ak = assoc_ref(w, a);
+            (ak.peer_tag, ak.primary)
+        };
+        send_packet(w, ctx, a, path, vtag, vec![Chunk::CookieAck]);
+        return;
+    }
+    // Create the association from cookie contents alone.
+    let mut ak = Assoc::new(
+        &cfg,
+        cookie.local_port,
+        src.host,
+        src_port,
+        cookie.local_tag,
+        AssocState::Established,
+        cookie.my_init_tsn,
+    );
+    ak.peer_tag = cookie.peer_tag;
+    ak.peer_rwnd = cookie.peer_rwnd;
+    ak.cum_tsn = cookie.peer_init_tsn - 1;
+    ak.last_traffic = ctx.now();
+    let ep = ep_mut(w, e);
+    let idx = ep.assocs.len() as u32;
+    ep.assocs.push(ak);
+    ep.by_peer.insert((src.host, src_port), idx);
+    let wake: Vec<_> = ep.readers.drain(..).collect();
+    ctx.wake_all(&wake);
+    let a = AssocId { host: e.host, ep: e.idx, idx };
+    let (vtag, path) = {
+        let ak = assoc_ref(w, a);
+        (ak.peer_tag, ak.primary)
+    };
+    send_packet(w, ctx, a, path, vtag, vec![Chunk::CookieAck]);
+    for p in 0..cfg.num_paths {
+        arm_heartbeat(w, ctx, a, p);
+    }
+    arm_autoclose(w, ctx, a);
+}
+
+fn handle_cookie_ack(w: &mut World, ctx: &mut Wx, a: AssocId) {
+    let cfg = cfg_of(w, a.host);
+    {
+        let ak = assoc_mut(w, a);
+        if ak.state != AssocState::CookieEchoed {
+            return;
+        }
+        ak.state = AssocState::Established;
+        ak.init_gen += 1; // cancel init timer
+        ak.init_retries = 0;
+        // COOKIE-ECHO → COOKIE-ACK round trip as an RTT sample.
+        if let Some(t0) = ak.hs_sent_at.take() {
+            let now = ctx.now();
+            let p = ak.primary as usize;
+            ak.paths[p].rto.sample(now.since(t0));
+        }
+        ak.last_traffic = ctx.now();
+    }
+    // Wake connect() pollers and flush any data queued before establishment.
+    let e = a.endpoint();
+    let wake: Vec<_> = ep_mut(w, e).writers.drain(..).collect();
+    ctx.wake_all(&wake);
+    for p in 0..cfg.num_paths {
+        arm_heartbeat(w, ctx, a, p);
+    }
+    arm_autoclose(w, ctx, a);
+    try_send(w, ctx, a);
+}
+
+fn fail_assoc(w: &mut World, ctx: &mut Wx, a: AssocId) {
+    assoc_mut(w, a).state = AssocState::Aborted;
+    let e = a.endpoint();
+    let ep = ep_mut(w, e);
+    let mut wake: Vec<_> = ep.readers.drain(..).collect();
+    wake.append(&mut ep.writers);
+    ctx.wake_all(&wake);
+}
+
+// ---------------------------------------------------------------------------
+// Input
+// ---------------------------------------------------------------------------
+
+/// Entry point from the IP layer.
+pub fn input(w: &mut World, ctx: &mut Wx, src: IfAddr, dst: IfAddr, pkt: SctpPacket) {
+    let host = dst.host;
+    let Some(&ep_idx) = w.hosts[host as usize].sctp.by_port.get(&pkt.dst_port) else {
+        return; // no socket on this port
+    };
+    let e = EpId { host, idx: ep_idx };
+    let assoc = lookup_peer(w, e, src.host, pkt.src_port);
+
+    // Association-setup chunks travel alone at the head of a packet and
+    // are handled before verification-tag checks.
+    match pkt.chunks.first() {
+        Some(Chunk::Init { init_tag, a_rwnd, out_streams, init_tsn, .. }) => {
+            if pkt.vtag == 0 && ep_ref(w, e).listening && assoc.is_none() {
+                handle_init(w, ctx, e, src, pkt.src_port, *init_tag, *a_rwnd, *out_streams, *init_tsn);
+            }
+            return;
+        }
+        Some(Chunk::CookieEcho { cookie }) => {
+            // Tag must match the one we placed in the cookie.
+            if pkt.vtag == cookie.local_tag {
+                handle_cookie_echo(w, ctx, e, src, pkt.src_port, *cookie);
+            } else {
+                ep_mut(w, e).bad_vtag_drops += 1;
+            }
+            return;
+        }
+        _ => {}
+    }
+
+    let Some(a) = assoc else { return };
+
+    // Verification-tag check (§3.5.2: blocks blind injection and packets
+    // from stale associations).
+    {
+        let ak = assoc_ref(w, a);
+        let expect = ak.local_tag;
+        if pkt.vtag != expect {
+            ep_mut(w, e).bad_vtag_drops += 1;
+            return;
+        }
+    }
+    assoc_mut(w, a).stats.packets_in += 1;
+
+    let mut saw_data = false;
+    for chunk in pkt.chunks {
+        match chunk {
+            Chunk::Init { .. } | Chunk::CookieEcho { .. } => {}
+            Chunk::InitAck { init_tag, a_rwnd, init_tsn, cookie, .. } => {
+                handle_init_ack(w, ctx, a, init_tag, a_rwnd, init_tsn, cookie);
+            }
+            Chunk::CookieAck => handle_cookie_ack(w, ctx, a),
+            Chunk::Data(d) => {
+                saw_data = true;
+                handle_data(w, ctx, a, src, d);
+            }
+            Chunk::Sack { cum_tsn, a_rwnd, gaps, .. } => {
+                process_sack(w, ctx, a, cum_tsn, a_rwnd, &gaps);
+            }
+            Chunk::Heartbeat { path, nonce } => {
+                let (vtag, reply_path) = {
+                    let ak = assoc_ref(w, a);
+                    (ak.peer_tag, path.min(ak.paths.len() as u8 - 1))
+                };
+                send_packet(w, ctx, a, reply_path, vtag, vec![Chunk::HeartbeatAck { path, nonce }]);
+            }
+            Chunk::HeartbeatAck { path, nonce } => {
+                let ak = assoc_mut(w, a);
+                if let Some(ps) = ak.paths.get_mut(path as usize) {
+                    if ps.hb_nonce == Some(nonce) {
+                        ps.hb_nonce = None;
+                        ps.error_count = 0;
+                        ps.active = true;
+                        ak.assoc_errors = 0;
+                    }
+                }
+            }
+            Chunk::Shutdown { cum_tsn } => {
+                process_sack(w, ctx, a, cum_tsn, u64::MAX / 2, &[]);
+                handle_shutdown(w, ctx, a);
+            }
+            Chunk::ShutdownAck => handle_shutdown_ack(w, ctx, a),
+            Chunk::ShutdownComplete => {
+                let ak = assoc_mut(w, a);
+                if ak.state == AssocState::ShutdownAckSent {
+                    ak.state = AssocState::Closed;
+                    ak.shutdown_gen += 1; // cancel resend timer
+                    wake_endpoint(w, ctx, a.endpoint());
+                }
+            }
+            Chunk::Abort => fail_assoc(w, ctx, a),
+        }
+    }
+
+    if saw_data {
+        decide_sack(w, ctx, a);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Data receive path
+// ---------------------------------------------------------------------------
+
+fn handle_data(w: &mut World, ctx: &mut Wx, a: AssocId, _src: IfAddr, d: DataChunk) {
+    let cfg = cfg_of(w, a.host);
+    let mut delivered: Vec<RecvMsg> = Vec::new();
+    {
+        let ak = assoc_mut(w, a);
+        if !matches!(
+            ak.state,
+            AssocState::Established | AssocState::ShutdownPending | AssocState::ShutdownSent
+        ) {
+            return;
+        }
+        ak.last_traffic = ctx.now();
+        let len = d.data.len() as u64;
+        if d.tsn <= ak.cum_tsn || ak.rcv_have.contains(d.tsn) {
+            ak.stats.dup_tsns_in += 1;
+            ak.dup_since_sack += 1;
+            ak.sack_immediate = true;
+            return;
+        }
+        // A chunk that fills a gap below the highest TSN seen must be
+        // accepted even when the buffer is nominally full: the space was
+        // promised when the surrounding window was advertised, and dropping
+        // it would wedge reassembly forever (the sender would retransmit
+        // into the same full buffer until the association died).
+        let fills_gap = ak.rcv_have.max_end().is_some_and(|e| d.tsn < e);
+        // Accept a one-PMTU overrun: the §6.1.A probe chunk arrives when the
+        // advertised window is (or looks) closed; dropping it would turn
+        // every stale-window episode into an RTO ladder. KAME applies the
+        // same slop.
+        let cap = cfg.rcvbuf + cfg.pmtu as u64;
+        if ak.rcvbuf_used + len > cap && !fills_gap {
+            if std::env::var("SCTP_TRACE").is_ok() {
+                eprintln!("[{}] RXFULL h{} assoc({},{}) tsn={} len={} used={} cum={}",
+                    ctx.now(), a.host, a.ep, a.idx, d.tsn, len, ak.rcvbuf_used, ak.cum_tsn);
+            }
+            // No receive window: silently drop (the sender's rwnd tracking
+            // or its probe logic will retry).
+            ak.sack_immediate = true;
+            return;
+        }
+        ak.rcv_have.insert_point(d.tsn);
+        // Advance the cumulative TSN over any now-contiguous prefix.
+        let first_missing = ak.rcv_have.first_missing_from(ak.cum_tsn + 1);
+        if first_missing > ak.cum_tsn + 1 {
+            ak.cum_tsn = first_missing - 1;
+            ak.rcv_have.remove_below(ak.cum_tsn + 1);
+        }
+        ak.rcvbuf_used += len;
+        ak.stats.data_chunks_in += 1;
+        ak.stats.bytes_in += len;
+
+        let sid = d.stream;
+        let aid = a;
+        let st = ak.in_stream_mut(sid);
+        st.frags.insert(d.tsn, d);
+        // Assemble complete fragment runs; gate ordered messages on SSN.
+        loop {
+            let Some((ssn, ppid, unordered, data, mlen)) = try_assemble(st) else { break };
+            if unordered {
+                delivered.push(RecvMsg { assoc: aid, stream: sid, ssn, ppid, data, len: mlen });
+            } else if ssn == st.next_ssn {
+                st.next_ssn += 1;
+                delivered.push(RecvMsg { assoc: aid, stream: sid, ssn, ppid, data, len: mlen });
+                // Drain any queued successors.
+                while let Some((p2, d2, l2)) = st.ready.remove(&st.next_ssn) {
+                    delivered.push(RecvMsg {
+                        assoc: aid,
+                        stream: sid,
+                        ssn: st.next_ssn,
+                        ppid: p2,
+                        data: d2,
+                        len: l2,
+                    });
+                    st.next_ssn += 1;
+                }
+            } else {
+                st.ready.insert(ssn, (ppid, data, mlen));
+            }
+        }
+        ak.stats.msgs_delivered += delivered.len() as u64;
+    }
+    if !delivered.is_empty() {
+        let e = a.endpoint();
+        let ep = ep_mut(w, e);
+        for m in delivered {
+            ep.deliver_q.push_back(m);
+        }
+        let wake: Vec<_> = ep.readers.drain(..).collect();
+        ctx.wake_all(&wake);
+    }
+}
+
+/// Try to assemble one complete message from a stream's fragment map.
+/// Fragments of a message occupy consecutive TSNs bracketed by B/E bits.
+fn try_assemble(st: &mut InStream) -> Option<(u32, u32, bool, Vec<Bytes>, u32)> {
+    let mut run_start: Option<u64> = None;
+    let mut prev_tsn: Option<u64> = None;
+    let mut complete: Option<(u64, u64)> = None;
+    for (&tsn, c) in st.frags.iter() {
+        let contiguous = prev_tsn.map(|p| p + 1 == tsn).unwrap_or(true);
+        if c.begin {
+            run_start = Some(tsn);
+        } else if !contiguous {
+            run_start = None;
+        }
+        if let Some(s) = run_start {
+            if c.end {
+                complete = Some((s, tsn));
+                break;
+            }
+        }
+        prev_tsn = Some(tsn);
+    }
+    let (s, e) = complete?;
+    let mut data = Vec::with_capacity((e - s + 1) as usize);
+    let mut len = 0u32;
+    let (mut ssn, mut ppid, mut unordered) = (0u32, 0u32, false);
+    for tsn in s..=e {
+        let c = st.frags.remove(&tsn).expect("complete run present");
+        ssn = c.ssn;
+        ppid = c.ppid;
+        unordered = c.unordered;
+        len += c.data.len() as u32;
+        data.push(c.data);
+    }
+    Some((ssn, ppid, unordered, data, len))
+}
+
+/// Per-packet SACK decision: immediate when there are gaps or duplicates
+/// (the fast gap reporting §4.1.1 credits), else delayed (every 2nd packet
+/// or 200 ms).
+fn decide_sack(w: &mut World, ctx: &mut Wx, a: AssocId) {
+    let cfg = cfg_of(w, a.host);
+    let send_now = {
+        let ak = assoc_mut(w, a);
+        let gaps_exist = !ak.rcv_have.is_empty();
+        if ak.sack_immediate || gaps_exist {
+            true
+        } else {
+            ak.sack_pending_pkts += 1;
+            ak.sack_pending_pkts >= cfg.sack_every
+        }
+    };
+    if send_now {
+        send_sack_now(w, ctx, a);
+    } else {
+        arm_sack_timer(w, ctx, a);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SACK processing (sender side)
+// ---------------------------------------------------------------------------
+
+/// Debug invariant: per-path flight equals the sum of unacked, unmarked
+/// sent chunks on that path.
+fn check_flight(ak: &Assoc, whence: &str, now: simcore::SimTime) {
+    if std::env::var("SCTP_CHECK").is_err() {
+        return;
+    }
+    let mut per_path = vec![0u64; ak.paths.len()];
+    for c in ak.sent.values() {
+        if !c.acked && !c.marked_rtx {
+            per_path[c.path as usize] += c.data.len() as u64;
+        }
+    }
+    for (i, ps) in ak.paths.iter().enumerate() {
+        if ps.flight != per_path[i] {
+            panic!(
+                "[{now}] FLIGHT DRIFT at {whence}: path {i} flight={} actual={} (assoc to peer{})",
+                ps.flight, per_path[i], ak.peer_host
+            );
+        }
+    }
+}
+
+fn process_sack(w: &mut World, ctx: &mut Wx, a: AssocId, cum: u64, a_rwnd: u64, gaps: &[(u64, u64)]) {
+    let cfg = cfg_of(w, a.host);
+    let pmtu = cfg.pmtu as u64;
+    let now = ctx.now();
+    let mut do_fast_rtx = false;
+    let wake_writers;
+    {
+        let ak = assoc_mut(w, a);
+        ak.stats.sacks_in += 1;
+        let n_paths = ak.paths.len();
+        let mut newly_acked = vec![0u64; n_paths];
+        let mut cum_advanced = false;
+
+        // Cumulative ack: drop everything at or below `cum`.
+        let below: Vec<u64> = ak.sent.range(..=cum).map(|(&t, _)| t).collect();
+        for tsn in below {
+            let c = ak.sent.remove(&tsn).unwrap();
+            cum_advanced = true;
+            if !c.acked {
+                let len = c.data.len() as u64;
+                // Chunks marked for retransmission already left the flight.
+                if !c.marked_rtx {
+                    ak.paths[c.path as usize].flight =
+                        ak.paths[c.path as usize].flight.saturating_sub(len);
+                }
+                ak.outstanding_bytes -= len;
+                newly_acked[c.path as usize] += len;
+                if ak.rtt_probe == Some(tsn) && c.txcount == 1 {
+                    ak.paths[c.path as usize].rto.sample(now.since(c.sent_at));
+                    ak.rtt_probe = None;
+                }
+            }
+        }
+        // Gap acks.
+        for &(g0, g1) in gaps {
+            let in_gap: Vec<u64> = ak.sent.range(g0..g1).map(|(&t, _)| t).collect();
+            for tsn in in_gap {
+                let c = ak.sent.get_mut(&tsn).unwrap();
+                if !c.acked {
+                    c.acked = true;
+                    let was_marked = c.marked_rtx;
+                    c.marked_rtx = false;
+                    let len = c.data.len() as u64;
+                    let p = c.path as usize;
+                    if ak.rtt_probe == Some(tsn) && c.txcount == 1 {
+                        let sent_at = c.sent_at;
+                        ak.paths[p].rto.sample(now.since(sent_at));
+                        ak.rtt_probe = None;
+                    }
+                    if !was_marked {
+                        ak.paths[p].flight = ak.paths[p].flight.saturating_sub(len);
+                    }
+                    ak.outstanding_bytes -= len;
+                    newly_acked[p] += len;
+                }
+            }
+        }
+
+        // Missing reports → fast retransmit marking (strike count).
+        let highest = gaps.iter().map(|&(_, g1)| g1).max().unwrap_or(0);
+        if highest > 0 {
+            let mut newly_marked = false;
+            let mut first_marked_path = ak.primary;
+            let mut unfly: Vec<(usize, u64)> = Vec::new();
+            for (&tsn, c) in ak.sent.range_mut(..highest) {
+                // A chunk may be *fast*-retransmitted only once (RFC 4960
+                // §7.2.4); after that, only T3 resends it. Without this,
+                // the per-packet gap SACKs re-mark it every few reports
+                // and the retransmission storm congests the path further.
+                if !c.acked && !c.marked_rtx && c.txcount == 1 {
+                    c.missing += 1;
+                    if c.missing >= cfg.missing_thresh {
+                        c.marked_rtx = true;
+                        // Marked chunks leave the flight (RFC 4960 §6.2.1/7.2.4)
+                        // so the retransmission fits inside the new cwnd.
+                        unfly.push((c.path as usize, c.data.len() as u64));
+                        if !newly_marked {
+                            first_marked_path = c.path;
+                        }
+                        newly_marked = true;
+                        let _ = tsn;
+                    }
+                }
+            }
+            for (p, len) in unfly {
+                ak.paths[p].flight = ak.paths[p].flight.saturating_sub(len);
+            }
+            if newly_marked {
+                if !ak.in_fast_recovery {
+                    ak.in_fast_recovery = true;
+                    ak.fast_recovery_exit = ak.next_tsn.saturating_sub(1);
+                    ak.stats.fast_retransmits += 1;
+                    let ps = &mut ak.paths[first_marked_path as usize];
+                    ps.ssthresh = (ps.cwnd / 2).max(4 * pmtu);
+                    ps.cwnd = ps.ssthresh;
+                    ps.partial_bytes_acked = 0;
+                }
+                do_fast_rtx = true;
+            }
+        }
+        if ak.in_fast_recovery && cum >= ak.fast_recovery_exit {
+            ak.in_fast_recovery = false;
+        }
+
+        // Congestion window growth (byte counting — §4.1.1).
+        for (p, &acked) in newly_acked.iter().enumerate() {
+            if acked == 0 {
+                continue;
+            }
+            let ps = &mut ak.paths[p];
+            ps.error_count = 0;
+            ps.active = true;
+            ak.assoc_errors = 0;
+            let ps = &mut ak.paths[p];
+            if ak.in_fast_recovery {
+                continue;
+            }
+            if cum_advanced {
+                if ps.cwnd <= ps.ssthresh {
+                    if cfg.byte_counting_cc {
+                        // Slow start: grow by bytes acked, at most one PMTU.
+                        ps.cwnd += acked.min(pmtu);
+                    } else {
+                        // Ablation A1: TCP-style per-ACK counting. With the
+                        // every-2nd-packet delayed SACK this halves slow
+                        // start growth, like delayed-ACK TCP (§4.1.1).
+                        ps.cwnd += pmtu / 2;
+                    }
+                } else {
+                    ps.partial_bytes_acked += acked;
+                    if ps.partial_bytes_acked >= ps.cwnd && ps.flight >= ps.cwnd {
+                        ps.partial_bytes_acked -= ps.cwnd;
+                        ps.cwnd += pmtu;
+                    }
+                }
+                ps.cwnd = ps.cwnd.min(cfg.sndbuf * 4);
+            }
+        }
+        if ak.outstanding_bytes == 0 {
+            for ps in &mut ak.paths {
+                ps.partial_bytes_acked = 0;
+            }
+        }
+
+        // Peer receive window: advertised minus what is still in flight.
+        ak.peer_rwnd = a_rwnd.saturating_sub(ak.outstanding_bytes);
+
+        // Retransmission timer management.
+        if ak.outstanding_bytes == 0 {
+            ak.t3_gen += 1;
+            ak.t3_armed = false;
+        } else if cum_advanced {
+            ak.t3_armed = false; // re-armed fresh below
+        }
+
+        // Send space freed → wake endpoint writers.
+        wake_writers = newly_acked.iter().any(|&x| x > 0);
+        check_flight(ak, "process_sack", now);
+    }
+    if wake_writers {
+        let ep = ep_mut(w, a.endpoint());
+        let wake: Vec<_> = ep.writers.drain(..).collect();
+        ctx.wake_all(&wake);
+    }
+    if do_fast_rtx {
+        fast_retransmit_burst(w, ctx, a);
+    }
+    try_send(w, ctx, a);
+    {
+        let ak = assoc_ref(w, a);
+        if ak.outstanding_bytes > 0 && !ak.t3_armed {
+            arm_t3(w, ctx, a);
+        }
+    }
+    maybe_progress_shutdown(w, ctx, a);
+}
+
+/// RFC 4960 §7.2.4: on entering fast retransmit, send one packet with as
+/// many marked chunks as fit, ignoring cwnd. Remaining marked chunks go out
+/// through the normal cwnd-limited path.
+fn fast_retransmit_burst(w: &mut World, ctx: &mut Wx, a: AssocId) {
+    let cfg = cfg_of(w, a.host);
+    let mut packet = Vec::new();
+    let path;
+    let vtag;
+    {
+        let ak = assoc_mut(w, a);
+        vtag = ak.peer_tag;
+        path = ak.rtx_path(cfg.rtx_alternate);
+        let mut budget = cfg.packet_budget();
+        let now = ctx.now();
+        let tsns: Vec<u64> =
+            ak.sent.iter().filter(|(_, c)| c.marked_rtx && !c.acked).map(|(&t, _)| t).collect();
+        for tsn in tsns {
+            let c = ak.sent.get_mut(&tsn).unwrap();
+            let clen = 16 + (c.data.len() as u32).div_ceil(4) * 4;
+            if clen > budget {
+                break;
+            }
+            budget -= clen;
+            c.marked_rtx = false;
+            c.missing = 0;
+            c.txcount += 1;
+            c.sent_at = now;
+            let len = c.data.len() as u64;
+            c.path = path;
+            ak.stats.retransmits += 1;
+            ak.rtt_probe = None;
+            let c = ak.sent.get(&tsn).unwrap();
+            packet.push(Chunk::Data(DataChunk {
+                tsn,
+                stream: c.stream,
+                ssn: c.ssn,
+                begin: c.begin,
+                end: c.end,
+                unordered: c.unordered,
+                ppid: c.ppid,
+                data: c.data.clone(),
+            }));
+            ak.paths[path as usize].flight += len;
+        }
+    }
+    if !packet.is_empty() {
+        send_packet(w, ctx, a, path, vtag, packet);
+        if !assoc_ref(w, a).t3_armed {
+            arm_t3(w, ctx, a);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shutdown
+// ---------------------------------------------------------------------------
+
+/// Wake every process blocked on this endpoint (state changes).
+fn wake_endpoint(w: &mut World, ctx: &mut Wx, e: EpId) {
+    let ep = ep_mut(w, e);
+    let mut wake: Vec<_> = ep.readers.drain(..).collect();
+    wake.append(&mut ep.writers);
+    ctx.wake_all(&wake);
+}
+
+fn maybe_progress_shutdown(w: &mut World, ctx: &mut Wx, a: AssocId) {
+    let (state, drained) = {
+        let ak = assoc_ref(w, a);
+        (ak.state, ak.outstanding_bytes == 0 && ak.pending.is_empty())
+    };
+    match (state, drained) {
+        (AssocState::ShutdownPending, true) => {
+            let (cum, vtag, path) = {
+                let ak = assoc_mut(w, a);
+                ak.state = AssocState::ShutdownSent;
+                (ak.cum_tsn, ak.peer_tag, ak.primary)
+            };
+            send_packet(w, ctx, a, path, vtag, vec![Chunk::Shutdown { cum_tsn: cum }]);
+            arm_shutdown_timer(w, ctx, a);
+            wake_endpoint(w, ctx, a.endpoint());
+        }
+        (AssocState::ShutdownReceived, true) => {
+            let (vtag, path) = {
+                let ak = assoc_mut(w, a);
+                ak.state = AssocState::ShutdownAckSent;
+                (ak.peer_tag, ak.primary)
+            };
+            send_packet(w, ctx, a, path, vtag, vec![Chunk::ShutdownAck]);
+            arm_shutdown_timer(w, ctx, a);
+            wake_endpoint(w, ctx, a.endpoint());
+        }
+        _ => {}
+    }
+}
+
+fn handle_shutdown(w: &mut World, ctx: &mut Wx, a: AssocId) {
+    {
+        let ak = assoc_mut(w, a);
+        match ak.state {
+            AssocState::Established | AssocState::ShutdownPending => {
+                ak.state = AssocState::ShutdownReceived;
+            }
+            AssocState::ShutdownSent => {
+                // Simultaneous shutdown: answer with SHUTDOWN-ACK.
+                ak.state = AssocState::ShutdownReceived;
+            }
+            _ => return,
+        }
+    }
+    wake_endpoint(w, ctx, a.endpoint());
+    maybe_progress_shutdown(w, ctx, a);
+}
+
+fn handle_shutdown_ack(w: &mut World, ctx: &mut Wx, a: AssocId) {
+    let (vtag, path, proceed) = {
+        let ak = assoc_mut(w, a);
+        let ok = matches!(ak.state, AssocState::ShutdownSent | AssocState::ShutdownAckSent);
+        if ok {
+            ak.state = AssocState::Closed;
+            ak.shutdown_gen += 1;
+        }
+        (ak.peer_tag, ak.primary, ok)
+    };
+    if proceed {
+        send_packet(w, ctx, a, path, vtag, vec![Chunk::ShutdownComplete]);
+        wake_endpoint(w, ctx, a.endpoint());
+    }
+}
+
+fn arm_shutdown_timer(w: &mut World, ctx: &mut Wx, a: AssocId) {
+    let ak = assoc_mut(w, a);
+    ak.shutdown_gen += 1;
+    let gen = ak.shutdown_gen;
+    let d = ak.paths[ak.primary as usize].rto.current();
+    ctx.schedule_in(d, move |w: &mut World, ctx: &mut Wx| {
+        let cfg = cfg_of(w, a.host);
+        let (resend, vtag, path, cum, state) = {
+            let ak = assoc_mut(w, a);
+            if ak.shutdown_gen != gen {
+                return;
+            }
+            ak.init_retries += 1;
+            if ak.init_retries > cfg.assoc_max_retrans {
+                (false, 0, 0, 0, ak.state)
+            } else {
+                let p = ak.primary;
+                ak.paths[p as usize].rto.backoff();
+                (true, ak.peer_tag, p, ak.cum_tsn, ak.state)
+            }
+        };
+        if !resend {
+            // Give up: close unilaterally.
+            assoc_mut(w, a).state = AssocState::Closed;
+            return;
+        }
+        match state {
+            AssocState::ShutdownSent => {
+                send_packet(w, ctx, a, path, vtag, vec![Chunk::Shutdown { cum_tsn: cum }]);
+                arm_shutdown_timer(w, ctx, a);
+            }
+            AssocState::ShutdownAckSent => {
+                send_packet(w, ctx, a, path, vtag, vec![Chunk::ShutdownAck]);
+                arm_shutdown_timer(w, ctx, a);
+            }
+            _ => {}
+        }
+    });
+}

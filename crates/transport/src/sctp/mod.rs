@@ -1,0 +1,15 @@
+//! SCTP: a KAME-style implementation (the transport under the paper's
+//! LAM-SCTP module). See crate docs and DESIGN.md S6 for the inventory.
+
+mod assoc;
+mod engine;
+mod wire;
+
+pub use assoc::{AssocId, AssocState, AssocStats, EpId, PathState, RecvMsg, SctpCfg, SctpHost};
+pub use engine::{
+    assoc_state, can_send, connect, dump_all, input, listen, lookup_peer, peer_addrs, primary_path,
+    readable, recvmsg, register_reader, register_writer, sendmsg, sendmsg_v, set_primary, shutdown,
+    socket,
+    stats, SendErr,
+};
+pub use wire::{Chunk, Cookie, DataChunk, SctpPacket, COMMON_HEADER, COOKIE_WIRE_LEN};

@@ -1,0 +1,199 @@
+//! Property-based tests for the transport crate's core data structures.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use transport::buf::{concat, ByteQueue};
+use transport::crc32c::crc32c;
+use transport::ranges::RangeSet;
+
+// ---------------------------------------------------------------------------
+// RangeSet vs a naive point-set model
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum RangeOp {
+    Insert(u64, u64),
+    RemoveBelow(u64),
+}
+
+fn range_ops() -> impl Strategy<Value = Vec<RangeOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..200, 0u64..40).prop_map(|(s, l)| RangeOp::Insert(s, s + l)),
+            (0u64..220).prop_map(RangeOp::RemoveBelow),
+        ],
+        0..40,
+    )
+}
+
+proptest! {
+    #[test]
+    fn rangeset_matches_naive_model(ops in range_ops()) {
+        let mut rs = RangeSet::new();
+        let mut model = std::collections::BTreeSet::new();
+        for op in ops {
+            match op {
+                RangeOp::Insert(s, e) => {
+                    rs.insert(s, e);
+                    for v in s..e {
+                        model.insert(v);
+                    }
+                }
+                RangeOp::RemoveBelow(cut) => {
+                    rs.remove_below(cut);
+                    model.retain(|&v| v >= cut);
+                }
+            }
+        }
+        // Covered count agrees.
+        prop_assert_eq!(rs.covered(), model.len() as u64);
+        // Point membership agrees.
+        for v in 0..250u64 {
+            prop_assert_eq!(rs.contains(v), model.contains(&v), "point {}", v);
+        }
+        // Ranges are sorted, non-overlapping, non-adjacent.
+        let ranges: Vec<_> = rs.iter().collect();
+        for w in ranges.windows(2) {
+            prop_assert!(w[0].1 < w[1].0, "ranges must not touch: {:?}", ranges);
+        }
+        for (s, e) in ranges {
+            prop_assert!(s < e);
+        }
+    }
+
+    #[test]
+    fn rangeset_holes_partition_span(ops in range_ops(), lo in 0u64..200, len in 0u64..60) {
+        let mut rs = RangeSet::new();
+        for op in ops {
+            if let RangeOp::Insert(s, e) = op {
+                rs.insert(s, e);
+            }
+        }
+        let hi = lo + len;
+        let holes = rs.holes_within(lo, hi);
+        // Every hole point is absent; every non-hole point in span is present.
+        let mut hole_points = std::collections::BTreeSet::new();
+        for (s, e) in &holes {
+            prop_assert!(*s < *e);
+            for v in *s..*e {
+                prop_assert!(!rs.contains(v), "hole point {} claimed present", v);
+                hole_points.insert(v);
+            }
+        }
+        for v in lo..hi {
+            if !hole_points.contains(&v) {
+                prop_assert!(rs.contains(v), "non-hole point {} missing", v);
+            }
+        }
+    }
+
+    #[test]
+    fn first_missing_is_correct(ops in range_ops(), from in 0u64..250) {
+        let mut rs = RangeSet::new();
+        for op in ops {
+            if let RangeOp::Insert(s, e) = op {
+                rs.insert(s, e);
+            }
+        }
+        let m = rs.first_missing_from(from);
+        prop_assert!(m >= from);
+        prop_assert!(!rs.contains(m));
+        for v in from..m {
+            prop_assert!(rs.contains(v));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ByteQueue vs a Vec<u8> model
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn bytequeue_slices_match_model(
+        chunks in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..50), 0..10),
+        advances in prop::collection::vec(0u64..30, 0..5),
+        reads in prop::collection::vec((0u64..300, 0usize..100), 0..10),
+    ) {
+        let mut q = ByteQueue::new(1000);
+        let mut model: Vec<u8> = Vec::new();
+        for c in &chunks {
+            q.push(Bytes::from(c.clone()));
+            model.extend_from_slice(c);
+        }
+        let mut head = 1000u64;
+        for adv in advances {
+            let target = (head + adv).min(q.end_seq());
+            q.advance_to(target);
+            let drop = (target - head) as usize;
+            model.drain(..drop.min(model.len()));
+            head = target;
+        }
+        prop_assert_eq!(q.head_seq(), head);
+        prop_assert_eq!(q.len() as usize, model.len());
+        for (off, want) in reads {
+            let seq = head + (off % (model.len() as u64 + 1));
+            let got = concat(&q.slice(seq, want));
+            let m_off = (seq - head) as usize;
+            let m_end = (m_off + want).min(model.len());
+            prop_assert_eq!(&got[..], &model[m_off..m_end]);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CRC32c sanity
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn crc_split_invariance(data in prop::collection::vec(any::<u8>(), 0..200), split in 0usize..200) {
+        let split = split.min(data.len());
+        let mut c = transport::crc32c::Crc32c::new();
+        c.update(&data[..split]);
+        c.update(&data[split..]);
+        prop_assert_eq!(c.finalize(), crc32c(&data));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cookie MAC: forgery resistance over random field tweaks
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn cookie_mac_detects_any_field_tweak(
+        secret in any::<u64>(),
+        tag in any::<u64>(),
+        field in 0usize..5,
+        delta in 1u64..1000,
+    ) {
+        use transport::sctp::Cookie;
+        use simcore::SimTime;
+        let c = Cookie {
+            peer_host: 1,
+            peer_port: 2,
+            local_port: 3,
+            peer_tag: tag,
+            local_tag: tag ^ 0xF0F0,
+            peer_rwnd: 1000,
+            peer_init_tsn: 1,
+            my_init_tsn: 1,
+            out_streams: 10,
+            in_streams: 10,
+            created_at: SimTime::from_nanos(77),
+            mac: 0,
+        }
+        .sign(secret);
+        prop_assert!(c.verify(secret));
+        let mut forged = c;
+        match field {
+            0 => forged.peer_tag = forged.peer_tag.wrapping_add(delta),
+            1 => forged.local_tag = forged.local_tag.wrapping_add(delta),
+            2 => forged.peer_rwnd = forged.peer_rwnd.wrapping_add(delta),
+            3 => forged.peer_host = forged.peer_host.wrapping_add(delta as u16),
+            _ => forged.created_at = SimTime::from_nanos(77 + delta),
+        }
+        prop_assert!(!forged.verify(secret), "tweak of field {} undetected", field);
+    }
+}

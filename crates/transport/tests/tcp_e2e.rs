@@ -1,0 +1,351 @@
+//! End-to-end TCP tests: sockets driven by virtual processes over the
+//! simulated cluster, with and without loss.
+
+use bytes::Bytes;
+use simcore::{Dur, ProcEnv, Runtime, SimTime};
+use transport::tcp::{self, SockId};
+use transport::World;
+
+type Env = ProcEnv<World>;
+
+fn connect_blocking(env: &Env, host: u16, dst_host: u16, dst_port: u16) -> SockId {
+    let s = env.with(|w, ctx| tcp::connect(w, ctx, host, dst_host, dst_port));
+    let me = env.id();
+    env.block_on(|w, _| {
+        if tcp::is_established(w, s) {
+            Some(())
+        } else {
+            assert!(!tcp::is_failed(w, s), "connect failed");
+            tcp::register_writer(w, s, me);
+            None
+        }
+    });
+    s
+}
+
+fn accept_blocking(env: &Env, host: u16, port: u16) -> SockId {
+    let me = env.id();
+    env.block_on(|w, _| match tcp::accept(w, host, port) {
+        Some(s) => Some(s),
+        None => {
+            tcp::register_acceptor(w, host, port, me);
+            None
+        }
+    })
+}
+
+fn send_all(env: &Env, s: SockId, data: Bytes) {
+    let me = env.id();
+    let mut off = 0usize;
+    while off < data.len() {
+        let chunk = data.slice(off..);
+        let n = env.with(|w, ctx| tcp::send(w, ctx, s, &[chunk]));
+        off += n;
+        if off < data.len() && n == 0 {
+            env.with(|w, _| tcp::register_writer(w, s, me));
+            env.park();
+        }
+    }
+}
+
+fn recv_exact(env: &Env, s: SockId, n: usize) -> Vec<u8> {
+    let me = env.id();
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let want = n - out.len();
+        let chunks = env.with(|w, ctx| tcp::recv(w, ctx, s, want));
+        if chunks.is_empty() {
+            env.with(|w, _| {
+                assert!(!tcp::at_eof(w, s), "unexpected EOF");
+                tcp::register_reader(w, s, me);
+            });
+            env.park();
+        } else {
+            for c in chunks {
+                out.extend_from_slice(&c);
+            }
+        }
+    }
+    out
+}
+
+fn pattern(len: usize) -> Bytes {
+    Bytes::from((0..len).map(|i| (i * 31 + 7) as u8).collect::<Vec<u8>>())
+}
+
+fn run_pair(
+    loss: f64,
+    seed: u64,
+    client: impl FnOnce(Env, SockId) + Send + 'static,
+    server: impl FnOnce(Env, SockId) + Send + 'static,
+) -> simcore::RunOutcome<World> {
+    let mut rt = Runtime::new(World::paper_cluster(loss), seed);
+    rt.spawn("client", move |env: Env| {
+        let s = connect_blocking(&env, 0, 1, 5000);
+        client(env, s);
+    });
+    rt.spawn("server", move |env: Env| {
+        env.with(|w, _| tcp::listen(w, 1, 5000));
+        let s = accept_blocking(&env, 1, 5000);
+        server(env, s);
+    });
+    rt.run()
+}
+
+#[test]
+fn handshake_and_small_message() {
+    let data = pattern(100);
+    let expect = data.clone();
+    run_pair(
+        0.0,
+        1,
+        move |env, s| send_all(&env, s, data),
+        move |env, s| {
+            let got = recv_exact(&env, s, 100);
+            assert_eq!(&got[..], &expect[..]);
+        },
+    );
+}
+
+#[test]
+fn bidirectional_transfer() {
+    let a = pattern(5000);
+    let b = pattern(3000);
+    let (ae, be) = (a.clone(), b.clone());
+    run_pair(
+        0.0,
+        2,
+        move |env, s| {
+            send_all(&env, s, a);
+            let got = recv_exact(&env, s, 3000);
+            assert_eq!(&got[..], &be[..]);
+        },
+        move |env, s| {
+            let got = recv_exact(&env, s, 5000);
+            assert_eq!(&got[..], &ae[..]);
+            send_all(&env, s, b);
+        },
+    );
+}
+
+#[test]
+fn bulk_transfer_no_loss_is_wire_speed() {
+    let n = 1_000_000;
+    let data = pattern(n);
+    let expect = data.clone();
+    let out = run_pair(
+        0.0,
+        3,
+        move |env, s| send_all(&env, s, data),
+        move |env, s| {
+            let got = recv_exact(&env, s, n);
+            assert_eq!(got.len(), n);
+            assert_eq!(&got[..64], &expect[..64]);
+            assert_eq!(&got[n - 64..], &expect[n - 64..]);
+        },
+    );
+    // 1 MB at 1 Gb/s is 8 ms on the wire; allow generous protocol overhead
+    // (slow start) but catch gross stalls (an RTO would add a full second).
+    let secs = out.sim_time.as_secs_f64();
+    assert!(secs > 0.008, "faster than line rate? {secs}");
+    assert!(secs < 0.1, "transfer too slow without loss: {secs}s");
+}
+
+#[test]
+fn bulk_transfer_survives_heavy_loss_intact() {
+    let n = 300_000;
+    let data = pattern(n);
+    let expect = data.clone();
+    let out = run_pair(
+        0.02,
+        4,
+        move |env, s| send_all(&env, s, data),
+        move |env, s| {
+            let got = recv_exact(&env, s, n);
+            assert_eq!(&got[..], &expect[..], "corruption under loss");
+        },
+    );
+    assert!(out.world.net.stats.drops_loss > 0, "loss must actually occur");
+    let st = out.world.hosts[0].tcp.total_stats();
+    assert!(st.retransmits > 0, "recovery must have happened");
+}
+
+#[test]
+fn fast_retransmit_recovers_single_drop_quickly() {
+    // With 0.3% loss and a large transfer, most losses recover via dup-ACKs.
+    let n = 2_000_000;
+    let data = pattern(n);
+    let out = run_pair(
+        0.003,
+        5,
+        move |env, s| send_all(&env, s, data),
+        move |env, s| {
+            let _ = recv_exact(&env, s, n);
+        },
+    );
+    let st = out.world.hosts[0].tcp.total_stats();
+    assert!(
+        st.fast_retransmits > 0,
+        "expected some fast retransmits, got stats {st:?}"
+    );
+}
+
+#[test]
+fn close_delivers_eof_and_half_close_allows_reply() {
+    // Client sends, closes (FIN). Server reads to EOF, then still sends a
+    // reply over the half-closed connection; client reads it.
+    let data = pattern(1000);
+    let reply = pattern(500);
+    let (de, re) = (data.clone(), reply.clone());
+    run_pair(
+        0.0,
+        6,
+        move |env, s| {
+            send_all(&env, s, data);
+            env.with(|w, ctx| tcp::close(w, ctx, s));
+            let got = recv_exact(&env, s, 500);
+            assert_eq!(&got[..], &re[..]);
+        },
+        move |env, s| {
+            let got = recv_exact(&env, s, 1000);
+            assert_eq!(&got[..], &de[..]);
+            // Wait for EOF.
+            let me = env.id();
+            env.block_on(|w, _| {
+                if tcp::at_eof(w, s) {
+                    Some(())
+                } else {
+                    tcp::register_reader(w, s, me);
+                    None
+                }
+            });
+            // Half-closed: we can still send.
+            send_all(&env, s, reply);
+            env.with(|w, ctx| tcp::close(w, ctx, s));
+        },
+    );
+}
+
+#[test]
+fn flow_control_blocks_sender_until_receiver_drains() {
+    // Receiver sleeps before reading; sender's 1 MB must not complete until
+    // the receiver drains (220 KB rcvbuf + 220 KB sndbuf << 1 MB).
+    let n = 1_000_000;
+    let data = pattern(n);
+    let done_at = std::sync::Arc::new(std::sync::Mutex::new(SimTime::ZERO));
+    let done2 = done_at.clone();
+    let out = run_pair(
+        0.0,
+        7,
+        move |env, s| {
+            send_all(&env, s, data);
+            *done2.lock().unwrap() = env.now();
+        },
+        move |env, s| {
+            env.sleep(Dur::from_secs(2));
+            let got = recv_exact(&env, s, n);
+            assert_eq!(got.len(), n);
+        },
+    );
+    let sender_done = *done_at.lock().unwrap();
+    assert!(
+        sender_done > SimTime::ZERO + Dur::from_secs(2),
+        "sender finished at {sender_done} — flow control did not block it"
+    );
+    assert!(out.sim_time > SimTime::ZERO + Dur::from_secs(2));
+}
+
+#[test]
+fn zero_window_persist_probe_resumes_after_long_stall() {
+    // Receiver stalls for 30 s (longer than any single RTO backoff stage);
+    // persist probing must keep the connection alive and resume.
+    let n = 500_000;
+    let data = pattern(n);
+    run_pair(
+        0.0,
+        8,
+        move |env, s| send_all(&env, s, data),
+        move |env, s| {
+            env.sleep(Dur::from_secs(30));
+            let got = recv_exact(&env, s, n);
+            assert_eq!(got.len(), n);
+        },
+    );
+}
+
+#[test]
+fn full_mesh_eight_hosts() {
+    // Every pair of 8 hosts exchanges a message — the LAM-TCP topology.
+    let mut rt = Runtime::new(World::paper_cluster(0.0), 9);
+    let n = 8u16;
+    for h in 0..n {
+        rt.spawn(format!("h{h}"), move |env: Env| {
+            env.with(|w, _| tcp::listen(w, h, 6000));
+            // Connect to every higher rank; accept from every lower rank.
+            let mut socks = Vec::new();
+            for peer in (h + 1)..n {
+                socks.push(connect_blocking(&env, h, peer, 6000));
+            }
+            for _ in 0..h {
+                socks.push(accept_blocking(&env, h, 6000));
+            }
+            // Everyone sends its rank 100 times on every socket.
+            let msg = Bytes::from(vec![h as u8; 100]);
+            for &s in &socks {
+                send_all(&env, s, msg.clone());
+            }
+            for &s in &socks {
+                let got = recv_exact(&env, s, 100);
+                assert!(got.iter().all(|&b| b == got[0]), "mixed bytes from one peer");
+                assert_ne!(got[0], h as u8, "own rank echoed back?");
+            }
+        });
+    }
+    rt.run();
+}
+
+#[test]
+fn deterministic_under_loss() {
+    fn run_once(seed: u64) -> (u64, u64, u64) {
+        let n = 200_000;
+        let data = pattern(n);
+        let out = run_pair(
+            0.01,
+            seed,
+            move |env, s| send_all(&env, s, data),
+            move |env, s| {
+                let _ = recv_exact(&env, s, n);
+            },
+        );
+        let st = out.world.hosts[0].tcp.total_stats();
+        (out.sim_time.as_nanos(), st.retransmits, out.world.net.stats.drops_loss)
+    }
+    assert_eq!(run_once(42), run_once(42), "same seed must reproduce exactly");
+    assert_ne!(
+        run_once(42),
+        run_once(44),
+        "different seeds should draw different loss patterns"
+    );
+}
+
+#[test]
+fn connect_to_dead_host_fails_after_retries() {
+    let mut rt = Runtime::new(World::paper_cluster(0.0), 10);
+    rt.spawn("client", |env: Env| {
+        // Nobody listens on host 1 port 7777.
+        let s = env.with(|w, ctx| tcp::connect(w, ctx, 0, 1, 7777));
+        let me = env.id();
+        env.block_on(|w, _| {
+            if tcp::is_failed(w, s) {
+                Some(())
+            } else {
+                assert!(!tcp::is_established(w, s));
+                tcp::register_writer(w, s, me);
+                None
+            }
+        });
+    });
+    let out = rt.run();
+    // 6 retries with exponential backoff from 3 s: tens of seconds.
+    assert!(out.sim_time > SimTime::ZERO + Dur::from_secs(10));
+}

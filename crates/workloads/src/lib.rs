@@ -1,0 +1,41 @@
+//! `workloads` — the programs the paper evaluates.
+//!
+//! * [`pingpong`] — the MPBench ping-pong test (Figure 8, Table 1);
+//! * [`farm`] — the Bulk Processor Farm manager/worker program
+//!   (Figures 10–12);
+//! * [`nas`] — synthetic kernels reproducing the communication patterns of
+//!   the NAS Parallel Benchmarks the paper runs (Figure 9).
+//!
+//! All workloads are plain functions over [`mpi_core::Mpi`], runnable under
+//! [`mpi_core::mpirun`] on either transport.
+
+pub mod farm;
+pub mod nas;
+pub mod pingpong;
+
+use bytes::Bytes;
+
+/// A shared zero buffer for payloads: slicing it is allocation-free, so
+/// workloads can "send N bytes" without per-message allocations.
+pub fn zeros(n: usize) -> Bytes {
+    use std::sync::OnceLock;
+    static ZEROS: OnceLock<Bytes> = OnceLock::new();
+    const CAP: usize = 4 << 20;
+    let z = ZEROS.get_or_init(|| Bytes::from(vec![0u8; CAP]));
+    assert!(n <= CAP, "payload over {CAP} bytes; raise the cap");
+    z.slice(0..n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_is_cheap_and_sized() {
+        let a = zeros(1000);
+        let b = zeros(1000);
+        assert_eq!(a.len(), 1000);
+        assert_eq!(a.as_ptr(), b.as_ptr(), "slices share one allocation");
+        assert!(zeros(0).is_empty());
+    }
+}

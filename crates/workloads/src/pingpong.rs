@@ -1,0 +1,89 @@
+//! The MPBench ping-pong test (paper §4.1.1).
+//!
+//! Two processes repeatedly exchange a message of a given size, all
+//! messages on a single tag. The reported metric is throughput: one-way
+//! payload bytes divided by total time.
+
+use mpi_core::{mpirun, MpiCfg};
+
+use crate::zeros;
+
+/// Parameters of one ping-pong run.
+#[derive(Debug, Clone, Copy)]
+pub struct PingPongCfg {
+    /// Message size in bytes.
+    pub size: usize,
+    /// Number of exchanges (MPBench uses repetitions to stabilize).
+    pub iters: u32,
+}
+
+/// Result of one ping-pong run.
+#[derive(Debug, Clone, Copy)]
+pub struct PingPongResult {
+    pub size: usize,
+    pub iters: u32,
+    pub secs: f64,
+    /// One-way payload throughput (bytes/second) — the paper's metric.
+    pub throughput: f64,
+}
+
+/// Run the ping-pong between ranks 0 and 1 of a 2-process job.
+pub fn run(mpi_cfg: MpiCfg, cfg: PingPongCfg) -> PingPongResult {
+    assert!(mpi_cfg.nprocs >= 2);
+    let report = mpirun(mpi_cfg, move |mpi| {
+        let data = zeros(cfg.size);
+        match mpi.rank() {
+            0 => {
+                for _ in 0..cfg.iters {
+                    mpi.send(1, 0, data.clone());
+                    let (_, msg) = mpi.recv(Some(1), Some(0));
+                    debug_assert_eq!(msg.len, cfg.size);
+                }
+            }
+            1 => {
+                for _ in 0..cfg.iters {
+                    let (_, msg) = mpi.recv(Some(0), Some(0));
+                    debug_assert_eq!(msg.len, cfg.size);
+                    mpi.send(0, 0, data.clone());
+                }
+            }
+            _ => {}
+        }
+    });
+    let secs = report.secs();
+    PingPongResult {
+        size: cfg.size,
+        iters: cfg.iters,
+        secs,
+        // One-way payload bytes transferred per second of round-trip time:
+        // iters messages of `size` in each direction; MPBench counts the
+        // one-way volume over the elapsed time.
+        throughput: (cfg.size as f64 * cfg.iters as f64) / secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_is_positive_and_size_monotone_at_top() {
+        let small = run(MpiCfg::tcp(2, 0.0), PingPongCfg { size: 1024, iters: 10 });
+        let big = run(MpiCfg::tcp(2, 0.0), PingPongCfg { size: 131072, iters: 10 });
+        assert!(small.throughput > 0.0);
+        assert!(
+            big.throughput > small.throughput,
+            "larger messages amortize per-message cost: {} vs {}",
+            big.throughput,
+            small.throughput
+        );
+    }
+
+    #[test]
+    fn sctp_and_tcp_both_complete_under_loss() {
+        for cfg in [MpiCfg::tcp(2, 0.01), MpiCfg::sctp(2, 0.01)] {
+            let r = run(cfg.with_seed(5), PingPongCfg { size: 30 * 1024, iters: 5 });
+            assert!(r.secs > 0.0);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Workload-level invariants across randomized configurations.
+
+use mpi_core::MpiCfg;
+use proptest::prelude::*;
+use workloads::farm::{run, FarmCfg};
+use workloads::pingpong::{run as pp_run, PingPongCfg};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The farm always completes exactly `num_tasks` tasks — any worker
+    /// count, fanout, task size, transport, or loss pattern.
+    #[test]
+    fn farm_conservation_of_tasks(
+        nprocs in 2u16..6,
+        fanout_idx in 0usize..3,
+        short in any::<bool>(),
+        sctp in any::<bool>(),
+        lossy in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let fanout = [1u32, 2, 5][fanout_idx];
+        let num_tasks = 40 - (40 % fanout);
+        let cfg = FarmCfg {
+            num_tasks,
+            ..FarmCfg::small(if short { 30 * 1024 } else { 300 * 1024 }, fanout)
+        };
+        let loss = if lossy { 0.01 } else { 0.0 };
+        let m = if sctp { MpiCfg::sctp(nprocs, loss) } else { MpiCfg::tcp(nprocs, loss) };
+        let r = run(m.with_seed(seed), cfg);
+        prop_assert_eq!(r.tasks_done, num_tasks);
+        prop_assert!(r.secs > 0.0);
+    }
+
+    /// Ping-pong throughput is finite and positive, and each run is
+    /// reproducible from its seed.
+    #[test]
+    fn pingpong_deterministic(size in 1usize..100_000, seed in 0u64..1000) {
+        let cfg = PingPongCfg { size, iters: 3 };
+        let a = pp_run(MpiCfg::sctp(2, 0.01).with_seed(seed), cfg);
+        let b = pp_run(MpiCfg::sctp(2, 0.01).with_seed(seed), cfg);
+        prop_assert!(a.throughput.is_finite() && a.throughput > 0.0);
+        prop_assert_eq!(a.secs, b.secs, "same seed, same result");
+    }
+}

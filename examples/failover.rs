@@ -1,0 +1,45 @@
+//! SCTP multihoming failover (the paper's §3.5.1): a long transfer between
+//! two multihomed hosts survives the primary network dying mid-run — data
+//! transparently moves to an alternate path. The same failure kills the
+//! single-homed TCP run's progress until the network returns.
+//!
+//! ```text
+//! cargo run --release --example failover
+//! ```
+
+use bytes::Bytes;
+use mpi_core::{mpirun, MpiCfg};
+use simcore::Dur;
+
+fn main() {
+    let mut cfg = MpiCfg::sctp(2, 0.0);
+    cfg.sctp.num_paths = 3; // the testbed's three independent networks
+    cfg.sctp.heartbeat_interval = Some(Dur::from_secs(2));
+    cfg.sctp.path_max_retrans = 2; // fail over quickly (tunable, §3.5.1)
+
+    let n_msgs = 30u32;
+    let size = 100 * 1024;
+
+    let report = mpirun(cfg, move |mpi| match mpi.rank() {
+        0 => {
+            for i in 0..n_msgs {
+                if i == 5 {
+                    println!("[{:.3}s] killing network 0 (the primary path)", mpi.now().as_secs_f64());
+                    mpi.with_world(|w| w.net.set_network_up(0, false));
+                }
+                mpi.send(1, 0, Bytes::from(vec![i as u8; size]));
+            }
+        }
+        1 => {
+            for i in 0..n_msgs {
+                let (_, msg) = mpi.recv(Some(0), Some(0));
+                assert_eq!(msg.len, size);
+                assert_eq!(msg.to_vec()[0], i as u8, "ordered across failover");
+            }
+            println!("[{:.3}s] receiver: all {} messages intact and in order", mpi.now().as_secs_f64(), n_msgs);
+        }
+        _ => {}
+    });
+    println!("run completed in {:.3}s with {} failover(s)", report.secs(), report.sctp.failovers);
+    println!("(failover cost = a few retransmission timeouts; then full speed on path 1)");
+}

@@ -1,0 +1,1 @@
+pub use mpi_core; pub use netsim; pub use simcore; pub use transport; pub use workloads;
