@@ -1,0 +1,98 @@
+//! Microbenchmarks for the two hot paths the indexed rewrites target:
+//!
+//! * `sack_storm` — SCTP streaming a large window through 2% loss, so every
+//!   SACK carries gap blocks and the sender's ack/mark bookkeeping (cum-ack
+//!   prefix drop, rtx-queue maintenance, missing-report strikes) dominates.
+//! * `matching_churn` — a farm-style flood of unexpected messages from many
+//!   sources drained by wildcard receives, plus the farm workload itself,
+//!   so the `(cxt, src, tag)`-indexed matcher and its incremental GC are on
+//!   the measured path.
+//!
+//! Run with `cargo bench --offline -p bench-harness --bench hot_paths`.
+
+use bytes::Bytes;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use mpi_core::envelope::{EnvKind, Envelope};
+use mpi_core::matching::Core;
+use mpi_core::MpiCfg;
+use workloads::farm::{self, FarmCfg};
+use workloads::pingpong::{self, PingPongCfg};
+
+fn sack_storm(c: &mut Criterion) {
+    // 300 KB messages keep tens of chunks outstanding; 2% loss makes every
+    // SACK a gap report and triggers fast retransmit + T3 regularly.
+    c.bench_function("sack_storm/sctp_300k_loss2", |b| {
+        b.iter(|| {
+            let r = pingpong::run(
+                MpiCfg::sctp(2, 0.02).with_seed(0xBA5E),
+                PingPongCfg { size: 300 * 1024, iters: 4 },
+            );
+            black_box(r.throughput)
+        })
+    });
+    c.bench_function("sack_storm/tcp_300k_loss2", |b| {
+        b.iter(|| {
+            let r = pingpong::run(
+                MpiCfg::tcp(2, 0.02).with_seed(0xBA5E),
+                PingPongCfg { size: 300 * 1024, iters: 4 },
+            );
+            black_box(r.throughput)
+        })
+    });
+}
+
+fn matching_churn(c: &mut Criterion) {
+    // Pure matcher churn, farm-shaped: bursts of eager messages from many
+    // sources pile up unexpected, then wildcard receives drain them in
+    // arrival order. With the naive scan this is quadratic per round.
+    c.bench_function("matching_churn/unexpected_flood", |b| {
+        b.iter(|| {
+            let mut core = Core::new(0, 64, 64 * 1024);
+            let mut delivered = 0u64;
+            for round in 0..8u32 {
+                for src in 0..63u16 {
+                    for k in 0..4u32 {
+                        let env = Envelope {
+                            kind: EnvKind::Eager,
+                            src,
+                            tag: (k % 3) as i32,
+                            cxt: 0,
+                            len: 1,
+                            seq: round * 4 + k,
+                        };
+                        let sink = core.on_envelope(src, env).sink.unwrap();
+                        core.body_chunk(sink, Bytes::from_static(b"x"));
+                        let _ = core.body_done(sink);
+                    }
+                }
+                // Drain with the farm manager's filter: ANY_SOURCE, one tag.
+                for tag in 0..3i32 {
+                    loop {
+                        let (r, _) = core.post_recv(None, Some(tag), 0);
+                        if !core.is_done(r) {
+                            break;
+                        }
+                        let _ = core.take_done(r);
+                        delivered += 1;
+                    }
+                }
+            }
+            black_box(delivered)
+        })
+    });
+    // The real workload the flood models, end to end.
+    c.bench_function("matching_churn/farm_small_sctp", |b| {
+        b.iter(|| {
+            let r = farm::run(MpiCfg::sctp(8, 0.0), FarmCfg::small(30 * 1024, 1));
+            black_box((r.secs, r.unexpected_peak))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = sack_storm, matching_churn
+}
+criterion_main!(benches);

@@ -6,15 +6,15 @@
 
 use bench_harness::{mean_over_seeds, render_table, save_json, Scale};
 use mpi_core::MpiCfg;
-use serde::Serialize;
 use workloads::pingpong::{run, PingPongCfg};
 
-#[derive(Serialize)]
 struct Row {
     variant: &'static str,
     loss: f64,
     tput: f64,
 }
+
+bench_harness::impl_to_json!(Row { variant, loss, tput });
 
 fn main() {
     let scale = Scale::from_args();
@@ -58,5 +58,5 @@ fn main() {
     );
     println!("note: effects are modest and workload-dependent in this reproduction — the");
     println!("      headline SCTP wins come from HOL elimination and recovery structure");
-    save_json("ablate_cc", &rows);
+    save_json(&scale.tag("ablate_cc"), &rows);
 }

@@ -4,10 +4,11 @@
 //!
 //! Usage: `ablate_race [--quick]`
 
-use bench_harness::{ablate_race, render_table, save_json, Scale};
+use bench_harness::{ablate_race_metered, render_table, save_json, Scale};
 
 fn main() {
-    let rows = ablate_race(Scale::from_args());
+    let scale = Scale::from_args();
+    let (rows, bench) = ablate_race_metered(scale);
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -28,5 +29,7 @@ fn main() {
         )
     );
     println!("expected: Option A >= Option B (serializing everything costs concurrency)");
-    save_json("ablate_race", &rows);
+    save_json(&scale.tag("ablate_race"), &rows);
+    bench.save();
+    eprintln!("{}", bench.summary());
 }

@@ -8,16 +8,16 @@
 
 use bench_harness::{mean_over_seeds, render_table, save_json, Scale};
 use mpi_core::MpiCfg;
-use serde::Serialize;
 use workloads::pingpong::{run, PingPongCfg};
 
-#[derive(Serialize)]
 struct Row {
     paths: u8,
     cmt: bool,
     loss: f64,
     mb_per_s: f64,
 }
+
+bench_harness::impl_to_json!(Row { paths, cmt, loss, mb_per_s });
 
 fn main() {
     let scale = Scale::from_args();
@@ -59,5 +59,5 @@ fn main() {
         )
     );
     println!("expected: CMT over 3 paths beats single-path; multihoming without CMT does not");
-    save_json("cmt", &rows);
+    save_json(&scale.tag("cmt"), &rows);
 }

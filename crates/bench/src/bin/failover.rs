@@ -7,16 +7,16 @@
 
 use bench_harness::{render_table, save_json, Scale};
 use mpi_core::MpiCfg;
-use serde::Serialize;
 use simcore::Dur;
 use workloads::farm::{run_with_fault, FarmCfg};
 
-#[derive(Serialize)]
 struct Row {
     kill_primary: bool,
     secs: f64,
     failovers: u64,
 }
+
+bench_harness::impl_to_json!(Row { kill_primary, secs, failovers });
 
 fn main() {
     let scale = Scale::from_args();
@@ -48,5 +48,5 @@ fn main() {
         )
     );
     println!("expected: the killed run completes with failovers >= 1 and a modest slowdown");
-    save_json("failover", &rows);
+    save_json(&scale.tag("failover"), &rows);
 }

@@ -6,10 +6,11 @@
 //!
 //! Usage: `fig10 [--quick]`
 
-use bench_harness::{farm_figure, human_size, render_table, save_json, Scale};
+use bench_harness::{farm_figure_metered, human_size, render_table, save_json, Scale};
 
 fn main() {
-    let rows = farm_figure(Scale::from_args(), 1);
+    let scale = Scale::from_args();
+    let (rows, bench) = farm_figure_metered(scale, 1);
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -34,5 +35,7 @@ fn main() {
     );
     println!("paper (short): TCP/SCTP = 0.87x @0%, 10.4x @1%, 11.7x @2%");
     println!("paper (long):  TCP/SCTP = 0.73x @0%, 2.59x @1%, 2.70x @2%");
-    save_json("fig10", &rows);
+    save_json(&scale.tag("fig10"), &rows);
+    bench.save();
+    eprintln!("{}", bench.summary());
 }

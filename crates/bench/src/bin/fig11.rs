@@ -6,10 +6,11 @@
 //!
 //! Usage: `fig11 [--quick]`
 
-use bench_harness::{farm_figure, human_size, render_table, save_json, Scale};
+use bench_harness::{farm_figure_metered, human_size, render_table, save_json, Scale};
 
 fn main() {
-    let rows = farm_figure(Scale::from_args(), 10);
+    let scale = Scale::from_args();
+    let (rows, bench) = farm_figure_metered(scale, 10);
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -34,5 +35,7 @@ fn main() {
     );
     println!("paper (short): TCP/SCTP = 0.71x @0%, 7.5x @1%, 9.7x @2%");
     println!("paper (long):  TCP/SCTP = 0.61x @0%, 3.9x @1%, 4.0x @2%");
-    save_json("fig11", &rows);
+    save_json(&scale.tag("fig11"), &rows);
+    bench.save();
+    eprintln!("{}", bench.summary());
 }

@@ -6,10 +6,11 @@
 //!
 //! Usage: `fig12 [--quick]`
 
-use bench_harness::{fig12, human_size, render_table, save_json, Scale};
+use bench_harness::{fig12_metered, human_size, render_table, save_json, Scale};
 
 fn main() {
-    let rows = fig12(Scale::from_args());
+    let scale = Scale::from_args();
+    let (rows, bench) = fig12_metered(scale);
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -32,5 +33,7 @@ fn main() {
     );
     println!("paper (short): 1.07x @0%, 0.94x @1%, 1.35x @2%");
     println!("paper (long):  1.00x @0%, 1.27x @1%, 1.23x @2%");
-    save_json("fig12", &rows);
+    save_json(&scale.tag("fig12"), &rows);
+    bench.save();
+    eprintln!("{}", bench.summary());
 }

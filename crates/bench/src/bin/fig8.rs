@@ -4,11 +4,11 @@
 //!
 //! Usage: `fig8 [--quick]`
 
-use bench_harness::{fig8, fig8_crossover, human_size, render_table, save_json, Scale};
+use bench_harness::{fig8_crossover, fig8_metered, human_size, render_table, save_json, Scale};
 
 fn main() {
     let scale = Scale::from_args();
-    let rows = fig8(scale);
+    let (rows, bench) = fig8_metered(scale);
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -32,5 +32,7 @@ fn main() {
         Some(size) => println!("crossover (SCTP >= TCP) at ~{} (paper: ~22K)", human_size(size)),
         None => println!("no crossover found in the sweep (paper: ~22K)"),
     }
-    save_json("fig8", &rows);
+    save_json(&scale.tag("fig8"), &rows);
+    bench.save();
+    eprintln!("{}", bench.summary());
 }

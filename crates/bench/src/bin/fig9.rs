@@ -3,7 +3,7 @@
 //!
 //! Usage: `fig9 [--quick] [--class S|W|A|B]`
 
-use bench_harness::{fig9, render_table, save_json, Scale};
+use bench_harness::{fig9_metered, render_table, save_json, Scale};
 use workloads::nas::Class;
 
 fn main() {
@@ -18,7 +18,7 @@ fn main() {
             _ => Class::B,
         })
         .unwrap_or(Class::B);
-    let rows = fig9(scale, class);
+    let (rows, bench) = fig9_metered(scale, class);
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -40,5 +40,7 @@ fn main() {
         )
     );
     println!("paper: SCTP ~ TCP on average; TCP slightly ahead on MG and BT");
-    save_json("fig9", &rows);
+    save_json(&scale.tag("fig9"), &rows);
+    bench.save();
+    eprintln!("{}", bench.summary());
 }

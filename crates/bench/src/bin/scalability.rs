@@ -13,9 +13,7 @@ use bench_harness::{render_table, save_json, Scale};
 use bytes::Bytes;
 use mpi_core::{mpirun, MpiCfg};
 use netsim::NetCfg;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     nprocs: u16,
     tcp_us: f64,
@@ -23,6 +21,8 @@ struct Row {
     select_share_pct: f64,
     sctp_us: f64,
 }
+
+bench_harness::impl_to_json!(Row { nprocs, tcp_us, tcp_noselect_us, select_share_pct, sctp_us });
 
 fn ring(mpi: &mut mpi_core::Mpi, iters: u32, bytes: usize) {
     let n = mpi.size();
@@ -86,5 +86,5 @@ fn main() {
         )
     );
     println!("expected: the select() share grows with the process count (§3.3)");
-    save_json("scalability", &rows);
+    save_json(&scale.tag("scalability"), &rows);
 }

@@ -4,10 +4,11 @@
 //!
 //! Usage: `table1 [--quick]`
 
-use bench_harness::{human_size, render_table, save_json, table1, Scale};
+use bench_harness::{human_size, render_table, save_json, table1_metered, Scale};
 
 fn main() {
-    let rows = table1(Scale::from_args());
+    let scale = Scale::from_args();
+    let (rows, bench) = table1_metered(scale);
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -31,5 +32,7 @@ fn main() {
         )
     );
     println!("paper: 30K: 28.5x @1%, 43.3x @2%; 300K: 3.2x @1%, 3.2x @2%");
-    save_json("table1", &rows);
+    save_json(&scale.tag("table1"), &rows);
+    bench.save();
+    eprintln!("{}", bench.summary());
 }

@@ -3,15 +3,27 @@
 //! binaries print the full paper-scale results; the Criterion benches in
 //! `benches/` run scaled-down versions of the same generators.
 //!
+//! Every figure cell — one (message size × loss rate × transport × seed)
+//! combination — is an independent deterministic simulation, so the
+//! `*_metered` generators fan cells across a [`runner`] worker pool and
+//! record per-cell self-metering into `results/BENCH_<fig>.json`
+//! (schema in EXPERIMENTS.md). Aggregation happens in cell order, so the
+//! figures are bit-identical to a sequential run.
+//!
 //! The `probe_*` binaries (`probe_nas`, `probe_farm`, `probe_era`) are
 //! diagnostic tools: one workload, one transport, full transport counters —
 //! used with the env-gated traces documented in the `transport` crate.
 
 use mpi_core::{ContextMap, MpiCfg, RaceFix, TransportSel};
-use serde::Serialize;
 use workloads::farm::{self, FarmCfg};
 use workloads::nas::{self, Class, Kernel};
 use workloads::pingpong::{self, PingPongCfg};
+
+pub mod json;
+pub mod runner;
+
+use json::ToJson;
+use runner::{BenchReport, Cell, Measured};
 
 /// How much of the paper-scale workload to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,20 +42,36 @@ impl Scale {
             Scale::Paper
         }
     }
+
+    /// Result-file stem for this scale: quick runs get a `_quick` suffix so
+    /// they never overwrite the committed paper-scale `results/*.json`.
+    pub fn tag(self, name: &str) -> String {
+        match self {
+            Scale::Paper => name.to_string(),
+            Scale::Quick => format!("{name}_quick"),
+        }
+    }
 }
+
+/// The seed base every figure derives its per-run seeds from.
+pub const SEED_BASE: u64 = 0xBA5E;
 
 /// Averages `runs` deterministic runs over distinct seeds (the paper runs
 /// each farm configuration six times and reports the mean).
 pub fn mean_over_seeds(runs: u64, mut f: impl FnMut(u64) -> f64) -> f64 {
-    let total: f64 = (0..runs).map(|s| f(0xBA5E + s)).sum();
+    let total: f64 = (0..runs).map(|s| f(SEED_BASE + s)).sum();
     total / runs as f64
+}
+
+fn mean(xs: &[Measured]) -> f64 {
+    xs.iter().map(|m| m.value).sum::<f64>() / xs.len().max(1) as f64
 }
 
 // ---------------------------------------------------------------------------
 // E1 — Figure 8: ping-pong throughput vs message size, no loss
 // ---------------------------------------------------------------------------
 
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig8Row {
     pub size: usize,
     pub tcp_tput: f64,
@@ -51,6 +79,8 @@ pub struct Fig8Row {
     /// SCTP throughput normalized to TCP (the paper's y-axis).
     pub normalized: f64,
 }
+
+impl_to_json!(Fig8Row { size, tcp_tput, sctp_tput, normalized });
 
 /// The paper sweeps message sizes 1 B .. 128 KB.
 pub fn fig8_sizes(scale: Scale) -> Vec<usize> {
@@ -63,20 +93,39 @@ pub fn fig8_sizes(scale: Scale) -> Vec<usize> {
     }
 }
 
-pub fn fig8(scale: Scale) -> Vec<Fig8Row> {
+fn pingpong_cell(label: String, cfg: MpiCfg, pp: PingPongCfg) -> Cell<'static> {
+    Cell::new(label, move || {
+        let r = pingpong::run(cfg.clone(), pp);
+        Measured::new(r.throughput, r.secs, r.events)
+    })
+}
+
+pub fn fig8_metered(scale: Scale) -> (Vec<Fig8Row>, BenchReport) {
     let iters = match scale {
         Scale::Paper => 200,
         Scale::Quick => 20,
     };
-    fig8_sizes(scale)
-        .into_iter()
-        .map(|size| {
-            let pp = PingPongCfg { size, iters };
-            let tcp = pingpong::run(MpiCfg::tcp(2, 0.0), pp).throughput;
-            let sctp = pingpong::run(MpiCfg::sctp(2, 0.0), pp).throughput;
+    let sizes = fig8_sizes(scale);
+    let mut cells = Vec::new();
+    for &size in &sizes {
+        let pp = PingPongCfg { size, iters };
+        cells.push(pingpong_cell(format!("size={size} rpi=tcp"), MpiCfg::tcp(2, 0.0), pp));
+        cells.push(pingpong_cell(format!("size={size} rpi=sctp"), MpiCfg::sctp(2, 0.0), pp));
+    }
+    let (vals, report) = runner::run_cells("fig8", scale, cells);
+    let rows = sizes
+        .iter()
+        .zip(vals.chunks_exact(2))
+        .map(|(&size, pair)| {
+            let (tcp, sctp) = (pair[0].value, pair[1].value);
             Fig8Row { size, tcp_tput: tcp, sctp_tput: sctp, normalized: sctp / tcp }
         })
-        .collect()
+        .collect();
+    (rows, report)
+}
+
+pub fn fig8(scale: Scale) -> Vec<Fig8Row> {
+    fig8_metered(scale).0
 }
 
 /// The message size at which SCTP first matches TCP (paper: ≈ 22 KB).
@@ -88,7 +137,7 @@ pub fn fig8_crossover(rows: &[Fig8Row]) -> Option<usize> {
 // E2 — Table 1: ping-pong under loss
 // ---------------------------------------------------------------------------
 
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table1Row {
     pub size: usize,
     pub loss: f64,
@@ -100,7 +149,9 @@ pub struct Table1Row {
     pub ratio_era: f64,
 }
 
-pub fn table1(scale: Scale) -> Vec<Table1Row> {
+impl_to_json!(Table1Row { size, loss, sctp_tput, tcp_tput, tcp_era_tput, ratio, ratio_era });
+
+pub fn table1_metered(scale: Scale) -> (Vec<Table1Row>, BenchReport) {
     let iters = match scale {
         Scale::Paper => 120,
         Scale::Quick => 8,
@@ -110,20 +161,33 @@ pub fn table1(scale: Scale) -> Vec<Table1Row> {
         // era-TCP cells (80+ simulated seconds each) tractable
         Scale::Quick => 1,
     };
-    let mut rows = Vec::new();
+    let mut cells = Vec::new();
+    let mut keys = Vec::new();
     for &size in &[30 * 1024, 300 * 1024] {
         for &loss in &[0.01, 0.02] {
+            keys.push((size, loss));
             let pp = PingPongCfg { size, iters };
-            let sctp = mean_over_seeds(runs, |s| {
-                pingpong::run(MpiCfg::sctp(2, loss).with_seed(s), pp).throughput
-            });
-            let tcp = mean_over_seeds(runs, |s| {
-                pingpong::run(MpiCfg::tcp(2, loss).with_seed(s), pp).throughput
-            });
-            let tcp_era = mean_over_seeds(runs, |s| {
-                pingpong::run(MpiCfg::tcp_era(2, loss).with_seed(s), pp).throughput
-            });
-            rows.push(Table1Row {
+            for (rpi, mk) in transports3() {
+                for s in 0..runs {
+                    let seed = SEED_BASE + s;
+                    cells.push(pingpong_cell(
+                        format!("size={size} loss={loss} rpi={rpi} seed={seed:#x}"),
+                        mk(2, loss).with_seed(seed),
+                        pp,
+                    ));
+                }
+            }
+        }
+    }
+    let (vals, report) = runner::run_cells("table1", scale, cells);
+    let rows = keys
+        .iter()
+        .zip(vals.chunks_exact(3 * runs as usize))
+        .map(|(&(size, loss), chunk)| {
+            let (sctp, rest) = chunk.split_at(runs as usize);
+            let (tcp, era) = rest.split_at(runs as usize);
+            let (sctp, tcp, tcp_era) = (mean(sctp), mean(tcp), mean(era));
+            Table1Row {
                 size,
                 loss,
                 sctp_tput: sctp,
@@ -131,17 +195,26 @@ pub fn table1(scale: Scale) -> Vec<Table1Row> {
                 tcp_era_tput: tcp_era,
                 ratio: sctp / tcp,
                 ratio_era: sctp / tcp_era,
-            });
-        }
-    }
-    rows
+            }
+        })
+        .collect();
+    (rows, report)
+}
+
+pub fn table1(scale: Scale) -> Vec<Table1Row> {
+    table1_metered(scale).0
+}
+
+/// The three transports the loss experiments compare, in output order.
+fn transports3() -> [(&'static str, fn(u16, f64) -> MpiCfg); 3] {
+    [("sctp", MpiCfg::sctp), ("tcp", MpiCfg::tcp), ("tcp-era", MpiCfg::tcp_era)]
 }
 
 // ---------------------------------------------------------------------------
 // E3 — Figure 9: NAS kernels, class B (plus the other classes)
 // ---------------------------------------------------------------------------
 
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig9Row {
     pub kernel: &'static str,
     pub class: &'static str,
@@ -150,16 +223,28 @@ pub struct Fig9Row {
     pub ratio: f64,
 }
 
-pub fn fig9(scale: Scale, class: Class) -> Vec<Fig9Row> {
+impl_to_json!(Fig9Row { kernel, class, sctp_mops, tcp_mops, ratio });
+
+pub fn fig9_metered(scale: Scale, class: Class) -> (Vec<Fig9Row>, BenchReport) {
     let class = match scale {
         Scale::Paper => class,
         Scale::Quick => Class::S,
     };
-    Kernel::ALL
+    let mut cells = Vec::new();
+    for &k in Kernel::ALL.iter() {
+        for (rpi, mk) in [("sctp", MpiCfg::sctp as fn(u16, f64) -> MpiCfg), ("tcp", MpiCfg::tcp)] {
+            cells.push(Cell::new(format!("kernel={} rpi={rpi}", k.name()), move || {
+                let r = nas::run(mk(8, 0.0), k, class);
+                Measured::new(r.mops_per_sec, r.secs, r.events)
+            }));
+        }
+    }
+    let (vals, report) = runner::run_cells("fig9", scale, cells);
+    let rows = Kernel::ALL
         .iter()
-        .map(|&k| {
-            let sctp = nas::run(MpiCfg::sctp(8, 0.0), k, class).mops_per_sec;
-            let tcp = nas::run(MpiCfg::tcp(8, 0.0), k, class).mops_per_sec;
+        .zip(vals.chunks_exact(2))
+        .map(|(&k, pair)| {
+            let (sctp, tcp) = (pair[0].value, pair[1].value);
             Fig9Row {
                 kernel: k.name(),
                 class: class.name(),
@@ -168,14 +253,19 @@ pub fn fig9(scale: Scale, class: Class) -> Vec<Fig9Row> {
                 ratio: sctp / tcp,
             }
         })
-        .collect()
+        .collect();
+    (rows, report)
+}
+
+pub fn fig9(scale: Scale, class: Class) -> Vec<Fig9Row> {
+    fig9_metered(scale, class).0
 }
 
 // ---------------------------------------------------------------------------
 // E4/E5 — Figures 10 & 11: the Bulk Processor Farm
 // ---------------------------------------------------------------------------
 
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FarmRow {
     pub task_bytes: usize,
     pub fanout: u32,
@@ -186,7 +276,22 @@ pub struct FarmRow {
     pub tcp_era_secs: f64,
     pub ratio_tcp_over_sctp: f64,
     pub ratio_era: f64,
+    /// Peak unexpected-queue length across all cells of this row — the
+    /// matching layer must keep this bounded (independent of task count).
+    pub unexpected_peak: u64,
 }
+
+impl_to_json!(FarmRow {
+    task_bytes,
+    fanout,
+    loss,
+    sctp_secs,
+    tcp_secs,
+    tcp_era_secs,
+    ratio_tcp_over_sctp,
+    ratio_era,
+    unexpected_peak,
+});
 
 pub fn farm_cfg(scale: Scale, task_bytes: usize, fanout: u32) -> FarmCfg {
     match scale {
@@ -199,28 +304,47 @@ pub fn farm_cfg(scale: Scale, task_bytes: usize, fanout: u32) -> FarmCfg {
     }
 }
 
-pub fn farm_figure(scale: Scale, fanout: u32) -> Vec<FarmRow> {
+fn farm_cell(label: String, cfg: MpiCfg, farm: FarmCfg) -> Cell<'static> {
+    Cell::new(label, move || {
+        let r = farm::run(cfg.clone(), farm);
+        Measured { value: r.secs, sim_secs: r.secs, events: r.events, aux: r.unexpected_peak as u64 }
+    })
+}
+
+pub fn farm_figure_metered(scale: Scale, fanout: u32) -> (Vec<FarmRow>, BenchReport) {
     let runs = match scale {
         Scale::Paper => 3,
         Scale::Quick => 1,
     };
-    let mut rows = Vec::new();
+    let fig = if fanout == 1 { "fig10" } else { "fig11" };
+    let mut cells = Vec::new();
+    let mut keys = Vec::new();
     for &task_bytes in &[30 * 1024, 300 * 1024] {
         for &loss in &[0.0, 0.01, 0.02] {
+            keys.push((task_bytes, loss));
             let cfg = farm_cfg(scale, task_bytes, fanout);
-            eprintln!("[farm fanout={fanout}] task={task_bytes} loss={loss}: sctp...");
-            let sctp = mean_over_seeds(runs, |s| {
-                farm::run(MpiCfg::sctp(8, loss).with_seed(s), cfg).secs
-            });
-            eprintln!("[farm fanout={fanout}] task={task_bytes} loss={loss}: tcp...");
-            let tcp = mean_over_seeds(runs, |s| {
-                farm::run(MpiCfg::tcp(8, loss).with_seed(s), cfg).secs
-            });
-            eprintln!("[farm fanout={fanout}] task={task_bytes} loss={loss}: tcp-era...");
-            let tcp_era = mean_over_seeds(runs, |s| {
-                farm::run(MpiCfg::tcp_era(8, loss).with_seed(s), cfg).secs
-            });
-            rows.push(FarmRow {
+            for (rpi, mk) in transports3() {
+                for s in 0..runs {
+                    let seed = SEED_BASE + s;
+                    cells.push(farm_cell(
+                        format!("task={task_bytes} loss={loss} rpi={rpi} seed={seed:#x}"),
+                        mk(8, loss).with_seed(seed),
+                        cfg,
+                    ));
+                }
+            }
+        }
+    }
+    let (vals, report) = runner::run_cells(fig, scale, cells);
+    let rows = keys
+        .iter()
+        .zip(vals.chunks_exact(3 * runs as usize))
+        .map(|(&(task_bytes, loss), chunk)| {
+            let (sctp, rest) = chunk.split_at(runs as usize);
+            let (tcp, era) = rest.split_at(runs as usize);
+            let peak = chunk.iter().map(|m| m.aux).max().unwrap_or(0);
+            let (sctp, tcp, tcp_era) = (mean(sctp), mean(tcp), mean(era));
+            FarmRow {
                 task_bytes,
                 fanout,
                 loss,
@@ -229,17 +353,22 @@ pub fn farm_figure(scale: Scale, fanout: u32) -> Vec<FarmRow> {
                 tcp_era_secs: tcp_era,
                 ratio_tcp_over_sctp: tcp / sctp,
                 ratio_era: tcp_era / sctp,
-            });
-        }
-    }
-    rows
+                unexpected_peak: peak,
+            }
+        })
+        .collect();
+    (rows, report)
+}
+
+pub fn farm_figure(scale: Scale, fanout: u32) -> Vec<FarmRow> {
+    farm_figure_metered(scale, fanout).0
 }
 
 // ---------------------------------------------------------------------------
 // E6 — Figure 12: 10 streams vs 1 stream (HOL isolation)
 // ---------------------------------------------------------------------------
 
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig12Row {
     pub task_bytes: usize,
     pub loss: f64,
@@ -248,61 +377,98 @@ pub struct Fig12Row {
     pub ratio_1_over_10: f64,
 }
 
-pub fn fig12(scale: Scale) -> Vec<Fig12Row> {
+impl_to_json!(Fig12Row { task_bytes, loss, streams10_secs, stream1_secs, ratio_1_over_10 });
+
+pub fn fig12_metered(scale: Scale) -> (Vec<Fig12Row>, BenchReport) {
     let runs = match scale {
         Scale::Paper => 3,
         Scale::Quick => 1,
     };
     let fanout = 10;
-    let mut rows = Vec::new();
+    let mut cells = Vec::new();
+    let mut keys = Vec::new();
     for &task_bytes in &[30 * 1024, 300 * 1024] {
         for &loss in &[0.0, 0.01, 0.02] {
+            keys.push((task_bytes, loss));
             let cfg = farm_cfg(scale, task_bytes, fanout);
-            let ten = mean_over_seeds(runs, |s| {
-                farm::run(MpiCfg::sctp(8, loss).with_seed(s), cfg).secs
-            });
-            let one = mean_over_seeds(runs, |s| {
-                farm::run(MpiCfg::sctp_single_stream(8, loss).with_seed(s), cfg).secs
-            });
-            rows.push(Fig12Row {
+            for (label, mk) in [
+                ("streams=10", MpiCfg::sctp as fn(u16, f64) -> MpiCfg),
+                ("streams=1", MpiCfg::sctp_single_stream),
+            ] {
+                for s in 0..runs {
+                    let seed = SEED_BASE + s;
+                    cells.push(farm_cell(
+                        format!("task={task_bytes} loss={loss} {label} seed={seed:#x}"),
+                        mk(8, loss).with_seed(seed),
+                        cfg,
+                    ));
+                }
+            }
+        }
+    }
+    let (vals, report) = runner::run_cells("fig12", scale, cells);
+    let rows = keys
+        .iter()
+        .zip(vals.chunks_exact(2 * runs as usize))
+        .map(|(&(task_bytes, loss), chunk)| {
+            let (ten, one) = chunk.split_at(runs as usize);
+            let (ten, one) = (mean(ten), mean(one));
+            Fig12Row {
                 task_bytes,
                 loss,
                 streams10_secs: ten,
                 stream1_secs: one,
                 ratio_1_over_10: one / ten,
-            });
-        }
-    }
-    rows
+            }
+        })
+        .collect();
+    (rows, report)
+}
+
+pub fn fig12(scale: Scale) -> Vec<Fig12Row> {
+    fig12_metered(scale).0
 }
 
 // ---------------------------------------------------------------------------
 // A2 — Option A vs Option B (long-message race fixes, §3.4)
 // ---------------------------------------------------------------------------
 
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RaceRow {
     pub loss: f64,
     pub option_a_secs: f64,
     pub option_b_secs: f64,
 }
 
-pub fn ablate_race(scale: Scale) -> Vec<RaceRow> {
-    let mut rows = Vec::new();
-    for &loss in &[0.0, 0.01] {
+impl_to_json!(RaceRow { loss, option_a_secs, option_b_secs });
+
+pub fn ablate_race_metered(scale: Scale) -> (Vec<RaceRow>, BenchReport) {
+    let mut cells = Vec::new();
+    let losses = [0.0, 0.01];
+    for &loss in &losses {
         let cfg = farm_cfg(scale, 300 * 1024, 10);
-        let mk = |fix: RaceFix, seed: u64| {
-            let mut m = MpiCfg::sctp(8, loss).with_seed(seed);
-            m.transport = TransportSel::Sctp { streams: 10, race_fix: fix, ctx_map: ContextMap::StreamHash };
-            farm::run(m, cfg).secs
-        };
-        rows.push(RaceRow {
-            loss,
-            option_a_secs: mk(RaceFix::OptionA, 0xBA5E),
-            option_b_secs: mk(RaceFix::OptionB, 0xBA5E),
-        });
+        for (name, fix) in [("A", RaceFix::OptionA), ("B", RaceFix::OptionB)] {
+            let mut m = MpiCfg::sctp(8, loss).with_seed(SEED_BASE);
+            m.transport =
+                TransportSel::Sctp { streams: 10, race_fix: fix, ctx_map: ContextMap::StreamHash };
+            cells.push(farm_cell(format!("loss={loss} option={name}"), m, cfg));
+        }
     }
-    rows
+    let (vals, report) = runner::run_cells("ablate_race", scale, cells);
+    let rows = losses
+        .iter()
+        .zip(vals.chunks_exact(2))
+        .map(|(&loss, pair)| RaceRow {
+            loss,
+            option_a_secs: pair[0].value,
+            option_b_secs: pair[1].value,
+        })
+        .collect();
+    (rows, report)
+}
+
+pub fn ablate_race(scale: Scale) -> Vec<RaceRow> {
+    ablate_race_metered(scale).0
 }
 
 // ---------------------------------------------------------------------------
@@ -334,13 +500,11 @@ pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> Strin
 }
 
 /// Write a JSON record of the experiment next to the binary output.
-pub fn save_json<T: Serialize>(name: &str, rows: &T) {
+pub fn save_json<T: ToJson + ?Sized>(name: &str, rows: &T) {
     let dir = std::path::Path::new("results");
     if std::fs::create_dir_all(dir).is_ok() {
         let path = dir.join(format!("{name}.json"));
-        if let Ok(s) = serde_json::to_string_pretty(rows) {
-            let _ = std::fs::write(path, s);
-        }
+        let _ = std::fs::write(path, rows.to_json().render() + "\n");
     }
 }
 
@@ -384,5 +548,23 @@ mod tests {
     fn human_sizes() {
         assert_eq!(human_size(30 * 1024), "30K");
         assert_eq!(human_size(100), "100");
+    }
+
+    #[test]
+    fn row_types_serialize() {
+        let row = FarmRow {
+            task_bytes: 30720,
+            fanout: 10,
+            loss: 0.01,
+            sctp_secs: 1.0,
+            tcp_secs: 2.0,
+            tcp_era_secs: 3.0,
+            ratio_tcp_over_sctp: 2.0,
+            ratio_era: 3.0,
+            unexpected_peak: 7,
+        };
+        let s = vec![row].to_json().render();
+        assert!(s.contains("\"unexpected_peak\": 7"));
+        assert!(s.contains("\"loss\": 0.01"));
     }
 }

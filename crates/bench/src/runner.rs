@@ -1,0 +1,224 @@
+//! Parallel, self-metering experiment runner.
+//!
+//! Every figure/table cell — one (message size × loss rate × transport ×
+//! seed) combination — is an independent deterministic simulation, so the
+//! harness fans cells across a `std::thread::scope` worker pool. Results
+//! are written back by cell index, so output order (and therefore every
+//! aggregate computed from it) is identical to a sequential run no matter
+//! how threads interleave; only wall-clock changes.
+//!
+//! Each cell records wall-clock, simulated seconds, and the simulator's
+//! `events_fired` counter. The per-figure roll-up is persisted as
+//! `results/BENCH_<fig>.json` (schema documented in EXPERIMENTS.md) so
+//! harness performance is comparable across PRs.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::json::{Json, ToJson};
+use crate::{impl_to_json, Scale};
+
+/// What one cell's simulation reports back to the harness.
+#[derive(Debug, Clone, Copy)]
+pub struct Measured {
+    /// The cell's metric (throughput, seconds, MOPS — figure-dependent).
+    pub value: f64,
+    /// Simulated seconds the run covered.
+    pub sim_secs: f64,
+    /// Simulator events fired during the run.
+    pub events: u64,
+    /// Figure-specific side channel (the farm figures report the peak
+    /// unexpected-queue length here); 0 when unused.
+    pub aux: u64,
+}
+
+impl Measured {
+    pub fn new(value: f64, sim_secs: f64, events: u64) -> Measured {
+        Measured { value, sim_secs, events, aux: 0 }
+    }
+}
+
+/// One unit of work: a label for the meter plus the simulation closure.
+pub struct Cell<'a> {
+    pub label: String,
+    pub run: Box<dyn Fn() -> Measured + Send + Sync + 'a>,
+}
+
+impl<'a> Cell<'a> {
+    pub fn new(label: String, run: impl Fn() -> Measured + Send + Sync + 'a) -> Cell<'a> {
+        Cell { label, run: Box::new(run) }
+    }
+}
+
+/// Per-cell self-metering record (one row of `results/BENCH_<fig>.json`).
+#[derive(Debug, Clone)]
+pub struct CellMeter {
+    pub label: String,
+    pub wall_secs: f64,
+    pub sim_secs: f64,
+    pub events_fired: u64,
+    pub events_per_sec: f64,
+}
+
+impl_to_json!(CellMeter { label, wall_secs, sim_secs, events_fired, events_per_sec });
+
+/// Roll-up of one figure's harness run.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    pub fig: String,
+    pub scale: &'static str,
+    pub threads: usize,
+    pub wall_secs_total: f64,
+    pub events_total: u64,
+    pub cells: Vec<CellMeter>,
+}
+
+impl ToJson for BenchReport {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("fig", self.fig.to_json()),
+            ("scale", self.scale.to_json()),
+            ("threads", self.threads.to_json()),
+            ("wall_secs_total", self.wall_secs_total.to_json()),
+            ("events_total", self.events_total.to_json()),
+            ("cells", self.cells.to_json()),
+        ])
+    }
+}
+
+impl BenchReport {
+    /// Writes `results/BENCH_<fig>.json`.
+    pub fn save(&self) {
+        let dir = std::path::Path::new("results");
+        if std::fs::create_dir_all(dir).is_ok() {
+            let path = dir.join(format!("BENCH_{}.json", self.fig));
+            let _ = std::fs::write(path, self.to_json().render() + "\n");
+        }
+    }
+
+    /// One-line harness summary for the binaries' stderr.
+    pub fn summary(&self) -> String {
+        format!(
+            "[bench {}] {} cells on {} threads: {:.2}s wall, {} events ({:.0} ev/s)",
+            self.fig,
+            self.cells.len(),
+            self.threads,
+            self.wall_secs_total,
+            self.events_total,
+            self.events_total as f64 / self.wall_secs_total.max(1e-9),
+        )
+    }
+}
+
+/// Worker count: `BENCH_THREADS` env override (1 forces a sequential run),
+/// else the machine's available parallelism.
+pub fn pool_threads() -> usize {
+    if let Ok(v) = std::env::var("BENCH_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs all cells on the worker pool; returns per-cell measurements in
+/// cell order plus the metering roll-up.
+pub fn run_cells(fig: &str, scale: Scale, cells: Vec<Cell<'_>>) -> (Vec<Measured>, BenchReport) {
+    let n = cells.len();
+    let threads = pool_threads().min(n.max(1));
+    let start = Instant::now();
+    let slots: Vec<Mutex<Option<(Measured, CellMeter)>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let cell = &cells[i];
+                let t0 = Instant::now();
+                let m = (cell.run)();
+                let wall = t0.elapsed().as_secs_f64();
+                let meter = CellMeter {
+                    label: cell.label.clone(),
+                    wall_secs: wall,
+                    sim_secs: m.sim_secs,
+                    events_fired: m.events,
+                    events_per_sec: m.events as f64 / wall.max(1e-9),
+                };
+                *slots[i].lock().unwrap() = Some((m, meter));
+            });
+        }
+    });
+    let wall_total = start.elapsed().as_secs_f64();
+    let mut values = Vec::with_capacity(n);
+    let mut meters = Vec::with_capacity(n);
+    for slot in slots {
+        let (v, m) = slot.into_inner().unwrap().expect("cell not run");
+        values.push(v);
+        meters.push(m);
+    }
+    let report = BenchReport {
+        fig: scale.tag(fig),
+        scale: match scale {
+            Scale::Paper => "paper",
+            Scale::Quick => "quick",
+        },
+        threads,
+        wall_secs_total: wall_total,
+        events_total: meters.iter().map(|m| m.events_fired).sum(),
+        cells: meters,
+    };
+    (values, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_cell_order_regardless_of_runtime() {
+        // Cells finish in reverse submission order (later = faster), yet
+        // values come back in cell order.
+        let cells: Vec<Cell> = (0..16)
+            .map(|i| {
+                Cell::new(format!("cell{i}"), move || {
+                    std::thread::sleep(std::time::Duration::from_millis(16 - i as u64));
+                    Measured::new(i as f64, 0.0, i)
+                })
+            })
+            .collect();
+        let (values, report) = run_cells("test", Scale::Quick, cells);
+        let got: Vec<f64> = values.iter().map(|m| m.value).collect();
+        assert_eq!(got, (0..16).map(|i| i as f64).collect::<Vec<_>>());
+        assert_eq!(report.cells.len(), 16);
+        assert_eq!(report.cells[3].label, "cell3");
+        assert_eq!(report.events_total, (0..16).sum::<u64>());
+        assert!(report.wall_secs_total > 0.0);
+    }
+
+    #[test]
+    fn bench_report_renders_schema() {
+        let r = BenchReport {
+            fig: "fig0".into(),
+            scale: "quick",
+            threads: 2,
+            wall_secs_total: 0.5,
+            events_total: 10,
+            cells: vec![CellMeter {
+                label: "a".into(),
+                wall_secs: 0.25,
+                sim_secs: 1.0,
+                events_fired: 10,
+                events_per_sec: 40.0,
+            }],
+        };
+        let s = r.to_json().render();
+        for key in ["\"fig\"", "\"threads\"", "\"cells\"", "\"events_fired\"", "\"label\""] {
+            assert!(s.contains(key), "missing {key} in {s}");
+        }
+    }
+}

@@ -176,6 +176,12 @@ impl Mpi {
         self.core.size
     }
 
+    /// Peak live length of this rank's unexpected-message queue so far
+    /// (diagnostic; the farm workload asserts it stays bounded).
+    pub fn unexpected_peak(&self) -> usize {
+        self.core.unexpected_peak
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.env.now()
@@ -350,7 +356,7 @@ impl Mpi {
     // -----------------------------------------------------------------
 
     /// Drive the RPI until `cond` holds, parking when nothing can move.
-    pub(crate) fn progress_until(&mut self, cond: impl Fn(&Core) -> bool) {
+    pub(crate) fn progress_until(&mut self, mut cond: impl FnMut(&mut Core) -> bool) {
         let me = self.env.id();
         let block_start = self.env.now();
         loop {

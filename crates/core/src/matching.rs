@@ -11,8 +11,17 @@
 //! Matching is on the (tag, rank, context) triple with `MPI_ANY_SOURCE` /
 //! `MPI_ANY_TAG` wildcards; posted receives match in post order, unexpected
 //! messages in arrival order.
+//!
+//! Both queues are hash-indexed so the hot paths — an arriving envelope
+//! looking for a posted receive, and a posted receive looking for a
+//! buffered unexpected message — cost a handful of map lookups instead of
+//! a linear scan of every outstanding request. Order ties are broken by
+//! monotonic sequence numbers (post order / arrival order), never by hash
+//! iteration order, so results are identical to the naive scan.
 
-use std::collections::HashMap;
+use std::collections::VecDeque;
+
+use simcore::fxhash::FxHashMap;
 
 use bytes::Bytes;
 
@@ -108,14 +117,35 @@ pub struct Core {
     /// Eager/rendezvous switchover (LAM default 64 KB).
     pub short_limit: u32,
     pub(crate) reqs: Vec<Request>,
-    /// Posted receive request indices, in post order.
-    pub(crate) posted: Vec<usize>,
-    /// Unexpected messages, in arrival order.
-    pub(crate) unexpected: Vec<Unex>,
+    /// Posted receives, bucketed by filter concreteness. Each queue holds
+    /// `(post_seq, req idx)` in post order; an envelope checks at most four
+    /// queue fronts and the minimum `post_seq` wins, which reproduces the
+    /// post-order scan exactly.
+    posted_st: FxHashMap<(u32, u16, i32), VecDeque<(u64, usize)>>,
+    posted_s: FxHashMap<(u32, u16), VecDeque<(u64, usize)>>,
+    posted_t: FxHashMap<(u32, i32), VecDeque<(u64, usize)>>,
+    posted_any: FxHashMap<u32, VecDeque<(u64, usize)>>,
+    next_post_seq: u64,
+    /// Unexpected messages by arrival id (monotonic). An entry stays here
+    /// while body bytes can still arrive for it; fully-consumed entries
+    /// are released immediately, so the table never accumulates garbage.
+    pub(crate) unexpected: FxHashMap<usize, Unex>,
+    /// Unexpected arrival ids bucketed by every filter shape a receive or
+    /// probe can ask with, each queue in arrival (= id) order — the mirror
+    /// of the posted-receive index. A lookup reads exactly one queue front,
+    /// whatever its wildcards; ids that were consumed or claimed since
+    /// being pushed are popped lazily when they surface.
+    ux_st: FxHashMap<(u32, u16, i32), VecDeque<usize>>,
+    ux_s: FxHashMap<(u32, u16), VecDeque<usize>>,
+    ux_t: FxHashMap<(u32, i32), VecDeque<usize>>,
+    ux_any: FxHashMap<u32, VecDeque<usize>>,
+    next_unex_id: usize,
+    /// Unexpected entries not yet consumed (drives `unexpected_peak`).
+    unex_live: usize,
     /// (peer, seq) → send request awaiting that peer's ACK.
-    pub(crate) await_ack: HashMap<(u16, u32), usize>,
+    pub(crate) await_ack: FxHashMap<(u16, u32), usize>,
     /// (peer, seq) → recv request awaiting that long body.
-    pub(crate) rndv_expect: HashMap<(u16, u32), usize>,
+    pub(crate) rndv_expect: FxHashMap<(u16, u32), usize>,
     next_seq: u32,
     /// Counters for diagnostics.
     pub unexpected_peak: usize,
@@ -128,10 +158,20 @@ impl Core {
             size,
             short_limit,
             reqs: Vec::new(),
-            posted: Vec::new(),
-            unexpected: Vec::new(),
-            await_ack: HashMap::new(),
-            rndv_expect: HashMap::new(),
+            posted_st: FxHashMap::default(),
+            posted_s: FxHashMap::default(),
+            posted_t: FxHashMap::default(),
+            posted_any: FxHashMap::default(),
+            next_post_seq: 0,
+            unexpected: FxHashMap::default(),
+            ux_st: FxHashMap::default(),
+            ux_s: FxHashMap::default(),
+            ux_t: FxHashMap::default(),
+            ux_any: FxHashMap::default(),
+            next_unex_id: 0,
+            unex_live: 0,
+            await_ack: FxHashMap::default(),
+            rndv_expect: FxHashMap::default(),
             next_seq: 0,
             unexpected_peak: 0,
         }
@@ -237,25 +277,17 @@ impl Core {
         });
         let mut ctrl = Vec::new();
 
-        // Scan unexpected messages in arrival order.
-        let matched = self.unexpected.iter().position(|u| {
-            !u.consumed
-                && u.claimed_by.is_none()
-                && u.env.cxt == cxt
-                && src.is_none_or(|s| s == u.env.src)
-                && tag.is_none_or(|t| t == u.env.tag)
-        });
-        let Some(ui) = matched else {
-            self.posted.push(idx);
+        // Earliest matching unexpected message, via the arrival index.
+        let Some(ui) = self.find_unexpected(src, tag, cxt) else {
+            self.index_posted(idx);
             return (ReqId(idx), ctrl);
         };
-
-        let env = self.unexpected[ui].env;
+        let env = self.unexpected[&ui].env;
         match env.kind {
             EnvKind::Eager | EnvKind::SyncEager => {
-                if self.unexpected[ui].complete {
-                    let u = &mut self.unexpected[ui];
-                    u.consumed = true;
+                if self.unexpected[&ui].complete {
+                    self.consume_unexpected(ui);
+                    let u = self.unexpected.get_mut(&ui).unwrap();
                     let data = std::mem::take(&mut u.data);
                     let req = &mut self.reqs[idx];
                     req.data = data;
@@ -267,13 +299,13 @@ impl Core {
                     }
                 } else {
                     // Body still arriving: claim; completion transfers it.
-                    self.unexpected[ui].claimed_by = Some(idx);
+                    self.unexpected.get_mut(&ui).unwrap().claimed_by = Some(idx);
                     self.reqs[idx].state = ReqState::RecvArriving;
                 }
             }
             EnvKind::RndvReq => {
                 // Clear-to-send; the body will arrive tagged with env.seq.
-                self.unexpected[ui].consumed = true;
+                self.consume_unexpected(ui);
                 self.reqs[idx].state = ReqState::RecvArriving;
                 self.reqs[idx].status = Some(Status { src: env.src, tag: env.tag, len: env.len });
                 self.rndv_expect.insert((env.src, env.seq), idx);
@@ -281,7 +313,8 @@ impl Core {
             }
             k => unreachable!("unexpected queue holds {k:?}"),
         }
-        self.gc_unexpected();
+        self.release_unexpected(ui);
+        self.purge_unexpected_fronts(&env);
         (ReqId(idx), ctrl)
     }
 
@@ -368,8 +401,9 @@ impl Core {
                 self.reqs[i].data.push(chunk);
             }
             Sink::Unex(i) => {
-                self.unexpected[i].got += chunk.len() as u32;
-                self.unexpected[i].data.push(chunk);
+                let u = self.unexpected.get_mut(&i).expect("body for released unexpected");
+                u.got += chunk.len() as u32;
+                u.data.push(chunk);
             }
         }
     }
@@ -398,13 +432,13 @@ impl Core {
                 }
             }
             Sink::Unex(i) => {
-                self.unexpected[i].complete = true;
-                if let Some(ri) = self.unexpected[i].claimed_by {
-                    let env = self.unexpected[i].env;
-                    let u = &mut self.unexpected[i];
-                    u.consumed = true;
+                let u = self.unexpected.get_mut(&i).expect("body_done for released unexpected");
+                u.complete = true;
+                if let Some(ri) = u.claimed_by {
+                    let env = u.env;
                     let data = std::mem::take(&mut u.data);
                     let got = u.got;
+                    self.consume_unexpected(i);
                     let req = &mut self.reqs[ri];
                     req.data = data;
                     req.got = got;
@@ -414,22 +448,19 @@ impl Core {
                         ctrl.push((env.src, sync_ack(self.rank, &env)));
                     }
                 }
+                self.release_unexpected(i);
             }
         }
-        self.gc_unexpected();
         ctrl
     }
 
     /// Does any buffered unexpected message match `(src, tag, cxt)`?
     /// Returns its envelope metadata without consuming it (MPI_Iprobe).
-    pub fn probe_unexpected(&self, src: Option<u16>, tag: Option<i32>, cxt: u32) -> Option<Status> {
-        self.unexpected.iter().find_map(|u| {
-            let m = !u.consumed
-                && u.claimed_by.is_none()
-                && u.env.cxt == cxt
-                && src.is_none_or(|s| s == u.env.src)
-                && tag.is_none_or(|t| t == u.env.tag);
-            m.then_some(Status { src: u.env.src, tag: u.env.tag, len: u.env.len })
+    /// `&mut` only for lazy index maintenance; matching state is unchanged.
+    pub fn probe_unexpected(&mut self, src: Option<u16>, tag: Option<i32>, cxt: u32) -> Option<Status> {
+        self.find_unexpected(src, tag, cxt).map(|id| {
+            let env = self.unexpected[&id].env;
+            Status { src: env.src, tag: env.tag, len: env.len }
         })
     }
 
@@ -467,37 +498,131 @@ impl Core {
     // Internals
     // -----------------------------------------------------------------
 
+    /// Add a posted receive to the queue matching its filter concreteness.
+    fn index_posted(&mut self, idx: usize) {
+        let r = &self.reqs[idx];
+        let seq = self.next_post_seq;
+        self.next_post_seq += 1;
+        match (r.peer, r.tag) {
+            (Some(s), Some(t)) => {
+                self.posted_st.entry((r.cxt, s, t)).or_default().push_back((seq, idx))
+            }
+            (Some(s), None) => self.posted_s.entry((r.cxt, s)).or_default().push_back((seq, idx)),
+            (None, Some(t)) => self.posted_t.entry((r.cxt, t)).or_default().push_back((seq, idx)),
+            (None, None) => self.posted_any.entry(r.cxt).or_default().push_back((seq, idx)),
+        }
+    }
+
+    /// Earliest posted receive matching `env`: at most four queue fronts
+    /// compete, the oldest post wins.
     fn match_posted(&mut self, env: &Envelope) -> Option<usize> {
-        let pos = self.posted.iter().position(|&p| {
-            let r = &self.reqs[p];
-            r.cxt == env.cxt
-                && r.peer.is_none_or(|s| s == env.src)
-                && r.tag.is_none_or(|t| t == env.tag)
-        })?;
-        Some(self.posted.remove(pos))
+        let fronts = [
+            self.posted_st.get(&(env.cxt, env.src, env.tag)).and_then(|q| q.front()),
+            self.posted_s.get(&(env.cxt, env.src)).and_then(|q| q.front()),
+            self.posted_t.get(&(env.cxt, env.tag)).and_then(|q| q.front()),
+            self.posted_any.get(&env.cxt).and_then(|q| q.front()),
+        ];
+        let class =
+            fronts.iter().enumerate().filter_map(|(i, f)| f.map(|&(s, _)| (s, i))).min()?.1;
+        macro_rules! pop {
+            ($map:expr, $key:expr) => {{
+                let key = $key;
+                let q = $map.get_mut(&key).unwrap();
+                let (_, idx) = q.pop_front().unwrap();
+                if q.is_empty() {
+                    $map.remove(&key);
+                }
+                idx
+            }};
+        }
+        Some(match class {
+            0 => pop!(self.posted_st, (env.cxt, env.src, env.tag)),
+            1 => pop!(self.posted_s, (env.cxt, env.src)),
+            2 => pop!(self.posted_t, (env.cxt, env.tag)),
+            _ => pop!(self.posted_any, env.cxt),
+        })
+    }
+
+    /// Earliest matchable unexpected message for `(src, tag, cxt)`: one
+    /// queue front, whichever wildcard shape the filter has. Ids are
+    /// monotonic and every queue is pushed in arrival order, so a front is
+    /// always the oldest match — hash iteration order is never consulted.
+    fn find_unexpected(&mut self, src: Option<u16>, tag: Option<i32>, cxt: u32) -> Option<usize> {
+        match (src, tag) {
+            (Some(s), Some(t)) => front_matchable(&mut self.ux_st, (cxt, s, t), &self.unexpected),
+            (Some(s), None) => front_matchable(&mut self.ux_s, (cxt, s), &self.unexpected),
+            (None, Some(t)) => front_matchable(&mut self.ux_t, (cxt, t), &self.unexpected),
+            (None, None) => front_matchable(&mut self.ux_any, cxt, &self.unexpected),
+        }
     }
 
     fn push_unexpected(&mut self, env: Envelope) -> usize {
-        self.unexpected.push(Unex {
-            env,
-            data: Vec::new(),
-            got: 0,
-            complete: false,
-            claimed_by: None,
-            consumed: false,
-        });
-        let live = self.unexpected.iter().filter(|u| !u.consumed).count();
-        self.unexpected_peak = self.unexpected_peak.max(live);
-        self.unexpected.len() - 1
+        let id = self.next_unex_id;
+        self.next_unex_id += 1;
+        self.unexpected.insert(
+            id,
+            Unex { env, data: Vec::new(), got: 0, complete: false, claimed_by: None, consumed: false },
+        );
+        self.ux_st.entry((env.cxt, env.src, env.tag)).or_default().push_back(id);
+        self.ux_s.entry((env.cxt, env.src)).or_default().push_back(id);
+        self.ux_t.entry((env.cxt, env.tag)).or_default().push_back(id);
+        self.ux_any.entry(env.cxt).or_default().push_back(id);
+        self.unex_live += 1;
+        self.unexpected_peak = self.unexpected_peak.max(self.unex_live);
+        id
     }
 
-    /// Drop a fully-consumed prefix so long runs don't accumulate entries.
-    fn gc_unexpected(&mut self) {
-        // Indices are positional; only trim when everything is consumed.
-        if !self.unexpected.is_empty() && self.unexpected.iter().all(|u| u.consumed) {
-            self.unexpected.clear();
+    /// After an entry is consumed or claimed, pop any newly-stale ids off
+    /// the fronts of the four queues it lives in. Keeps queue memory
+    /// proportional to live entries; stale ids deeper in a queue are popped
+    /// when they surface in `front_matchable`.
+    fn purge_unexpected_fronts(&mut self, env: &Envelope) {
+        let _ = front_matchable(&mut self.ux_st, (env.cxt, env.src, env.tag), &self.unexpected);
+        let _ = front_matchable(&mut self.ux_s, (env.cxt, env.src), &self.unexpected);
+        let _ = front_matchable(&mut self.ux_t, (env.cxt, env.tag), &self.unexpected);
+        let _ = front_matchable(&mut self.ux_any, env.cxt, &self.unexpected);
+    }
+
+    fn consume_unexpected(&mut self, id: usize) {
+        let u = self.unexpected.get_mut(&id).unwrap();
+        if !u.consumed {
+            u.consumed = true;
+            self.unex_live -= 1;
         }
     }
+
+    /// Incremental GC: drop the entry as soon as no more body bytes can
+    /// arrive for it — consumed and either body-complete or a rendezvous
+    /// request (whose body travels separately). Replaces the old
+    /// whole-queue sweep, which only freed memory once *every* entry was
+    /// consumed and so grew without bound under constant churn.
+    fn release_unexpected(&mut self, id: usize) {
+        if let Some(u) = self.unexpected.get(&id) {
+            if u.consumed && (u.complete || u.env.kind == EnvKind::RndvReq) {
+                self.unexpected.remove(&id);
+            }
+        }
+    }
+}
+
+/// Front of one unexpected-index queue, lazily popping ids that stopped
+/// being matchable (consumed, claimed, or released) since they were pushed.
+/// Drops the key when the queue empties. A free function over disjoint
+/// `Core` fields so callers can hold `&self.unexpected` alongside the map.
+fn front_matchable<K: Copy + Eq + std::hash::Hash>(
+    map: &mut FxHashMap<K, VecDeque<usize>>,
+    key: K,
+    unexpected: &FxHashMap<usize, Unex>,
+) -> Option<usize> {
+    let q = map.get_mut(&key)?;
+    while let Some(&id) = q.front() {
+        if unexpected.get(&id).is_some_and(|u| !u.consumed && u.claimed_by.is_none()) {
+            return Some(id);
+        }
+        q.pop_front();
+    }
+    map.remove(&key);
+    None
 }
 
 fn rndv_ack(me: u16, req_env: &Envelope) -> Envelope {

@@ -101,3 +101,107 @@ proptest! {
         prop_assert!(!c.is_done(r));
     }
 }
+
+// ---------------------------------------------------------------------------
+// Indexed matcher ≡ naive reference scan
+// ---------------------------------------------------------------------------
+
+/// One step of a multi-source, multi-context interleaving with wildcards.
+#[derive(Debug, Clone)]
+enum XOp {
+    Arrive { src: u16, tag: i32, cxt: u32 },
+    Post { src: Option<u16>, tag: Option<i32>, cxt: u32 },
+    Probe { src: Option<u16>, tag: Option<i32>, cxt: u32 },
+}
+
+fn xops() -> impl Strategy<Value = Vec<XOp>> {
+    let arrive = (0u16..3, 0i32..3, 0u32..2).prop_map(|(src, tag, cxt)| XOp::Arrive { src, tag, cxt });
+    let filt = || {
+        (
+            prop_oneof![Just(None), (0u16..3).prop_map(Some)],
+            prop_oneof![Just(None), (0i32..3).prop_map(Some)],
+            0u32..2,
+        )
+    };
+    let post = filt().prop_map(|(src, tag, cxt)| XOp::Post { src, tag, cxt });
+    let probe = filt().prop_map(|(src, tag, cxt)| XOp::Probe { src, tag, cxt });
+    prop::collection::vec(prop_oneof![arrive, post, probe], 0..80)
+}
+
+proptest! {
+    /// The hash-indexed matcher must be observationally identical to the
+    /// naive linear scan it replaced: same envelope→receive pairing, same
+    /// delivery order, same probe answers, for every interleaving of
+    /// arrivals and (wildcard) posts across sources, tags, and contexts.
+    #[test]
+    fn indexed_matcher_equals_naive_scan(ops in xops()) {
+        let mut c = Core::new(1, 4, 64 * 1024);
+        // Naive reference model: plain Vec scans in arrival/post order.
+        // (src, tag, cxt, payload id, consumed)
+        let mut m_unex: Vec<(u16, i32, u32, u8, bool)> = Vec::new();
+        // (src filter, tag filter, cxt, result slot)
+        let mut m_posted: Vec<(Option<u16>, Option<i32>, u32, usize)> = Vec::new();
+        let mut m_result: Vec<Option<(u16, i32, u8)>> = Vec::new();
+        let mut reqs: Vec<mpi_core::matching::ReqId> = Vec::new();
+        let mut next_id = 0u8;
+        for op in ops {
+            match op {
+                XOp::Arrive { src, tag, cxt } => {
+                    let id = next_id;
+                    next_id = next_id.wrapping_add(1);
+                    let env = Envelope { kind: EnvKind::Eager, src, tag, cxt, len: 1, seq: 0 };
+                    let sink = c.on_envelope(src, env).sink.unwrap();
+                    c.body_chunk(sink, Bytes::from(vec![id]));
+                    let _ = c.body_done(sink);
+                    let hit = m_posted.iter().position(|&(s, t, cx, _)| {
+                        cx == cxt && s.is_none_or(|s| s == src) && t.is_none_or(|t| t == tag)
+                    });
+                    if let Some(pos) = hit {
+                        let (_, _, _, slot) = m_posted.remove(pos);
+                        m_result[slot] = Some((src, tag, id));
+                    } else {
+                        m_unex.push((src, tag, cxt, id, false));
+                    }
+                }
+                XOp::Post { src, tag, cxt } => {
+                    let (r, _) = c.post_recv(src, tag, cxt);
+                    reqs.push(r);
+                    let slot = m_result.len();
+                    m_result.push(None);
+                    let hit = m_unex.iter_mut().find(|u| {
+                        !u.4 && u.2 == cxt && src.is_none_or(|s| s == u.0) && tag.is_none_or(|t| t == u.1)
+                    });
+                    if let Some(u) = hit {
+                        u.4 = true;
+                        m_result[slot] = Some((u.0, u.1, u.3));
+                    } else {
+                        m_posted.push((src, tag, cxt, slot));
+                    }
+                }
+                XOp::Probe { src, tag, cxt } => {
+                    let got = c.probe_unexpected(src, tag, cxt).map(|st| (st.src, st.tag));
+                    let want = m_unex
+                        .iter()
+                        .find(|u| {
+                            !u.4 && u.2 == cxt
+                                && src.is_none_or(|s| s == u.0)
+                                && tag.is_none_or(|t| t == u.1)
+                        })
+                        .map(|u| (u.0, u.1));
+                    prop_assert_eq!(got, want, "probe diverged from naive scan");
+                }
+            }
+        }
+        for (i, r) in reqs.iter().enumerate() {
+            match m_result[i] {
+                Some((src, tag, id)) => {
+                    prop_assert!(c.is_done(*r), "post {} done in model, pending in engine", i);
+                    let (st, data) = c.take_done(*r);
+                    prop_assert_eq!((st.src, st.tag), (src, tag), "status diverged on post {}", i);
+                    prop_assert_eq!(data[0][0], id, "wrong message delivered to post {}", i);
+                }
+                None => prop_assert!(!c.is_done(*r), "post {} pending in model, done in engine", i),
+            }
+        }
+    }
+}

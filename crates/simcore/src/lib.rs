@@ -15,6 +15,7 @@
 //! Everything above this crate (network, transports, MPI middleware,
 //! workloads) is built on these four pieces.
 
+pub mod fxhash;
 pub mod process;
 pub mod rng;
 pub mod sched;

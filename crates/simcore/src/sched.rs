@@ -8,7 +8,9 @@
 //! monotonic sequence number breaks ties), and process wakeups drain FIFO.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::fxhash::FxHashSet;
 
 use rand::rngs::SmallRng;
 
@@ -50,9 +52,14 @@ pub struct Ctx<W> {
     now: SimTime,
     seq: u64,
     queue: BinaryHeap<Entry<W>>,
-    cancelled: HashSet<u64>,
+    /// Seqs still in `queue` (not yet fired or cancelled). Guards `cancel`
+    /// so cancelling a fired timer cannot leave a tombstone behind.
+    pending: FxHashSet<u64>,
+    /// Tombstones for cancelled-but-not-yet-popped entries; every member
+    /// is also in `queue`.
+    cancelled: FxHashSet<u64>,
     wake_fifo: VecDeque<ProcId>,
-    wake_pending: HashSet<ProcId>,
+    wake_pending: FxHashSet<ProcId>,
     /// Master RNG for the simulation. Components that need reproducible
     /// independent streams should use [`crate::rng::derive_rng`] instead and
     /// keep their own generator; this one is for ad-hoc draws (e.g. link loss).
@@ -66,9 +73,10 @@ impl<W> Ctx<W> {
             now: SimTime::ZERO,
             seq: 0,
             queue: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            pending: FxHashSet::default(),
+            cancelled: FxHashSet::default(),
             wake_fifo: VecDeque::new(),
-            wake_pending: HashSet::new(),
+            wake_pending: FxHashSet::default(),
             rng,
             events_fired: 0,
         }
@@ -96,6 +104,7 @@ impl<W> Ctx<W> {
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Entry { at, seq, f: Box::new(f) });
+        self.pending.insert(seq);
         TimerId(seq)
     }
 
@@ -109,9 +118,28 @@ impl<W> Ctx<W> {
     }
 
     /// Cancel a previously scheduled timer. Cancelling an already-fired or
-    /// already-cancelled timer is a no-op.
+    /// already-cancelled timer is a no-op (and leaves no tombstone behind).
     pub fn cancel(&mut self, id: TimerId) {
-        self.cancelled.insert(id.0);
+        if self.pending.remove(&id.0) {
+            self.cancelled.insert(id.0);
+            self.maybe_compact();
+        }
+    }
+
+    /// Rebuild the heap without tombstoned entries once they outnumber the
+    /// live ones; keeps long timer-churn runs (every SACK re-arms a timer)
+    /// from dragging an ever-growing heap through every push/pop.
+    fn maybe_compact(&mut self) {
+        if self.cancelled.len() <= 32 || self.cancelled.len() * 2 <= self.queue.len() {
+            return;
+        }
+        let old = std::mem::take(&mut self.queue);
+        let cancelled = &mut self.cancelled;
+        let kept: Vec<Entry<W>> = old.into_iter().filter(|e| !cancelled.remove(&e.seq)).collect();
+        // Heapify is O(n); pop order is unchanged because entry order is
+        // total on (time, seq) regardless of internal heap layout.
+        self.queue = BinaryHeap::from(kept);
+        debug_assert!(self.cancelled.is_empty(), "tombstone for entry not in queue");
     }
 
     /// Mark a process runnable. Wakeups are drained FIFO by the driver before
@@ -146,6 +174,7 @@ impl<W> Ctx<W> {
             if self.cancelled.remove(&e.seq) {
                 continue;
             }
+            self.pending.remove(&e.seq);
             debug_assert!(e.at >= self.now, "time went backwards");
             self.now = e.at;
             self.events_fired += 1;
@@ -233,6 +262,59 @@ mod tests {
         });
         drain(&mut w, &mut c);
         assert_eq!(w, vec![1, 2]);
+    }
+
+    #[test]
+    fn cancel_after_fire_leaves_no_tombstone() {
+        let mut c = ctx();
+        let mut w = Vec::new();
+        let id = c.schedule_in(Dur::from_secs(1), |w: &mut Vec<u32>, _| w.push(1));
+        drain(&mut w, &mut c);
+        assert_eq!(w, vec![1]);
+        c.cancel(id); // already fired: must be a no-op
+        c.cancel(id);
+        assert!(c.cancelled.is_empty(), "fired-timer cancel must not tombstone");
+        assert!(c.pending.is_empty());
+    }
+
+    #[test]
+    fn tombstones_are_bounded_under_churn() {
+        let mut c = ctx();
+        // Re-arm/cancel churn: every timer is cancelled before firing, as
+        // the SCTP T3 and SACK timers do on every ack.
+        for i in 0..10_000u64 {
+            let id = c.schedule_in(Dur::from_secs(1 + i), |_: &mut Vec<u32>, _| {});
+            c.cancel(id);
+        }
+        assert!(
+            c.cancelled.len() <= c.queue.len().max(64),
+            "tombstones ({}) must not dominate the live heap ({})",
+            c.cancelled.len(),
+            c.queue.len()
+        );
+        let mut w = Vec::new();
+        drain(&mut w, &mut c);
+        assert!(w.is_empty());
+        assert!(c.cancelled.is_empty() && c.pending.is_empty());
+    }
+
+    #[test]
+    fn compaction_preserves_fire_order() {
+        let mut c = ctx();
+        let mut w = Vec::new();
+        let mut keep = Vec::new();
+        for i in 0..200u32 {
+            let id = c.schedule_in(Dur::from_secs(i as u64 + 1), move |w: &mut Vec<u32>, _| {
+                w.push(i)
+            });
+            if i % 3 == 0 {
+                keep.push(i);
+            } else {
+                c.cancel(id); // forces at least one compaction
+            }
+        }
+        drain(&mut w, &mut c);
+        assert_eq!(w, keep, "survivors fire in time order after compaction");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! SCTP association, endpoint, and per-path state.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 use bytes::Bytes;
 use netsim::IfAddr;
@@ -276,6 +276,18 @@ pub(crate) struct Assoc {
     pub pending_bytes: u64,
     pub sent: BTreeMap<u64, SentChunk>,
     pub outstanding_bytes: u64,
+    // ---- O(1) SACK accounting: running aggregates over `sent` ----
+    /// TSNs queued for retransmission — exactly the `sent` entries with
+    /// `marked_rtx && !acked`. Lets the flush path find (and count)
+    /// retransmittable chunks without scanning the whole window.
+    pub rtx_queue: BTreeSet<u64>,
+    /// Monotone cursor: every TSN below it is gap-acked or no longer in
+    /// `sent`, so earliest-unacked lookups skip the acked prefix and are
+    /// amortized O(1) (`acked` never reverts to false).
+    pub unacked_floor: u64,
+    /// Capacity hint for the next SACK's gap-block vector (previous SACK's
+    /// block count) — avoids regrowing the Vec while walking `rcv_have`.
+    pub sack_gap_hint: usize,
     pub peer_rwnd: u64,
     /// Consecutive unanswered timeouts/heartbeats across the whole
     /// association; reset by any acknowledged progress (RFC 4960 §8.1).
@@ -338,6 +350,9 @@ impl Assoc {
             pending_bytes: 0,
             sent: BTreeMap::new(),
             outstanding_bytes: 0,
+            rtx_queue: BTreeSet::new(),
+            unacked_floor: init_tsn,
+            sack_gap_hint: 0,
             peer_rwnd: cfg.rcvbuf,
             assoc_errors: 0,
             t3_gen: 0,

@@ -352,7 +352,11 @@ fn send_packet(w: &mut World, ctx: &mut Wx, a: AssocId, path: u8, vtag: u64, chu
 
 /// Build a SACK chunk from receiver state.
 fn make_sack(ak: &mut Assoc, rcvbuf: u64, max_gaps: usize) -> Chunk {
-    let gaps: Vec<(u64, u64)> = ak.rcv_have.iter().take(max_gaps).collect();
+    // Size the gap-block vec from the previous SACK: under steady loss the
+    // block count is stable, so this avoids regrowing the vec every SACK.
+    let mut gaps: Vec<(u64, u64)> = Vec::with_capacity(ak.sack_gap_hint.min(max_gaps));
+    gaps.extend(ak.rcv_have.iter().take(max_gaps));
+    ak.sack_gap_hint = gaps.len();
     ak.sack_pending_pkts = 0;
     ak.sack_immediate = false;
     let dups = ak.dup_since_sack;
@@ -413,7 +417,7 @@ fn try_send(w: &mut World, ctx: &mut Wx, a: AssocId) {
 
             // Phase 1: marked retransmissions (cwnd-limited on the rtx path).
             let rtx_path = ak.rtx_path(cfg.rtx_alternate);
-            let has_marked = ak.sent.values().any(|c| c.marked_rtx && !c.acked);
+            let has_marked = !ak.rtx_queue.is_empty();
             if has_marked && ak.paths[rtx_path as usize].flight < ak.paths[rtx_path as usize].cwnd {
                 path = rtx_path;
                 if want_sack {
@@ -422,12 +426,10 @@ fn try_send(w: &mut World, ctx: &mut Wx, a: AssocId) {
                     packet.push(sack);
                 }
                 let now = ctx.now();
-                let tsns: Vec<u64> = ak
-                    .sent
-                    .iter()
-                    .filter(|(_, c)| c.marked_rtx && !c.acked)
-                    .map(|(&t, _)| t)
-                    .collect();
+                // `rtx_queue` holds exactly the marked, unacked TSNs, so no
+                // scan of `sent` is needed; snapshot it because the loop
+                // removes entries as chunks go back on the wire.
+                let tsns: Vec<u64> = ak.rtx_queue.iter().copied().collect();
                 for tsn in tsns {
                     let c = ak.sent.get_mut(&tsn).unwrap();
                     let clen = Chunk::Data(DataChunk {
@@ -453,6 +455,7 @@ fn try_send(w: &mut World, ctx: &mut Wx, a: AssocId) {
                     // re-enters on the retransmission path.
                     let len = c.data.len() as u64;
                     c.path = path;
+                    ak.rtx_queue.remove(&tsn);
                     ak.stats.retransmits += 1;
                     let data = ak.sent.get(&tsn).unwrap();
                     packet.push(Chunk::Data(DataChunk {
@@ -607,12 +610,22 @@ fn make_sack_placeholder_len(ak: &Assoc) -> u32 {
 // Timers
 // ---------------------------------------------------------------------------
 
-fn earliest_outstanding_path(ak: &Assoc) -> u8 {
-    ak.sent
-        .values()
-        .find(|c| !c.acked)
-        .map(|c| c.path)
-        .unwrap_or(ak.primary)
+/// Path of the earliest unacked chunk. Advances `unacked_floor` past the
+/// acked prefix while looking, so repeated calls skip already-scanned TSNs:
+/// `acked` never reverts, which keeps the cursor monotone and the total
+/// scan work across an association's lifetime linear in chunks sent.
+fn earliest_outstanding_path(ak: &mut Assoc) -> u8 {
+    let hit = ak.sent.range(ak.unacked_floor..).find(|(_, c)| !c.acked);
+    match hit {
+        Some((&tsn, c)) => {
+            ak.unacked_floor = tsn;
+            c.path
+        }
+        None => {
+            ak.unacked_floor = ak.next_tsn;
+            ak.primary
+        }
+    }
 }
 
 fn arm_t3(w: &mut World, ctx: &mut Wx, a: AssocId) {
@@ -638,7 +651,11 @@ fn on_t3(w: &mut World, ctx: &mut Wx, a: AssocId, gen: u64) {
             return;
         }
         if std::env::var("SCTP_TRACE").is_ok() {
-            let first = ak.sent.iter().find(|(_, c)| !c.acked).map(|(&t, c)| (t, c.data.len()));
+            let first = ak
+                .sent
+                .range(ak.unacked_floor..)
+                .find(|(_, c)| !c.acked)
+                .map(|(&t, c)| (t, c.data.len()));
             eprintln!("[{}] T3 h{} assoc({},{}) errors={} outstanding={} pending={} first_unacked={:?} rwnd={}",
                 ctx.now(), a.host, a.ep, a.idx, ak.assoc_errors, ak.outstanding_bytes, ak.pending.len(), first, ak.peer_rwnd);
         }
@@ -669,18 +686,20 @@ fn on_t3(w: &mut World, ctx: &mut Wx, a: AssocId, gen: u64) {
             // Mark everything outstanding for retransmission; marked
             // chunks leave the flight so the cwnd=1·PMTU restart can
             // actually retransmit them.
-            let mut unfly: Vec<(usize, u64)> = Vec::new();
-            for c in ak.sent.values_mut() {
+            // Everything below the floor is already acked, so the walk
+            // starts at the cursor instead of the window's base.
+            let floor = ak.unacked_floor;
+            for (&tsn, c) in ak.sent.range_mut(floor..) {
                 if !c.acked && !c.marked_rtx {
-                    unfly.push((c.path as usize, c.data.len() as u64));
+                    ak.paths[c.path as usize].flight = ak.paths[c.path as usize]
+                        .flight
+                        .saturating_sub(c.data.len() as u64);
                 }
                 if !c.acked {
                     c.marked_rtx = true;
                     c.missing = 0;
+                    ak.rtx_queue.insert(tsn);
                 }
-            }
-            for (p, len) in unfly {
-                ak.paths[p].flight = ak.paths[p].flight.saturating_sub(len);
             }
             ak.in_fast_recovery = false;
             ak.rtt_probe = None;
@@ -1300,16 +1319,21 @@ fn decide_sack(w: &mut World, ctx: &mut Wx, a: AssocId) {
 // SACK processing (sender side)
 // ---------------------------------------------------------------------------
 
-/// Debug invariant: per-path flight equals the sum of unacked, unmarked
-/// sent chunks on that path.
+/// Debug invariants: per-path flight equals the sum of unacked, unmarked
+/// sent chunks on that path, and the O(1) aggregates (`rtx_queue`,
+/// `unacked_floor`) agree with a full rescan of `sent`.
 fn check_flight(ak: &Assoc, whence: &str, now: simcore::SimTime) {
     if std::env::var("SCTP_CHECK").is_err() {
         return;
     }
     let mut per_path = vec![0u64; ak.paths.len()];
-    for c in ak.sent.values() {
+    let mut rtx_expect = std::collections::BTreeSet::new();
+    for (&tsn, c) in &ak.sent {
         if !c.acked && !c.marked_rtx {
             per_path[c.path as usize] += c.data.len() as u64;
+        }
+        if c.marked_rtx && !c.acked {
+            rtx_expect.insert(tsn);
         }
     }
     for (i, ps) in ak.paths.iter().enumerate() {
@@ -1319,6 +1343,18 @@ fn check_flight(ak: &Assoc, whence: &str, now: simcore::SimTime) {
                 ps.flight, per_path[i], ak.peer_host
             );
         }
+    }
+    if rtx_expect != ak.rtx_queue {
+        panic!(
+            "[{now}] RTX QUEUE DRIFT at {whence}: aggregate={:?} actual={:?} (assoc to peer{})",
+            ak.rtx_queue, rtx_expect, ak.peer_host
+        );
+    }
+    if let Some((&tsn, _)) = ak.sent.range(..ak.unacked_floor).find(|(_, c)| !c.acked) {
+        panic!(
+            "[{now}] FLOOR DRIFT at {whence}: unacked tsn {tsn} below floor {} (assoc to peer{})",
+            ak.unacked_floor, ak.peer_host
+        );
     }
 }
 
@@ -1335,40 +1371,50 @@ fn process_sack(w: &mut World, ctx: &mut Wx, a: AssocId, cum: u64, a_rwnd: u64, 
         let mut newly_acked = vec![0u64; n_paths];
         let mut cum_advanced = false;
 
-        // Cumulative ack: drop everything at or below `cum`.
-        let below: Vec<u64> = ak.sent.range(..=cum).map(|(&t, _)| t).collect();
-        for tsn in below {
-            let c = ak.sent.remove(&tsn).unwrap();
-            cum_advanced = true;
-            if !c.acked {
-                let len = c.data.len() as u64;
-                // Chunks marked for retransmission already left the flight.
-                if !c.marked_rtx {
-                    ak.paths[c.path as usize].flight =
-                        ak.paths[c.path as usize].flight.saturating_sub(len);
+        // Cumulative ack: split the acked prefix off in one O(log n)
+        // tree operation instead of walking (and re-balancing per key)
+        // everything at or below `cum`.
+        if ak.sent.first_key_value().is_some_and(|(&t, _)| t <= cum) {
+            let rest = ak.sent.split_off(&cum.saturating_add(1));
+            let acked_prefix = std::mem::replace(&mut ak.sent, rest);
+            for (tsn, c) in acked_prefix {
+                cum_advanced = true;
+                if c.marked_rtx && !c.acked {
+                    ak.rtx_queue.remove(&tsn);
                 }
-                ak.outstanding_bytes -= len;
-                newly_acked[c.path as usize] += len;
-                if ak.rtt_probe == Some(tsn) && c.txcount == 1 {
-                    ak.paths[c.path as usize].rto.sample(now.since(c.sent_at));
-                    ak.rtt_probe = None;
+                if !c.acked {
+                    let len = c.data.len() as u64;
+                    // Chunks marked for retransmission already left the flight.
+                    if !c.marked_rtx {
+                        ak.paths[c.path as usize].flight =
+                            ak.paths[c.path as usize].flight.saturating_sub(len);
+                    }
+                    ak.outstanding_bytes -= len;
+                    newly_acked[c.path as usize] += len;
+                    if ak.rtt_probe == Some(tsn) && c.txcount == 1 {
+                        ak.paths[c.path as usize].rto.sample(now.since(c.sent_at));
+                        ak.rtt_probe = None;
+                    }
                 }
             }
+            // Nothing at or below `cum` remains, so the earliest-unacked
+            // cursor can never point below it.
+            ak.unacked_floor = ak.unacked_floor.max(cum.saturating_add(1));
         }
-        // Gap acks.
+        // Gap acks: walk each reported block in place.
         for &(g0, g1) in gaps {
-            let in_gap: Vec<u64> = ak.sent.range(g0..g1).map(|(&t, _)| t).collect();
-            for tsn in in_gap {
-                let c = ak.sent.get_mut(&tsn).unwrap();
+            for (&tsn, c) in ak.sent.range_mut(g0..g1) {
                 if !c.acked {
                     c.acked = true;
                     let was_marked = c.marked_rtx;
                     c.marked_rtx = false;
                     let len = c.data.len() as u64;
                     let p = c.path as usize;
+                    if was_marked {
+                        ak.rtx_queue.remove(&tsn);
+                    }
                     if ak.rtt_probe == Some(tsn) && c.txcount == 1 {
-                        let sent_at = c.sent_at;
-                        ak.paths[p].rto.sample(now.since(sent_at));
+                        ak.paths[p].rto.sample(now.since(c.sent_at));
                         ak.rtt_probe = None;
                     }
                     if !was_marked {
@@ -1385,8 +1431,10 @@ fn process_sack(w: &mut World, ctx: &mut Wx, a: AssocId, cum: u64, a_rwnd: u64, 
         if highest > 0 {
             let mut newly_marked = false;
             let mut first_marked_path = ak.primary;
-            let mut unfly: Vec<(usize, u64)> = Vec::new();
-            for (&tsn, c) in ak.sent.range_mut(..highest) {
+            // Entries below the earliest-unacked cursor are all acked, so
+            // the strike walk starts there, not at the window's base.
+            let floor = ak.unacked_floor;
+            for (&tsn, c) in ak.sent.range_mut(floor..highest) {
                 // A chunk may be *fast*-retransmitted only once (RFC 4960
                 // §7.2.4); after that, only T3 resends it. Without this,
                 // the per-packet gap SACKs re-mark it every few reports
@@ -1397,17 +1445,16 @@ fn process_sack(w: &mut World, ctx: &mut Wx, a: AssocId, cum: u64, a_rwnd: u64, 
                         c.marked_rtx = true;
                         // Marked chunks leave the flight (RFC 4960 §6.2.1/7.2.4)
                         // so the retransmission fits inside the new cwnd.
-                        unfly.push((c.path as usize, c.data.len() as u64));
+                        ak.paths[c.path as usize].flight = ak.paths[c.path as usize]
+                            .flight
+                            .saturating_sub(c.data.len() as u64);
+                        ak.rtx_queue.insert(tsn);
                         if !newly_marked {
                             first_marked_path = c.path;
                         }
                         newly_marked = true;
-                        let _ = tsn;
                     }
                 }
-            }
-            for (p, len) in unfly {
-                ak.paths[p].flight = ak.paths[p].flight.saturating_sub(len);
             }
             if newly_marked {
                 if !ak.in_fast_recovery {
@@ -1513,8 +1560,9 @@ fn fast_retransmit_burst(w: &mut World, ctx: &mut Wx, a: AssocId) {
         path = ak.rtx_path(cfg.rtx_alternate);
         let mut budget = cfg.packet_budget();
         let now = ctx.now();
-        let tsns: Vec<u64> =
-            ak.sent.iter().filter(|(_, c)| c.marked_rtx && !c.acked).map(|(&t, _)| t).collect();
+        // `rtx_queue` is exactly the marked, unacked TSNs; snapshot it
+        // because the loop removes entries as they go on the wire.
+        let tsns: Vec<u64> = ak.rtx_queue.iter().copied().collect();
         for tsn in tsns {
             let c = ak.sent.get_mut(&tsn).unwrap();
             let clen = 16 + (c.data.len() as u32).div_ceil(4) * 4;
@@ -1528,6 +1576,7 @@ fn fast_retransmit_burst(w: &mut World, ctx: &mut Wx, a: AssocId) {
             c.sent_at = now;
             let len = c.data.len() as u64;
             c.path = path;
+            ak.rtx_queue.remove(&tsn);
             ak.stats.retransmits += 1;
             ak.rtt_probe = None;
             let c = ak.sent.get(&tsn).unwrap();

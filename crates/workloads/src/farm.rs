@@ -76,6 +76,12 @@ impl FarmCfg {
 pub struct FarmResult {
     pub secs: f64,
     pub tasks_done: u32,
+    /// Simulator events fired during the run (self-metering, see
+    /// `bench-harness`).
+    pub events: u64,
+    /// Peak length of the matching layer's unexpected-message queue across
+    /// all ranks — must stay bounded for this latency-tolerant workload.
+    pub unexpected_peak: usize,
 }
 
 /// Run the farm under `mpi_cfg`; returns total run time (Figures 10–12's
@@ -84,7 +90,9 @@ pub fn run(mpi_cfg: MpiCfg, cfg: FarmCfg) -> FarmResult {
     assert!(mpi_cfg.nprocs >= 2, "farm needs a manager and a worker");
     assert_eq!(cfg.num_tasks % cfg.fanout, 0, "tasks must divide evenly into batches");
     let done_count = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(0));
+    let peak = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
     let dc = done_count.clone();
+    let pk = peak.clone();
     let report = mpirun(mpi_cfg, move |mpi| {
         if mpi.rank() == 0 {
             manager(mpi, cfg, None);
@@ -92,10 +100,13 @@ pub fn run(mpi_cfg: MpiCfg, cfg: FarmCfg) -> FarmResult {
             let n = worker(mpi, cfg);
             dc.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
         }
+        pk.fetch_max(mpi.unexpected_peak(), std::sync::atomic::Ordering::Relaxed);
     });
     FarmResult {
         secs: report.secs(),
         tasks_done: done_count.load(std::sync::atomic::Ordering::Relaxed),
+        events: report.events,
+        unexpected_peak: peak.load(std::sync::atomic::Ordering::Relaxed),
     }
 }
 

@@ -134,6 +134,9 @@ pub struct NasResult {
     pub secs: f64,
     pub mops_total: f64,
     pub mops_per_sec: f64,
+    /// Simulator events fired during the run (self-metering, see
+    /// `bench-harness`).
+    pub events: u64,
 }
 
 /// Run one kernel at one class.
@@ -143,7 +146,7 @@ pub fn run(mpi_cfg: MpiCfg, kernel: Kernel, class: Class) -> NasResult {
     });
     let secs = report.secs();
     let mops_total = kernel.mops(class);
-    NasResult { kernel, class, secs, mops_total, mops_per_sec: mops_total / secs }
+    NasResult { kernel, class, secs, mops_total, mops_per_sec: mops_total / secs, events: report.events }
 }
 
 fn dispatch(mpi: &mut Mpi, kernel: Kernel, class: Class) {

@@ -25,6 +25,9 @@ pub struct PingPongResult {
     pub secs: f64,
     /// One-way payload throughput (bytes/second) — the paper's metric.
     pub throughput: f64,
+    /// Simulator events fired during the run (self-metering, see
+    /// `bench-harness`).
+    pub events: u64,
 }
 
 /// Run the ping-pong between ranks 0 and 1 of a 2-process job.
@@ -59,6 +62,7 @@ pub fn run(mpi_cfg: MpiCfg, cfg: PingPongCfg) -> PingPongResult {
         // iters messages of `size` in each direction; MPBench counts the
         // one-way volume over the elapsed time.
         throughput: (cfg.size as f64 * cfg.iters as f64) / secs,
+        events: report.events,
     }
 }
 

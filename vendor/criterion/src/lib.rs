@@ -1,0 +1,156 @@
+//! Minimal in-repo reimplementation of the subset of the `criterion` API
+//! this workspace uses (offline build — see README "offline builds").
+//!
+//! No statistics engine: each benchmark runs `sample_size` timed samples
+//! after one warm-up and reports min / mean / max per iteration. That is
+//! enough to track hot-path regressions between PRs; the numbers are
+//! printed in a stable, grep-friendly one-line format:
+//!
+//! ```text
+//! bench <name> ... min <t> mean <t> max <t> (N samples)
+//! ```
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20, filter: None }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Reads a substring filter from the command line (`bench_bin <filter>`),
+    /// mirroring criterion's CLI behaviour closely enough for local use.
+    pub fn configure_from_args(mut self) -> Criterion {
+        self.filter = std::env::args().nth(1).filter(|a| !a.starts_with('-'));
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filt) = &self.filter {
+            if !name.contains(filt.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher { samples: Vec::with_capacity(self.sample_size) };
+        // One untimed warm-up sample, then the measured ones.
+        f(&mut b);
+        b.samples.clear();
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        let per_iter: Vec<f64> =
+            b.samples.iter().map(|(d, n)| d.as_secs_f64() / (*n).max(1) as f64).collect();
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = per_iter.iter().cloned().fold(0.0f64, f64::max);
+        println!(
+            "bench {name:<40} min {} mean {} max {} ({} samples)",
+            fmt_time(min),
+            fmt_time(mean),
+            fmt_time(max),
+            per_iter.len()
+        );
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+pub struct Bencher {
+    /// (elapsed, iterations) per sample.
+    samples: Vec<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times one execution of `f` as one sample.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        let elapsed = start.elapsed();
+        black_box(&out);
+        self.samples.push((elapsed, 1));
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config.configure_from_args();
+            $($target(&mut c);)+
+            c.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0u32;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn fmt_time_scales() {
+        assert!(fmt_time(2.0).ends_with(" s"));
+        assert!(fmt_time(2e-3).ends_with(" ms"));
+        assert!(fmt_time(2e-6).ends_with(" us"));
+        assert!(fmt_time(2e-9).ends_with(" ns"));
+    }
+}
