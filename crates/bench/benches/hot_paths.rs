@@ -8,6 +8,10 @@
 //!   so the `(cxt, src, tag)`-indexed matcher and its incremental GC are on
 //!   the measured path.
 //!
+//! * `park_wake` — the runtime handoff primitives themselves: a full
+//!   driver↔process round trip, and a burst of uncontended CPU charges the
+//!   sleep fast path folds into inline clock advances (zero handoffs).
+//!
 //! Run with `cargo bench --offline -p bench-harness --bench hot_paths`.
 
 use bytes::Bytes;
@@ -16,6 +20,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use mpi_core::envelope::{EnvKind, Envelope};
 use mpi_core::matching::Core;
 use mpi_core::MpiCfg;
+use simcore::{Dur, ProcEnv, ProcId, Runtime};
 use workloads::farm::{self, FarmCfg};
 use workloads::pingpong::{self, PingPongCfg};
 
@@ -90,9 +95,61 @@ fn matching_churn(c: &mut Criterion) {
     });
 }
 
+fn park_wake(c: &mut Criterion) {
+    // Two processes ping-pong through park/wake 256 times: each exchange is
+    // one deposit + wake + block_on, i.e. one full token handoff round trip
+    // in each direction. The measured per-iteration cost divided by the
+    // reported handoff count is the round-trip price the overhaul targets.
+    c.bench_function("park_wake/round_trip_x256", |b| {
+        b.iter(|| {
+            #[derive(Default)]
+            struct W {
+                a: u32,
+                b: u32,
+            }
+            const N: u32 = 256;
+            let mut rt = Runtime::new(W::default(), 1);
+            rt.spawn("a", |env: ProcEnv<W>| {
+                for i in 0..N {
+                    env.with(|w, ctx| {
+                        w.b += 1;
+                        ctx.wake(ProcId(1));
+                    });
+                    env.block_on(move |w, _| (w.a > i).then_some(()));
+                }
+            });
+            rt.spawn("b", |env: ProcEnv<W>| {
+                for i in 0..N {
+                    env.block_on(move |w, _| (w.b > i).then_some(()));
+                    env.with(|w, ctx| {
+                        w.a += 1;
+                        ctx.wake(ProcId(0));
+                    });
+                }
+            });
+            black_box(rt.run().handoffs)
+        })
+    });
+    // 64 consecutive uncontended CPU charges: under the reference
+    // discipline each is a timer park + wake; the fast path advances the
+    // clock inline and performs zero handoffs for the whole batch.
+    c.bench_function("park_wake/charge_batch_x64", |b| {
+        b.iter(|| {
+            let mut rt = Runtime::new((), 1);
+            rt.spawn("p", |env: ProcEnv<()>| {
+                for _ in 0..64 {
+                    env.sleep(Dur::from_nanos(100));
+                }
+            });
+            let out = rt.run();
+            black_box((out.events, out.wakes_coalesced))
+        })
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = sack_storm, matching_churn
+    targets = sack_storm, matching_churn, park_wake
 }
 criterion_main!(benches);

@@ -7,10 +7,18 @@
 //! aggregate computed from it) is identical to a sequential run no matter
 //! how threads interleave; only wall-clock changes.
 //!
-//! Each cell records wall-clock, simulated seconds, and the simulator's
-//! `events_fired` counter. The per-figure roll-up is persisted as
-//! `results/BENCH_<fig>.json` (schema documented in EXPERIMENTS.md) so
-//! harness performance is comparable across PRs.
+//! Each cell records wall-clock, simulated seconds, the simulator's
+//! `events_fired` counter, and the runtime's handoff meters (driver↔process
+//! transfers performed, wakes coalesced away, µs of wall clock per event).
+//! The per-figure roll-up is persisted as `results/BENCH_<fig>.json`
+//! (schema documented in EXPERIMENTS.md) so harness performance is
+//! comparable across PRs.
+//!
+//! `SIM_CHECK=1` turns on shadow verification: every cell runs twice, first
+//! under the reference wakeup discipline (pre-coalescing accounting), then
+//! under the fast one, and the harness panics if any semantic output
+//! (value, simulated seconds, events, aux) differs by even a bit. Only the
+//! fast run is metered.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -31,11 +39,24 @@ pub struct Measured {
     /// Figure-specific side channel (the farm figures report the peak
     /// unexpected-queue length here); 0 when unused.
     pub aux: u64,
+    /// Runtime driver↔process handoffs performed (wall-clock diagnostic;
+    /// excluded from `SIM_CHECK` comparison because the disciplines differ
+    /// here by design).
+    pub handoffs: u64,
+    /// Wakes coalesced away by the runtime fast path (ditto).
+    pub wakes_coalesced: u64,
 }
 
 impl Measured {
     pub fn new(value: f64, sim_secs: f64, events: u64) -> Measured {
-        Measured { value, sim_secs, events, aux: 0 }
+        Measured { value, sim_secs, events, aux: 0, handoffs: 0, wakes_coalesced: 0 }
+    }
+
+    /// Attach the runtime's handoff meters.
+    pub fn with_runtime_meters(mut self, handoffs: u64, wakes_coalesced: u64) -> Measured {
+        self.handoffs = handoffs;
+        self.wakes_coalesced = wakes_coalesced;
+        self
     }
 }
 
@@ -59,9 +80,27 @@ pub struct CellMeter {
     pub sim_secs: f64,
     pub events_fired: u64,
     pub events_per_sec: f64,
+    /// Driver↔process handoffs the runtime performed for this cell.
+    pub handoffs_total: u64,
+    /// Wakes coalesced away (suppressed spurious wakes + inline-advanced
+    /// sleeps); under the reference discipline each of these would have
+    /// been a handoff.
+    pub wakes_coalesced: u64,
+    /// Wall-clock microseconds per simulator event — the runtime-overhead
+    /// trajectory the overhaul drives down.
+    pub us_per_event: f64,
 }
 
-impl_to_json!(CellMeter { label, wall_secs, sim_secs, events_fired, events_per_sec });
+impl_to_json!(CellMeter {
+    label,
+    wall_secs,
+    sim_secs,
+    events_fired,
+    events_per_sec,
+    handoffs_total,
+    wakes_coalesced,
+    us_per_event
+});
 
 /// Roll-up of one figure's harness run.
 #[derive(Debug, Clone)]
@@ -122,11 +161,42 @@ pub fn pool_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
+/// `SIM_CHECK=1` enables per-cell shadow verification against the reference
+/// wakeup discipline.
+pub fn sim_check() -> bool {
+    std::env::var("SIM_CHECK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Panics unless the reference-discipline and fast-discipline runs of one
+/// cell agree bit for bit on every semantic output. Handoff meters are
+/// excluded: coalescing exists precisely to change them.
+fn assert_disciplines_agree(label: &str, reference: &Measured, fast: &Measured) {
+    let same = reference.value.to_bits() == fast.value.to_bits()
+        && reference.sim_secs.to_bits() == fast.sim_secs.to_bits()
+        && reference.events == fast.events
+        && reference.aux == fast.aux;
+    assert!(
+        same,
+        "SIM_CHECK divergence in cell `{label}`: \
+         reference (value={:?} sim_secs={:?} events={} aux={}) vs \
+         fast (value={:?} sim_secs={:?} events={} aux={})",
+        reference.value,
+        reference.sim_secs,
+        reference.events,
+        reference.aux,
+        fast.value,
+        fast.sim_secs,
+        fast.events,
+        fast.aux,
+    );
+}
+
 /// Runs all cells on the worker pool; returns per-cell measurements in
 /// cell order plus the metering roll-up.
 pub fn run_cells(fig: &str, scale: Scale, cells: Vec<Cell<'_>>) -> (Vec<Measured>, BenchReport) {
     let n = cells.len();
     let threads = pool_threads().min(n.max(1));
+    let check = sim_check();
     let start = Instant::now();
     let slots: Vec<Mutex<Option<(Measured, CellMeter)>>> =
         (0..n).map(|_| Mutex::new(None)).collect();
@@ -139,15 +209,30 @@ pub fn run_cells(fig: &str, scale: Scale, cells: Vec<Cell<'_>>) -> (Vec<Measured
                     break;
                 }
                 let cell = &cells[i];
+                // Shadow run first so the metered (fast) run below is
+                // undisturbed. The discipline flag is thread-local, so
+                // parallel workers shadow-check independently.
+                let reference = check.then(|| {
+                    simcore::set_reference_discipline(true);
+                    let r = (cell.run)();
+                    simcore::set_reference_discipline(false);
+                    r
+                });
                 let t0 = Instant::now();
                 let m = (cell.run)();
                 let wall = t0.elapsed().as_secs_f64();
+                if let Some(r) = &reference {
+                    assert_disciplines_agree(&cell.label, r, &m);
+                }
                 let meter = CellMeter {
                     label: cell.label.clone(),
                     wall_secs: wall,
                     sim_secs: m.sim_secs,
                     events_fired: m.events,
                     events_per_sec: m.events as f64 / wall.max(1e-9),
+                    handoffs_total: m.handoffs,
+                    wakes_coalesced: m.wakes_coalesced,
+                    us_per_event: wall * 1e6 / (m.events.max(1)) as f64,
                 };
                 *slots[i].lock().unwrap() = Some((m, meter));
             });
@@ -214,10 +299,22 @@ mod tests {
                 sim_secs: 1.0,
                 events_fired: 10,
                 events_per_sec: 40.0,
+                handoffs_total: 4,
+                wakes_coalesced: 6,
+                us_per_event: 25000.0,
             }],
         };
         let s = r.to_json().render();
-        for key in ["\"fig\"", "\"threads\"", "\"cells\"", "\"events_fired\"", "\"label\""] {
+        for key in [
+            "\"fig\"",
+            "\"threads\"",
+            "\"cells\"",
+            "\"events_fired\"",
+            "\"label\"",
+            "\"handoffs_total\"",
+            "\"wakes_coalesced\"",
+            "\"us_per_event\"",
+        ] {
             assert!(s.contains(key), "missing {key} in {s}");
         }
     }

@@ -6,7 +6,7 @@
 use bytes::Bytes;
 use mpi_core::{mpirun, MpiCfg};
 
-use bench_harness::{fig8_metered, Scale};
+use bench_harness::{farm_figure_metered, fig8_metered, human_size, render_table, Scale};
 
 /// One fig8-style ping-pong exchange, returning the full run report
 /// (events fired + every transport counter).
@@ -50,6 +50,45 @@ fn different_seeds_change_the_trace_under_loss() {
     let a = pingpong_report(MpiCfg::sctp(2, 0.02).with_seed(1), 30 * 1024, 10);
     let b = pingpong_report(MpiCfg::sctp(2, 0.02).with_seed(2), 30 * 1024, 10);
     assert_ne!(a, b);
+}
+
+/// Renders fig10's stdout table exactly as `bin/fig10.rs` does, so the
+/// assertion below really is "the figure the user sees is byte-identical".
+fn fig10_quick_table(threads: &str) -> (String, u64) {
+    std::env::set_var("BENCH_THREADS", threads);
+    let (rows, bench) = farm_figure_metered(Scale::Quick, 1);
+    std::env::remove_var("BENCH_THREADS");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                human_size(r.task_bytes),
+                format!("{:.0}%", r.loss * 100.0),
+                format!("{:.1}", r.sctp_secs),
+                format!("{:.1}", r.tcp_secs),
+                format!("{:.1}", r.tcp_era_secs),
+                format!("{:.2}x", r.ratio_tcp_over_sctp),
+                format!("{:.2}x", r.ratio_era),
+            ]
+        })
+        .collect();
+    let out = render_table(
+        "Figure 10: Bulk Processor Farm, Fanout 1 (total run time, s)",
+        &["task", "loss", "SCTP s", "TCP s", "TCPera s", "TCP/SCTP", "era/SCTP"],
+        &table,
+    );
+    (out, bench.events_total)
+}
+
+#[test]
+fn fig10_quick_stdout_is_thread_count_invariant() {
+    // The overhaul's hard constraint: handoff/coalescing changes may move
+    // wall-clock, never results. A sequential run and a 4-worker run must
+    // produce byte-identical figure output and identical event totals.
+    let (seq, ev_seq) = fig10_quick_table("1");
+    let (par, ev_par) = fig10_quick_table("4");
+    assert_eq!(seq, par, "fig10 --quick stdout differs between BENCH_THREADS=1 and 4");
+    assert_eq!(ev_seq, ev_par);
 }
 
 #[test]

@@ -358,7 +358,11 @@ impl Mpi {
     /// Drive the RPI until `cond` holds, parking when nothing can move.
     pub(crate) fn progress_until(&mut self, mut cond: impl FnMut(&mut Core) -> bool) {
         let me = self.env.id();
-        let block_start = self.env.now();
+        // Simulated time only advances inside this loop through sleep/park,
+        // so the blocked-time stat reads the clock lazily: a call whose
+        // condition holds on the first pass with no CPU charge never locks
+        // the world for `now()` at all.
+        let mut block_start: Option<SimTime> = None;
         loop {
             let Mpi { env, core, rpi, cost, meter, .. } = self;
             let (done, progressed, charge) = env.with(|w, ctx| {
@@ -369,6 +373,9 @@ impl Mpi {
             // *blocking* select()/recvmsg, which burns no CPU. (Sleeping on
             // idle passes would also lose wakeups delivered mid-sleep.)
             if progressed && !charge.is_zero() {
+                if block_start.is_none() {
+                    block_start = Some(self.env.now());
+                }
                 self.env.sleep(charge);
             }
             if done {
@@ -383,12 +390,17 @@ impl Mpi {
             }
             if !progressed {
                 // Nothing moved: wait for the transport to wake us.
+                if block_start.is_none() {
+                    block_start = Some(self.env.now());
+                }
                 let Mpi { env, rpi, .. } = self;
                 env.with(|w, _| rpi.register(w, me));
                 env.park();
             }
         }
-        self.stats.blocked += self.env.now().since(block_start);
+        if let Some(start) = block_start {
+            self.stats.blocked += self.env.now().since(start);
+        }
     }
 
     /// Drain all queued outbound traffic (run by `mpirun` after the user

@@ -127,10 +127,18 @@ fn recv_blocking(env: &Env, ep: EpId) -> (u16, DaemonMsg) {
     let me = env.id();
     env.block_on(|w, ctx| match sctp::recvmsg(w, ctx, ep) {
         Some(m) => {
-            let raw: Vec<u8> = m.data.iter().flat_map(|b| b.iter().copied()).collect();
             // Identify the sending host from the association.
             let peer = sctp_peer_host(w, m.assoc);
-            Some((peer, DaemonMsg::from_bytes(&raw)))
+            // Control messages almost always arrive as a single chunk;
+            // parse in place and only flatten multi-chunk deliveries.
+            let msg = match m.data.as_slice() {
+                [one] => DaemonMsg::from_bytes(one),
+                chunks => {
+                    let raw: Vec<u8> = chunks.iter().flat_map(|b| b.iter().copied()).collect();
+                    DaemonMsg::from_bytes(&raw)
+                }
+            };
+            Some((peer, msg))
         }
         None => {
             sctp::register_reader(w, ep, me);

@@ -113,6 +113,11 @@ pub struct MpiReport {
     pub sim_time: SimTime,
     /// Events fired (diagnostic).
     pub events: u64,
+    /// Driver↔process ownership transfers performed by the runtime
+    /// (diagnostic; wall-clock cost, no simulated-time meaning).
+    pub handoffs: u64,
+    /// Wakes coalesced away by the runtime fast path (diagnostic).
+    pub wakes_coalesced: u64,
     pub net: NetStats,
     /// Aggregate TCP socket stats across hosts (zero for SCTP runs).
     pub tcp: SockStats,
@@ -179,6 +184,8 @@ where
     let report = MpiReport {
         sim_time: out.sim_time,
         events: out.events,
+        handoffs: out.handoffs,
+        wakes_coalesced: out.wakes_coalesced,
         net: w.net.stats,
         tcp: w.hosts.iter().map(|h| h.tcp.total_stats()).fold(SockStats::default(), fold_tcp),
         sctp: w.hosts.iter().map(|h| h.sctp.total_stats()).fold(AssocStats::default(), fold_sctp),
@@ -298,6 +305,8 @@ where
     MpiReport {
         sim_time: out.sim_time,
         events: out.events,
+        handoffs: out.handoffs,
+        wakes_coalesced: out.wakes_coalesced,
         net: w.net.stats,
         tcp: tcp_total,
         sctp: sctp_total,

@@ -85,6 +85,14 @@ pub(crate) struct SctpRpi {
     piece: usize,
     race_fix: RaceFix,
     ctx_map: ContextMap,
+    /// Total queued [`OutMsg`]s, so `has_pending_writes` (checked on every
+    /// completing `progress_until` pass and in the finalize drain) is O(1).
+    wq_total: usize,
+    /// Queued [`OutMsg`]s per peer, so a progression pass skips the
+    /// per-stream write scan for peers with nothing queued. Skipping empty
+    /// peers cannot reorder anything: the relative order of non-empty
+    /// (peer, stream) visits is unchanged.
+    wq_peer: Vec<usize>,
     /// Option A only: the (peer, stream) whose long body must finish before
     /// any other write proceeds (§3.4.1's concurrency loss).
     a_lock: Option<(u16, u16)>,
@@ -140,7 +148,21 @@ impl SctpRpi {
         }
         let wq = (0..n).map(|_| (0..nstreams).map(|_| VecDeque::new()).collect()).collect();
         let rd = (0..n).map(|_| (0..nstreams).map(|_| InBody::default()).collect()).collect();
-        SctpRpi { me, ep, assocs, nstreams, wq, rd, piece, race_fix, ctx_map, a_lock: None }
+        let wq_peer = vec![0; n as usize];
+        SctpRpi {
+            me,
+            ep,
+            assocs,
+            nstreams,
+            wq,
+            rd,
+            piece,
+            race_fix,
+            ctx_map,
+            wq_total: 0,
+            wq_peer,
+            a_lock: None,
+        }
     }
 
     /// The paper's TRC→stream mapping: hash (context, tag) onto the pool —
@@ -171,6 +193,7 @@ impl SctpRpi {
         chunks.extend(body.into_iter().filter(|b| !b.is_empty()));
         let ppid = self.ppid_of(env.cxt);
         self.wq[peer as usize][sid as usize].push_back(OutMsg { chunks, req, last: true, ppid });
+        self.note_queued(peer, 1);
     }
 
     pub(crate) fn enqueue_ctrl(&mut self, ctrl: Vec<CtrlOut>) {
@@ -210,6 +233,13 @@ impl SctpRpi {
         for (i, p) in pieces.into_iter().enumerate() {
             q.push_back(OutMsg { chunks: p, req: Some(req), last: i + 1 == n, ppid });
         }
+        // env.to_bytes() header message + n body pieces.
+        self.note_queued(peer, 1 + n);
+    }
+
+    fn note_queued(&mut self, peer: u16, n: usize) {
+        self.wq_total += n;
+        self.wq_peer[peer as usize] += n;
     }
 
     /// One progression pass: drain arrivals, then push queued writes on
@@ -232,12 +262,17 @@ impl SctpRpi {
             self.handle_message(core, peer, msg.stream, msg.data, msg.len as usize);
         }
         // Writes: every peer, every stream — a blocked stream does not
-        // block the others (§3.2).
-        for peer in 0..self.assocs.len() as u16 {
-            if peer == self.me || self.assocs[peer as usize].is_none() {
-                continue;
+        // block the others (§3.2). Peers with nothing queued are skipped.
+        if self.wq_total > 0 {
+            for peer in 0..self.assocs.len() as u16 {
+                if peer == self.me
+                    || self.wq_peer[peer as usize] == 0
+                    || self.assocs[peer as usize].is_none()
+                {
+                    continue;
+                }
+                progressed |= self.progress_writes(w, ctx, core, cost, meter, peer);
             }
-            progressed |= self.progress_writes(w, ctx, core, cost, meter, peer);
         }
         progressed
     }
@@ -276,6 +311,8 @@ impl SctpRpi {
                         meter.charge(cost.syscall + cost.sctp_per_msg + cost.sctp_bytes(len));
                         progressed = true;
                         let item = self.wq[peer as usize][sid as usize].pop_front().unwrap();
+                        self.wq_total -= 1;
+                        self.wq_peer[peer as usize] -= 1;
                         if self.race_fix == RaceFix::OptionA {
                             self.a_lock = if item.last { None } else { Some((peer, sid)) };
                         }
@@ -353,8 +390,9 @@ impl SctpRpi {
         }
     }
 
+    /// O(1) via `wq_total`.
     pub(crate) fn has_pending_writes(&self) -> bool {
-        self.wq.iter().any(|per| per.iter().any(|q| !q.is_empty()))
+        self.wq_total > 0
     }
 
     /// Register for wakeups: one endpoint covers every peer (§3.3).

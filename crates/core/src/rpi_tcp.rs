@@ -37,6 +37,13 @@ pub(crate) struct TcpRpi {
     socks: Vec<Option<SockId>>,
     rd: Vec<ReadState>,
     wq: Vec<VecDeque<WriteItem>>,
+    /// Total queued [`WriteItem`]s across all peers, so the hot
+    /// `has_pending_writes` check (every `progress_until` done-pass and the
+    /// finalize drain loop) is O(1) instead of a scan over all queues.
+    wq_items: usize,
+    /// The mesh is fixed after `init`, so the select() descriptor count the
+    /// cost model charges per pass is a constant, not a per-pass scan.
+    nlive: usize,
 }
 
 /// Listen port for the RPI mesh.
@@ -84,11 +91,8 @@ impl TcpRpi {
 
         let rd = (0..n).map(|_| ReadState::Env { buf: Vec::with_capacity(ENV_SIZE) }).collect();
         let wq = (0..n).map(|_| VecDeque::new()).collect();
-        TcpRpi { me, socks, rd, wq }
-    }
-
-    fn live_socks(&self) -> usize {
-        self.socks.iter().flatten().count()
+        let nlive = socks.iter().flatten().count();
+        TcpRpi { me, socks, rd, wq, wq_items: 0, nlive }
     }
 
     /// Queue an envelope (+ body) to `peer`.
@@ -101,6 +105,7 @@ impl TcpRpi {
             }
         }
         self.wq[peer as usize].push_back(WriteItem { chunks, req });
+        self.wq_items += 1;
     }
 
     pub(crate) fn enqueue_ctrl(&mut self, ctrl: Vec<CtrlOut>) {
@@ -125,7 +130,7 @@ impl TcpRpi {
         meter: &mut CpuMeter,
     ) -> bool {
         // LAM-TCP polls all descriptors; model the select() cost.
-        meter.charge(cost.select(self.live_socks()));
+        meter.charge(cost.select(self.nlive));
         let mut progressed = false;
         for peer in 0..self.socks.len() as u16 {
             if self.socks[peer as usize].is_none() || peer == self.me {
@@ -159,6 +164,7 @@ impl TcpRpi {
             advance_chunks(&mut front.chunks, accepted);
             if front.chunks.is_empty() {
                 let done = self.wq[peer as usize].pop_front().unwrap();
+                self.wq_items -= 1;
                 if let Some(r) = done.req {
                     core.send_written(r);
                 }
@@ -242,9 +248,9 @@ impl TcpRpi {
         self.rd[peer as usize] = next;
     }
 
-    /// True if any outbound item is still queued.
+    /// True if any outbound item is still queued. O(1) via `wq_items`.
     pub(crate) fn has_pending_writes(&self) -> bool {
-        self.wq.iter().any(|q| !q.is_empty())
+        self.wq_items > 0
     }
 
     /// Register this process for wakeups on every socket.

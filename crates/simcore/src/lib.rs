@@ -21,7 +21,9 @@ pub mod rng;
 pub mod sched;
 pub mod time;
 
-pub use process::{ProcEnv, ProcId, RunOutcome, Runtime};
+pub use process::{
+    reference_discipline, set_reference_discipline, ProcEnv, ProcId, RunOutcome, Runtime,
+};
 pub use rng::{derive_rng, stream_id};
 pub use sched::{Ctx, TimerId};
 pub use time::{transmission_time, Dur, SimTime};

@@ -8,110 +8,207 @@
 //! result, bit for bit — while letting workloads be written as
 //! straight-line code instead of hand-rolled state machines.
 //!
+//! Handoff protocol: each process carries a [`ProcCtl`] holding a one-byte
+//! *run token* (`AtomicU8`). Exactly one thread owns the token at any
+//! instant; passing it is a single atomic store plus one `Thread::unpark` of
+//! the unique peer — `notify_one` by construction, since each direction has
+//! exactly one possible waiter (the registered driver/process thread, which
+//! debug assertions enforce). The waiter spins briefly, then falls back to
+//! `std::thread::park()`; park/unpark's token semantics make lost wakeups
+//! impossible. This replaces the old `Mutex<CtlInner>` + `Condvar` protocol,
+//! whose two condvar round trips per block/wake cycle dominated figure wall
+//! clock (~5–6 µs/event, see EXPERIMENTS.md).
+//!
 //! Wakeup discipline: a parked process is resumed only via
 //! [`crate::sched::Ctx::wake`]. Wakeups may be *spurious* from the waiter's
-//! perspective (e.g. a CPU-charge sleep can consume a readiness wake), so all
-//! waiting code must follow condition-variable style: re-check the condition
-//! after every park. [`ProcEnv::block_on`] encodes that pattern.
+//! perspective, so all waiting code must follow condition-variable style:
+//! re-check the condition after every park. [`ProcEnv::block_on`] encodes
+//! that pattern. The scheduler additionally *suppresses* the one class of
+//! wake it can prove spurious (wakes aimed at a process inside a CPU-charge
+//! [`ProcEnv::sleep`]) and satisfies quiescent sleeps with an inline clock
+//! advance; `set_reference_discipline` restores the original
+//! one-resume-per-wake accounting for `SIM_CHECK` shadow runs. Both
+//! disciplines produce bit-identical worlds, simulated times, and event
+//! counts — only the number of driver↔process handoffs differs.
 
+use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Arc;
-use std::thread::JoinHandle;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::{JoinHandle, Thread};
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Mutex;
 
 use crate::rng::derive_rng;
 use crate::sched::Ctx;
 use crate::time::{Dur, SimTime};
+
+thread_local! {
+    static REFERENCE_DISCIPLINE: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Select the wakeup discipline for `Runtime::run` calls made **on this
+/// thread**: `true` re-enables the reference (pre-coalescing) accounting —
+/// every wake resumes its target and every sleep is a timer + park — which
+/// `SIM_CHECK=1` shadow runs compare against. Thread-local so parallel bench
+/// workers can shadow-check cells independently.
+pub fn set_reference_discipline(on: bool) {
+    REFERENCE_DISCIPLINE.with(|c| c.set(on));
+}
+
+/// The discipline `Runtime::run` would pick up on this thread.
+pub fn reference_discipline() -> bool {
+    REFERENCE_DISCIPLINE.with(|c| c.get())
+}
 
 /// Identifies a simulated process within one [`Runtime`]. Process ids are
 /// assigned densely from zero in spawn order, so MPI ranks map directly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ProcId(pub usize);
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ProcState {
-    /// Thread spawned, waiting for its first resume.
-    Created,
-    /// The one thread currently allowed to run.
-    Running,
-    /// Blocked in `park`, waiting for `Running`.
-    Parked,
-    /// User closure returned (or panicked).
-    Done,
+/// Run-token states. A plain `AtomicU8` (not an enum behind a mutex): every
+/// transition is a single store/swap by the token's current owner.
+const CREATED: u8 = 0; // thread spawned, waiting for its first resume
+const RUNNING: u8 = 1; // the one thread currently allowed to run
+const PARKED: u8 = 2; // blocked in `park`, waiting for RUNNING
+const DONE: u8 = 3; // user closure returned (or panicked)
+
+/// How long a waiter spins before falling back to `thread::park()`. On a
+/// single-CPU host spinning is pure waste — the peer cannot be scheduled
+/// until we block — so the limit is zero there.
+fn spin_limit() -> u32 {
+    static LIMIT: OnceLock<u32> = OnceLock::new();
+    *LIMIT.get_or_init(|| match std::thread::available_parallelism() {
+        Ok(n) if n.get() > 1 => 96,
+        _ => 0,
+    })
 }
 
-struct CtlInner {
-    state: ProcState,
-    panicked: bool,
-}
-
+/// Per-process handoff control: the run token plus the two thread handles an
+/// ownership transfer can target. `notify_one` semantics are structural —
+/// `Thread::unpark` wakes exactly one specific thread, and per direction
+/// only one thread can ever be waiting (the driver waits only in
+/// `wait_token_released`, the process thread only in `wait_token_granted`).
 struct ProcCtl {
     name: String,
-    inner: Mutex<CtlInner>,
-    cv: Condvar,
+    state: AtomicU8,
+    panicked: AtomicBool,
+    /// The process thread, registered before its first wait. `resume` may
+    /// run before registration; then the process has not parked yet and
+    /// will observe RUNNING without needing the unpark.
+    proc_thread: OnceLock<Thread>,
+    /// The driver thread, registered at the top of `Runtime::run`, strictly
+    /// before any process can park or finish.
+    driver_thread: OnceLock<Thread>,
 }
 
 impl ProcCtl {
     fn new(name: String) -> Self {
         ProcCtl {
             name,
-            inner: Mutex::new(CtlInner { state: ProcState::Created, panicked: false }),
-            cv: Condvar::new(),
+            state: AtomicU8::new(CREATED),
+            panicked: AtomicBool::new(false),
+            proc_thread: OnceLock::new(),
+            driver_thread: OnceLock::new(),
         }
     }
 
-    /// Called from the process thread: yield control to the driver and wait
-    /// to be resumed.
+    /// Process side: give the token back to the driver and wait for it to
+    /// be granted again. One store + one unpark in each direction.
     fn park(&self) {
-        let mut g = self.inner.lock();
-        debug_assert_eq!(g.state, ProcState::Running);
-        g.state = ProcState::Parked;
-        self.cv.notify_all();
-        while g.state == ProcState::Parked {
-            self.cv.wait(&mut g);
-        }
-        debug_assert_eq!(g.state, ProcState::Running);
+        let prev = self.state.swap(PARKED, Ordering::AcqRel);
+        debug_assert_eq!(prev, RUNNING, "park by a thread that does not own the token");
+        self.driver_thread
+            .get()
+            .expect("driver registers its handle before any process runs")
+            .unpark();
+        self.wait_token_granted();
     }
 
-    /// Called from the process thread on first entry: wait for initial resume.
+    /// Process side, first entry: register our handle, then wait for the
+    /// initial grant.
     fn wait_first_resume(&self) {
-        let mut g = self.inner.lock();
-        while g.state != ProcState::Running {
-            self.cv.wait(&mut g);
-        }
+        let _ = self.proc_thread.set(std::thread::current());
+        self.wait_token_granted();
     }
 
-    /// Called from the driver: hand control to this process and block until
-    /// it parks or finishes. Returns immediately if the process is done.
-    fn resume_and_wait(&self) {
-        let mut g = self.inner.lock();
-        match g.state {
-            ProcState::Done => return,
-            ProcState::Parked | ProcState::Created => {
-                g.state = ProcState::Running;
-                self.cv.notify_all();
+    fn wait_token_granted(&self) {
+        // Single-waiter invariant: the only thread that ever waits for a
+        // grant is the registered process thread itself.
+        debug_assert!(
+            self.proc_thread.get().is_some_and(|t| t.id() == std::thread::current().id()),
+            "single-waiter invariant: only the process thread waits for the token"
+        );
+        let mut spins = 0;
+        while self.state.load(Ordering::Acquire) != RUNNING {
+            if spins < spin_limit() {
+                spins += 1;
+                std::hint::spin_loop();
+            } else {
+                std::thread::park();
             }
-            ProcState::Running => unreachable!("driver resumed a running process"),
-        }
-        while g.state == ProcState::Running {
-            self.cv.wait(&mut g);
         }
     }
 
+    /// Driver side: hand the token to this process and block until it parks
+    /// or finishes. Returns whether control was actually transferred
+    /// (i.e. the process was not already done).
+    fn resume_and_wait(&self) -> bool {
+        match self.state.load(Ordering::Acquire) {
+            DONE => return false,
+            s @ (PARKED | CREATED) => {
+                let prev = self.state.swap(RUNNING, Ordering::AcqRel);
+                debug_assert_eq!(prev, s, "token moved while the driver held it");
+                if let Some(t) = self.proc_thread.get() {
+                    t.unpark();
+                }
+            }
+            _ => unreachable!("driver resumed a running process"),
+        }
+        self.wait_token_released();
+        true
+    }
+
+    fn wait_token_released(&self) {
+        // Single-waiter invariant, driver direction: only the registered
+        // driver thread ever waits for the token to come back.
+        debug_assert!(
+            self.driver_thread.get().is_some_and(|t| t.id() == std::thread::current().id()),
+            "single-waiter invariant: only the driver waits for a park"
+        );
+        let mut spins = 0;
+        while self.state.load(Ordering::Acquire) == RUNNING {
+            if spins < spin_limit() {
+                spins += 1;
+                std::hint::spin_loop();
+            } else {
+                std::thread::park();
+            }
+        }
+    }
+
+    /// Process side: final token release. `panicked` is published before the
+    /// DONE store so the driver's acquire load of `state` orders it.
     fn finish(&self, panicked: bool) {
-        let mut g = self.inner.lock();
-        g.state = ProcState::Done;
-        g.panicked = panicked;
-        self.cv.notify_all();
+        self.panicked.store(panicked, Ordering::Release);
+        let prev = self.state.swap(DONE, Ordering::AcqRel);
+        debug_assert_eq!(prev, RUNNING, "finish by a thread that does not own the token");
+        self.driver_thread
+            .get()
+            .expect("driver registers its handle before any process runs")
+            .unpark();
+    }
+
+    fn panicked(&self) -> bool {
+        self.panicked.load(Ordering::Acquire)
     }
 
     fn is_done(&self) -> bool {
-        self.inner.lock().state == ProcState::Done
+        self.state.load(Ordering::Acquire) == DONE
     }
 
     fn is_parked_or_created(&self) -> bool {
-        matches!(self.inner.lock().state, ProcState::Parked | ProcState::Created)
+        matches!(self.state.load(Ordering::Acquire), PARKED | CREATED)
     }
 }
 
@@ -126,6 +223,13 @@ struct Sim<W> {
 struct Shared<W> {
     sim: Mutex<Sim<W>>,
     ctls: Vec<Arc<ProcCtl>>,
+    /// Wakes of the current driver batch not yet resumed. The batch lives in
+    /// the driver's private buffer, invisible to the scheduler's wake queue,
+    /// so the sleep fast path must consult this count too: a process resumed
+    /// mid-batch may not advance the clock while batch peers are still
+    /// entitled to run at the current time. Synchronized by the run-token
+    /// handoff (the driver only writes it while holding every token).
+    inflight_wakes: std::sync::atomic::AtomicUsize,
 }
 
 /// A handle a simulated process uses to touch the shared world, sleep, and
@@ -180,20 +284,34 @@ impl<W: Send + 'static> ProcEnv<W> {
     /// Advance this process's local time by `d` without doing anything —
     /// models computation or CPU charges. Simulated time continues for the
     /// network and for other processes.
+    ///
+    /// Consecutive CPU charges batch: when the simulation is quiescent (no
+    /// pending wakes, no event due at or before `now + d`, deadline not
+    /// crossed) the clock advances inline and control never leaves this
+    /// thread. Otherwise a real timer is scheduled and the process parks;
+    /// while it is parked here, the scheduler suppresses foreign wakes —
+    /// they are provably spurious, since this loop re-checks only a private
+    /// `done` flag and parks again without touching the world.
     pub fn sleep(&self, d: Dur) {
         if d.is_zero() {
             return;
         }
-        let done = Arc::new(Mutex::new(false));
+        if self.shared.inflight_wakes.load(Ordering::Acquire) == 0
+            && self.with(|_, ctx| ctx.try_advance_sleep(d))
+        {
+            return;
+        }
+        let done = Arc::new(AtomicBool::new(false));
         let done2 = Arc::clone(&done);
         let id = self.id;
         self.with(move |_, ctx| {
+            ctx.begin_sleep(id);
             ctx.schedule_in(d, move |_, ctx| {
-                *done2.lock() = true;
-                ctx.wake(id);
+                done2.store(true, Ordering::Release);
+                ctx.finish_sleep_and_wake(id);
             });
         });
-        while !*done.lock() {
+        while !done.load(Ordering::Acquire) {
             self.park();
         }
     }
@@ -213,8 +331,16 @@ pub struct RunOutcome<W> {
     pub world: W,
     /// Simulated time at which the last process finished (or the deadline).
     pub sim_time: SimTime,
-    /// Total events fired (diagnostic).
+    /// Total events fired (diagnostic). Identical under both wakeup
+    /// disciplines: inline-advanced sleeps count their skipped timer.
     pub events: u64,
+    /// Driver→process ownership transfers actually performed (diagnostic).
+    /// This is the count the runtime overhaul drives down; it differs
+    /// between disciplines by design.
+    pub handoffs: u64,
+    /// Wakes that never became a handoff: suppressed spurious wakes plus
+    /// sleeps satisfied by the inline fast path (diagnostic).
+    pub wakes_coalesced: u64,
     /// True if the run was cut short by the deadline.
     pub hit_deadline: bool,
 }
@@ -273,7 +399,11 @@ impl<W: Send + 'static> Runtime<W> {
             .iter()
             .map(|(name, _)| Arc::new(ProcCtl::new(name.clone())))
             .collect();
-        let shared = Arc::new(Shared { sim: Mutex::new(Sim { world, ctx }), ctls });
+        let shared = Arc::new(Shared {
+            sim: Mutex::new(Sim { world, ctx }),
+            ctls,
+            inflight_wakes: std::sync::atomic::AtomicUsize::new(0),
+        });
 
         // Spawn process threads; each waits for its first resume.
         let mut joins: Vec<JoinHandle<()>> = Vec::with_capacity(self.mains.len());
@@ -302,9 +432,16 @@ impl<W: Send + 'static> Runtime<W> {
             joins.push(handle);
         }
 
-        // Seed: every process gets an initial wakeup, in id order.
+        // Register the driver's handle before any process can park or
+        // finish, then seed: every process gets an initial wakeup, in id
+        // order. The discipline is whatever this thread selected.
+        for ctl in &shared.ctls {
+            let _ = ctl.driver_thread.set(std::thread::current());
+        }
         {
             let mut g = shared.sim.lock();
+            g.ctx.set_reference(reference_discipline());
+            g.ctx.set_deadline(self.deadline);
             for (at, f) in self.pre_events.drain(..) {
                 g.ctx.schedule_at(at, f);
             }
@@ -314,46 +451,62 @@ impl<W: Send + 'static> Runtime<W> {
         }
 
         let mut hit_deadline = false;
+        let mut handoffs: u64 = 0;
+        let mut wake_buf: Vec<ProcId> = Vec::new();
         'driver: loop {
             // Drain wakeups first: same-timestamp readiness beats timers.
-            let wakes = shared.sim.lock().ctx.take_wakes();
-            if !wakes.is_empty() {
-                for p in wakes {
-                    shared.ctls[p.0].resume_and_wait();
-                    if shared.ctls[p.0].inner.lock().panicked {
+            // Batches repeat until no wake is pending; wakes issued during a
+            // batch land in the next one (see `take_wakes_into`).
+            loop {
+                shared.sim.lock().ctx.take_wakes_into(&mut wake_buf);
+                if wake_buf.is_empty() {
+                    break;
+                }
+                shared.inflight_wakes.store(wake_buf.len(), Ordering::Release);
+                for p in &wake_buf {
+                    // The process we are about to resume no longer counts as
+                    // in flight; only not-yet-resumed batch peers gate the
+                    // sleep fast path.
+                    shared.inflight_wakes.fetch_sub(1, Ordering::Release);
+                    let ctl = &shared.ctls[p.0];
+                    if ctl.resume_and_wait() {
+                        handoffs += 1;
+                    }
+                    if ctl.panicked() {
                         break 'driver;
                     }
                 }
-                continue;
             }
 
             if shared.ctls.iter().all(|c| c.is_done()) {
                 break;
             }
 
-            // Fire the next timed event.
-            let fired = {
+            // Fire a run of timed events back to back under one lock
+            // acquisition, stopping as soon as an event makes a process
+            // runnable — the reference discipline resumes it before firing
+            // the next event, and so must we for bit-identical worlds.
+            let fired_any = {
                 let mut g = shared.sim.lock();
-                if let Some(t) = g.ctx.next_event_time() {
+                let mut fired = false;
+                loop {
+                    if g.ctx.has_wakes() {
+                        break;
+                    }
+                    let Some(t) = g.ctx.next_event_time() else { break };
                     if t > self.deadline {
                         hit_deadline = true;
-                        false
-                    } else {
-                        match g.ctx.pop_event() {
-                            Some(f) => {
-                                let Sim { world, ctx } = &mut *g;
-                                f(world, ctx);
-                                true
-                            }
-                            None => false,
-                        }
+                        break;
                     }
-                } else {
-                    false
+                    let Some(f) = g.ctx.pop_event() else { break };
+                    let Sim { world, ctx } = &mut *g;
+                    f(world, ctx);
+                    fired = true;
                 }
+                fired
             };
 
-            if fired {
+            if fired_any {
                 continue;
             }
             if hit_deadline {
@@ -372,7 +525,7 @@ impl<W: Send + 'static> Runtime<W> {
             }
         }
 
-        let panicked = shared.ctls.iter().any(|c| c.inner.lock().panicked);
+        let panicked = shared.ctls.iter().any(|c| c.panicked());
 
         // On deadline or panic, stranded threads are parked forever; we must
         // not join them. In the normal path all are done and join cleanly.
@@ -410,6 +563,8 @@ impl<W: Send + 'static> Runtime<W> {
         RunOutcome {
             sim_time: sim.ctx.now(),
             events: sim.ctx.events_fired(),
+            handoffs,
+            wakes_coalesced: sim.ctx.wakes_coalesced(),
             world: sim.world,
             hit_deadline,
         }

@@ -60,6 +60,22 @@ pub struct Ctx<W> {
     cancelled: FxHashSet<u64>,
     wake_fifo: VecDeque<ProcId>,
     wake_pending: FxHashSet<ProcId>,
+    /// `sleeping[p]` is true while process `p` is parked inside
+    /// [`crate::ProcEnv::sleep`]. A wake delivered to a sleeping process is
+    /// provably spurious — the sleep loop only re-checks a private `done`
+    /// flag that nothing but its own timer can set, then parks again without
+    /// touching the world — so the fast discipline drops such wakes instead
+    /// of paying a resume/park round trip for them.
+    sleeping: Vec<bool>,
+    /// Reference discipline: disable wake suppression and the sleep fast
+    /// path, reproducing the original one-resume-per-wake accounting. Used
+    /// by `SIM_CHECK=1` shadow runs and the equivalence proptests.
+    reference: bool,
+    /// Runtime deadline, mirrored here so the sleep fast path never advances
+    /// the clock past the point where the driver would abort the run.
+    deadline: SimTime,
+    wakes_suppressed: u64,
+    sleep_fastpaths: u64,
     /// Master RNG for the simulation. Components that need reproducible
     /// independent streams should use [`crate::rng::derive_rng`] instead and
     /// keep their own generator; this one is for ad-hoc draws (e.g. link loss).
@@ -77,9 +93,41 @@ impl<W> Ctx<W> {
             cancelled: FxHashSet::default(),
             wake_fifo: VecDeque::new(),
             wake_pending: FxHashSet::default(),
+            sleeping: Vec::new(),
+            reference: false,
+            deadline: SimTime::MAX,
+            wakes_suppressed: 0,
+            sleep_fastpaths: 0,
             rng,
             events_fired: 0,
         }
+    }
+
+    pub(crate) fn set_reference(&mut self, on: bool) {
+        self.reference = on;
+    }
+
+    pub(crate) fn set_deadline(&mut self, deadline: SimTime) {
+        self.deadline = deadline;
+    }
+
+    /// Wakes that never became a driver↔process round trip: suppressed
+    /// spurious wakes plus sleeps satisfied by the inline fast path.
+    #[inline]
+    pub fn wakes_coalesced(&self) -> u64 {
+        self.wakes_suppressed + self.sleep_fastpaths
+    }
+
+    /// Spurious wakes dropped because the target was in a charge sleep.
+    #[inline]
+    pub fn wakes_suppressed(&self) -> u64 {
+        self.wakes_suppressed
+    }
+
+    /// Sleeps satisfied by an inline clock advance, no park at all.
+    #[inline]
+    pub fn sleep_fastpaths(&self) -> u64 {
+        self.sleep_fastpaths
     }
 
     /// Current simulated time.
@@ -144,8 +192,14 @@ impl<W> Ctx<W> {
 
     /// Mark a process runnable. Wakeups are drained FIFO by the driver before
     /// the next timed event fires. Duplicate wakes of an already-pending
-    /// process coalesce.
+    /// process coalesce; wakes aimed at a process parked in a charge sleep
+    /// are provably spurious (see [`Ctx::sleeping`]) and are dropped unless
+    /// the reference discipline is active.
     pub fn wake(&mut self, p: ProcId) {
+        if !self.reference && self.sleeping.get(p.0).copied().unwrap_or(false) {
+            self.wakes_suppressed += 1;
+            return;
+        }
         if self.wake_pending.insert(p) {
             self.wake_fifo.push_back(p);
         }
@@ -158,9 +212,68 @@ impl<W> Ctx<W> {
         }
     }
 
-    pub(crate) fn take_wakes(&mut self) -> Vec<ProcId> {
+    /// Mark `p` as parked inside `ProcEnv::sleep` so incoming wakes can be
+    /// suppressed. Must be bracketed by [`Ctx::finish_sleep_and_wake`].
+    pub(crate) fn begin_sleep(&mut self, p: ProcId) {
+        if self.sleeping.len() <= p.0 {
+            self.sleeping.resize(p.0 + 1, false);
+        }
+        debug_assert!(!self.sleeping[p.0], "nested sleep for one process");
+        self.sleeping[p.0] = true;
+    }
+
+    /// Clear `p`'s sleeping mark and enqueue its (now genuine) timer wake.
+    pub(crate) fn finish_sleep_and_wake(&mut self, p: ProcId) {
+        debug_assert!(self.sleeping.get(p.0).copied().unwrap_or(false));
+        self.sleeping[p.0] = false;
+        self.wake(p);
+    }
+
+    /// CPU-charge batching fast path: try to satisfy a `sleep(d)` by
+    /// advancing the clock inline, with no timer, no park, and no
+    /// driver↔process round trip. Legal only when the advance is invisible:
+    /// no process is pending a wake (they would have run first), no queued
+    /// event fires at or before the target time (`<=` because an
+    /// already-queued event at exactly `now + d` carries a smaller seq than
+    /// the sleep timer would get, so the reference discipline fires it
+    /// first), and the target does not cross the run deadline. Counts the
+    /// skipped sleep timer as one fired event so `events_fired` stays
+    /// identical to the reference discipline.
+    pub(crate) fn try_advance_sleep(&mut self, d: Dur) -> bool {
+        if self.reference || !self.wake_fifo.is_empty() {
+            return false;
+        }
+        let to = self.now + d;
+        if to > self.deadline {
+            return false;
+        }
+        if let Some(t) = self.next_event_time() {
+            if t <= to {
+                return false;
+            }
+        }
+        self.now = to;
+        self.events_fired += 1;
+        self.sleep_fastpaths += 1;
+        true
+    }
+
+    /// Drain the pending wake batch into `out` (cleared first). Reuses the
+    /// driver's buffer so the per-batch `Vec` allocation of the old
+    /// `take_wakes` is gone. Batch semantics are load-bearing: the pending
+    /// set is cleared wholesale, so a wake issued *during* the batch — even
+    /// to a process earlier in it — lands in the next batch.
+    pub(crate) fn take_wakes_into(&mut self, out: &mut Vec<ProcId>) {
+        out.clear();
+        out.extend(self.wake_fifo.drain(..));
         self.wake_pending.clear();
-        self.wake_fifo.drain(..).collect()
+    }
+
+    #[cfg(test)]
+    pub(crate) fn take_wakes(&mut self) -> Vec<ProcId> {
+        let mut v = Vec::new();
+        self.take_wakes_into(&mut v);
+        v
     }
 
     pub(crate) fn has_wakes(&self) -> bool {

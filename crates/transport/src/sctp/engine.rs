@@ -1006,7 +1006,7 @@ fn handle_cookie_echo(w: &mut World, ctx: &mut Wx, e: EpId, src: IfAddr, src_por
     let idx = ep.assocs.len() as u32;
     ep.assocs.push(ak);
     ep.by_peer.insert((src.host, src_port), idx);
-    let wake: Vec<_> = ep.readers.drain(..).collect();
+    let wake = std::mem::take(&mut ep.readers);
     ctx.wake_all(&wake);
     let a = AssocId { host: e.host, ep: e.idx, idx };
     let (vtag, path) = {
@@ -1040,7 +1040,7 @@ fn handle_cookie_ack(w: &mut World, ctx: &mut Wx, a: AssocId) {
     }
     // Wake connect() pollers and flush any data queued before establishment.
     let e = a.endpoint();
-    let wake: Vec<_> = ep_mut(w, e).writers.drain(..).collect();
+    let wake = std::mem::take(&mut ep_mut(w, e).writers);
     ctx.wake_all(&wake);
     for p in 0..cfg.num_paths {
         arm_heartbeat(w, ctx, a, p);
@@ -1053,7 +1053,7 @@ fn fail_assoc(w: &mut World, ctx: &mut Wx, a: AssocId) {
     assoc_mut(w, a).state = AssocState::Aborted;
     let e = a.endpoint();
     let ep = ep_mut(w, e);
-    let mut wake: Vec<_> = ep.readers.drain(..).collect();
+    let mut wake = std::mem::take(&mut ep.readers);
     wake.append(&mut ep.writers);
     ctx.wake_all(&wake);
 }
@@ -1252,7 +1252,7 @@ fn handle_data(w: &mut World, ctx: &mut Wx, a: AssocId, _src: IfAddr, d: DataChu
         for m in delivered {
             ep.deliver_q.push_back(m);
         }
-        let wake: Vec<_> = ep.readers.drain(..).collect();
+        let wake = std::mem::take(&mut ep.readers);
         ctx.wake_all(&wake);
     }
 }
@@ -1530,7 +1530,7 @@ fn process_sack(w: &mut World, ctx: &mut Wx, a: AssocId, cum: u64, a_rwnd: u64, 
     }
     if wake_writers {
         let ep = ep_mut(w, a.endpoint());
-        let wake: Vec<_> = ep.writers.drain(..).collect();
+        let wake = std::mem::take(&mut ep.writers);
         ctx.wake_all(&wake);
     }
     if do_fast_rtx {
@@ -1608,7 +1608,7 @@ fn fast_retransmit_burst(w: &mut World, ctx: &mut Wx, a: AssocId) {
 /// Wake every process blocked on this endpoint (state changes).
 fn wake_endpoint(w: &mut World, ctx: &mut Wx, e: EpId) {
     let ep = ep_mut(w, e);
-    let mut wake: Vec<_> = ep.readers.drain(..).collect();
+    let mut wake = std::mem::take(&mut ep.readers);
     wake.append(&mut ep.writers);
     ctx.wake_all(&wake);
 }

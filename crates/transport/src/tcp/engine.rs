@@ -162,7 +162,7 @@ fn on_rto(w: &mut World, ctx: &mut Wx, s: SockId, gen: u64) {
                 sk.syn_retries += 1;
                 if sk.syn_retries > cfg.max_syn_retries {
                     sk.state = TcpState::Closed;
-                    let ws: Vec<_> = sk.writers.drain(..).collect();
+                    let ws = std::mem::take(&mut sk.writers);
                     ctx.wake_all(&ws);
                     return;
                 }
@@ -438,7 +438,7 @@ fn sock_input(w: &mut World, ctx: &mut Wx, s: SockId, seg: TcpSegment) {
     if seg.flags.contains(Flags::RST) {
         let sk = sock_mut(w, s);
         sk.state = TcpState::Closed;
-        let mut wake: Vec<_> = sk.readers.drain(..).collect();
+        let mut wake = std::mem::take(&mut sk.readers);
         wake.append(&mut sk.writers);
         ctx.wake_all(&wake);
         return;
@@ -460,7 +460,7 @@ fn sock_input(w: &mut World, ctx: &mut Wx, s: SockId, seg: TcpSegment) {
                         sk.rto.sample(now.since(t0));
                     }
                     disarm_rto(sk);
-                    let ws: Vec<_> = sk.writers.drain(..).collect();
+                    let ws = std::mem::take(&mut sk.writers);
                     ctx.wake_all(&ws);
                 }
                 send_ack_now(w, ctx, s);
@@ -478,7 +478,7 @@ fn sock_input(w: &mut World, ctx: &mut Wx, s: SockId, seg: TcpSegment) {
                 };
                 if let Some(l) = w.hosts[s.host as usize].tcp.listeners.get_mut(&port) {
                     l.backlog.push_back(s.idx);
-                    let acceptors: Vec<_> = l.acceptors.drain(..).collect();
+                    let acceptors = std::mem::take(&mut l.acceptors);
                     ctx.wake_all(&acceptors);
                 }
                 // Piggybacked data on the final handshake ACK.
@@ -588,7 +588,7 @@ fn process_ack(w: &mut World, ctx: &mut Wx, s: SockId, seg: &TcpSegment) {
             } else {
                 disarm_rto(sk);
             }
-            wake_writers = sk.writers.drain(..).collect();
+            wake_writers = std::mem::take(&mut sk.writers);
 
             // FIN acknowledged?
             if sk.fin_sent && seg.ack == sk.snd.end_seq() + 1 {
@@ -763,7 +763,7 @@ fn process_data(w: &mut World, ctx: &mut Wx, s: SockId, seg: TcpSegment) -> bool
                     if drained {
                         sk.have.remove_below(sk.rcv_nxt);
                         sk.sack_recent.retain(|&r| r >= sk.rcv_nxt);
-                        wake_readers = sk.readers.drain(..).collect();
+                        wake_readers = std::mem::take(&mut sk.readers);
                         if had_gap {
                             // Filling a gap: ack immediately (RFC 5681).
                             ack_now = true;
@@ -790,7 +790,7 @@ fn process_data(w: &mut World, ctx: &mut Wx, s: SockId, seg: TcpSegment) -> bool
                     TcpState::FinWait2 => TcpState::TimeWait,
                     other => other,
                 };
-                let mut wr: Vec<_> = sk.readers.drain(..).collect();
+                let mut wr = std::mem::take(&mut sk.readers);
                 wake_readers.append(&mut wr);
             }
         }

@@ -79,6 +79,10 @@ pub struct FarmResult {
     /// Simulator events fired during the run (self-metering, see
     /// `bench-harness`).
     pub events: u64,
+    /// Runtime driver↔process handoffs performed (self-metering).
+    pub handoffs: u64,
+    /// Wakes coalesced away by the runtime fast path (self-metering).
+    pub wakes_coalesced: u64,
     /// Peak length of the matching layer's unexpected-message queue across
     /// all ranks — must stay bounded for this latency-tolerant workload.
     pub unexpected_peak: usize,
@@ -106,6 +110,8 @@ pub fn run(mpi_cfg: MpiCfg, cfg: FarmCfg) -> FarmResult {
         secs: report.secs(),
         tasks_done: done_count.load(std::sync::atomic::Ordering::Relaxed),
         events: report.events,
+        handoffs: report.handoffs,
+        wakes_coalesced: report.wakes_coalesced,
         unexpected_peak: peak.load(std::sync::atomic::Ordering::Relaxed),
     }
 }

@@ -137,6 +137,10 @@ pub struct NasResult {
     /// Simulator events fired during the run (self-metering, see
     /// `bench-harness`).
     pub events: u64,
+    /// Runtime driver↔process handoffs performed (self-metering).
+    pub handoffs: u64,
+    /// Wakes coalesced away by the runtime fast path (self-metering).
+    pub wakes_coalesced: u64,
 }
 
 /// Run one kernel at one class.
@@ -146,7 +150,16 @@ pub fn run(mpi_cfg: MpiCfg, kernel: Kernel, class: Class) -> NasResult {
     });
     let secs = report.secs();
     let mops_total = kernel.mops(class);
-    NasResult { kernel, class, secs, mops_total, mops_per_sec: mops_total / secs, events: report.events }
+    NasResult {
+        kernel,
+        class,
+        secs,
+        mops_total,
+        mops_per_sec: mops_total / secs,
+        events: report.events,
+        handoffs: report.handoffs,
+        wakes_coalesced: report.wakes_coalesced,
+    }
 }
 
 fn dispatch(mpi: &mut Mpi, kernel: Kernel, class: Class) {

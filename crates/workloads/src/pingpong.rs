@@ -28,6 +28,10 @@ pub struct PingPongResult {
     /// Simulator events fired during the run (self-metering, see
     /// `bench-harness`).
     pub events: u64,
+    /// Runtime driver↔process handoffs performed (self-metering).
+    pub handoffs: u64,
+    /// Wakes coalesced away by the runtime fast path (self-metering).
+    pub wakes_coalesced: u64,
 }
 
 /// Run the ping-pong between ranks 0 and 1 of a 2-process job.
@@ -63,6 +67,8 @@ pub fn run(mpi_cfg: MpiCfg, cfg: PingPongCfg) -> PingPongResult {
         // one-way volume over the elapsed time.
         throughput: (cfg.size as f64 * cfg.iters as f64) / secs,
         events: report.events,
+        handoffs: report.handoffs,
+        wakes_coalesced: report.wakes_coalesced,
     }
 }
 
