@@ -96,7 +96,9 @@ pub fn fig8_sizes(scale: Scale) -> Vec<usize> {
 fn pingpong_cell(label: String, cfg: MpiCfg, pp: PingPongCfg) -> Cell<'static> {
     Cell::new(label, move || {
         let r = pingpong::run(cfg.clone(), pp);
-        Measured::new(r.throughput, r.secs, r.events).with_runtime_meters(r.handoffs, r.wakes_coalesced)
+        Measured::new(r.throughput, r.secs, r.events)
+            .with_runtime_meters(r.handoffs, r.wakes_coalesced)
+            .with_burst_meters(r.bursts_total, r.pkts_fused, r.wheel_hits, r.heap_falls)
     })
 }
 
@@ -235,7 +237,9 @@ pub fn fig9_metered(scale: Scale, class: Class) -> (Vec<Fig9Row>, BenchReport) {
         for (rpi, mk) in [("sctp", MpiCfg::sctp as fn(u16, f64) -> MpiCfg), ("tcp", MpiCfg::tcp)] {
             cells.push(Cell::new(format!("kernel={} rpi={rpi}", k.name()), move || {
                 let r = nas::run(mk(8, 0.0), k, class);
-                Measured::new(r.mops_per_sec, r.secs, r.events).with_runtime_meters(r.handoffs, r.wakes_coalesced)
+                Measured::new(r.mops_per_sec, r.secs, r.events)
+                    .with_runtime_meters(r.handoffs, r.wakes_coalesced)
+                    .with_burst_meters(r.bursts_total, r.pkts_fused, r.wheel_hits, r.heap_falls)
             }));
         }
     }
@@ -307,14 +311,11 @@ pub fn farm_cfg(scale: Scale, task_bytes: usize, fanout: u32) -> FarmCfg {
 fn farm_cell(label: String, cfg: MpiCfg, farm: FarmCfg) -> Cell<'static> {
     Cell::new(label, move || {
         let r = farm::run(cfg.clone(), farm);
-        Measured {
-            value: r.secs,
-            sim_secs: r.secs,
-            events: r.events,
-            aux: r.unexpected_peak as u64,
-            handoffs: r.handoffs,
-            wakes_coalesced: r.wakes_coalesced,
-        }
+        let mut m = Measured::new(r.secs, r.secs, r.events)
+            .with_runtime_meters(r.handoffs, r.wakes_coalesced)
+            .with_burst_meters(r.bursts_total, r.pkts_fused, r.wheel_hits, r.heap_falls);
+        m.aux = r.unexpected_peak as u64;
+        m
     })
 }
 

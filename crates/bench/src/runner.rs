@@ -45,17 +45,52 @@ pub struct Measured {
     pub handoffs: u64,
     /// Wakes coalesced away by the runtime fast path (ditto).
     pub wakes_coalesced: u64,
+    /// Packet trains emitted through the burst path (ditto; zero under the
+    /// reference discipline by design).
+    pub bursts_total: u64,
+    /// Packets fused inside those trains (each still counts in `events`).
+    pub pkts_fused: u64,
+    /// Timers that took the O(1) wheel insert (ditto).
+    pub wheel_hits: u64,
+    /// Timers beyond the wheel horizon (heap fallback; ditto).
+    pub heap_falls: u64,
 }
 
 impl Measured {
     pub fn new(value: f64, sim_secs: f64, events: u64) -> Measured {
-        Measured { value, sim_secs, events, aux: 0, handoffs: 0, wakes_coalesced: 0 }
+        Measured {
+            value,
+            sim_secs,
+            events,
+            aux: 0,
+            handoffs: 0,
+            wakes_coalesced: 0,
+            bursts_total: 0,
+            pkts_fused: 0,
+            wheel_hits: 0,
+            heap_falls: 0,
+        }
     }
 
     /// Attach the runtime's handoff meters.
     pub fn with_runtime_meters(mut self, handoffs: u64, wakes_coalesced: u64) -> Measured {
         self.handoffs = handoffs;
         self.wakes_coalesced = wakes_coalesced;
+        self
+    }
+
+    /// Attach the burst-path and timer-wheel meters.
+    pub fn with_burst_meters(
+        mut self,
+        bursts_total: u64,
+        pkts_fused: u64,
+        wheel_hits: u64,
+        heap_falls: u64,
+    ) -> Measured {
+        self.bursts_total = bursts_total;
+        self.pkts_fused = pkts_fused;
+        self.wheel_hits = wheel_hits;
+        self.heap_falls = heap_falls;
         self
     }
 }
@@ -89,6 +124,14 @@ pub struct CellMeter {
     /// Wall-clock microseconds per simulator event — the runtime-overhead
     /// trajectory the overhaul drives down.
     pub us_per_event: f64,
+    /// Packet trains emitted through the burst path for this cell.
+    pub bursts_total: u64,
+    /// Mean packets per train (fused packets / trains; 0.0 when no trains).
+    pub pkts_per_burst_avg: f64,
+    /// Timers that took the O(1) wheel insert.
+    pub wheel_hits: u64,
+    /// Timers beyond the wheel horizon (heap fallback).
+    pub heap_falls: u64,
 }
 
 impl_to_json!(CellMeter {
@@ -99,7 +142,11 @@ impl_to_json!(CellMeter {
     events_per_sec,
     handoffs_total,
     wakes_coalesced,
-    us_per_event
+    us_per_event,
+    bursts_total,
+    pkts_per_burst_avg,
+    wheel_hits,
+    heap_falls
 });
 
 /// Roll-up of one figure's harness run.
@@ -153,12 +200,16 @@ impl BenchReport {
 /// Worker count: `BENCH_THREADS` env override (1 forces a sequential run),
 /// else the machine's available parallelism.
 pub fn pool_threads() -> usize {
-    if let Ok(v) = std::env::var("BENCH_THREADS") {
-        if let Ok(n) = v.parse::<usize>() {
-            return n.max(1);
-        }
-    }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    threads_from_env(std::env::var("BENCH_THREADS").ok().as_deref())
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+/// Parse a `BENCH_THREADS` override. `Some(n)` forces an `n`-worker pool —
+/// clamped to at least one worker, so `BENCH_THREADS=0` means "sequential",
+/// not "no workers ever run a cell". Unset or unparsable values mean "no
+/// override" (fall back to machine parallelism).
+fn threads_from_env(var: Option<&str>) -> Option<usize> {
+    var.and_then(|v| v.parse::<usize>().ok()).map(|n| n.max(1))
 }
 
 /// `SIM_CHECK=1` enables per-cell shadow verification against the reference
@@ -233,6 +284,14 @@ pub fn run_cells(fig: &str, scale: Scale, cells: Vec<Cell<'_>>) -> (Vec<Measured
                     handoffs_total: m.handoffs,
                     wakes_coalesced: m.wakes_coalesced,
                     us_per_event: wall * 1e6 / (m.events.max(1)) as f64,
+                    bursts_total: m.bursts_total,
+                    pkts_per_burst_avg: if m.bursts_total == 0 {
+                        0.0
+                    } else {
+                        m.pkts_fused as f64 / m.bursts_total as f64
+                    },
+                    wheel_hits: m.wheel_hits,
+                    heap_falls: m.heap_falls,
                 };
                 *slots[i].lock().unwrap() = Some((m, meter));
             });
@@ -286,6 +345,21 @@ mod tests {
     }
 
     #[test]
+    fn thread_override_parsing_clamps_to_one_worker() {
+        // No env var, or garbage: no override, harness picks parallelism.
+        assert_eq!(threads_from_env(None), None);
+        assert_eq!(threads_from_env(Some("")), None);
+        assert_eq!(threads_from_env(Some("lots")), None);
+        assert_eq!(threads_from_env(Some("-3")), None);
+        // Explicit values force the pool size...
+        assert_eq!(threads_from_env(Some("1")), Some(1));
+        assert_eq!(threads_from_env(Some("8")), Some(8));
+        // ...and zero clamps to one sequential worker instead of a pool
+        // that would never run any cell.
+        assert_eq!(threads_from_env(Some("0")), Some(1));
+    }
+
+    #[test]
     fn bench_report_renders_schema() {
         let r = BenchReport {
             fig: "fig0".into(),
@@ -302,6 +376,10 @@ mod tests {
                 handoffs_total: 4,
                 wakes_coalesced: 6,
                 us_per_event: 25000.0,
+                bursts_total: 3,
+                pkts_per_burst_avg: 2.5,
+                wheel_hits: 9,
+                heap_falls: 1,
             }],
         };
         let s = r.to_json().render();
@@ -314,6 +392,10 @@ mod tests {
             "\"handoffs_total\"",
             "\"wakes_coalesced\"",
             "\"us_per_event\"",
+            "\"bursts_total\"",
+            "\"pkts_per_burst_avg\"",
+            "\"wheel_hits\"",
+            "\"heap_falls\"",
         ] {
             assert!(s.contains(key), "missing {key} in {s}");
         }

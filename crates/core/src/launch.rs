@@ -118,6 +118,14 @@ pub struct MpiReport {
     pub handoffs: u64,
     /// Wakes coalesced away by the runtime fast path (diagnostic).
     pub wakes_coalesced: u64,
+    /// Packet trains emitted through the burst path (diagnostic).
+    pub bursts_total: u64,
+    /// Packets fused inside those trains (each still counts in `events`).
+    pub pkts_fused: u64,
+    /// Timers that took the O(1) wheel insert (diagnostic).
+    pub wheel_hits: u64,
+    /// Timers beyond the wheel horizon (heap fallback).
+    pub heap_falls: u64,
     pub net: NetStats,
     /// Aggregate TCP socket stats across hosts (zero for SCTP runs).
     pub tcp: SockStats,
@@ -186,6 +194,10 @@ where
         events: out.events,
         handoffs: out.handoffs,
         wakes_coalesced: out.wakes_coalesced,
+        bursts_total: out.bursts_total,
+        pkts_fused: out.pkts_fused,
+        wheel_hits: out.wheel_hits,
+        heap_falls: out.heap_falls,
         net: w.net.stats,
         tcp: w.hosts.iter().map(|h| h.tcp.total_stats()).fold(SockStats::default(), fold_tcp),
         sctp: w.hosts.iter().map(|h| h.sctp.total_stats()).fold(AssocStats::default(), fold_sctp),
@@ -307,6 +319,10 @@ where
         events: out.events,
         handoffs: out.handoffs,
         wakes_coalesced: out.wakes_coalesced,
+        bursts_total: out.bursts_total,
+        pkts_fused: out.pkts_fused,
+        wheel_hits: out.wheel_hits,
+        heap_falls: out.heap_falls,
         net: w.net.stats,
         tcp: tcp_total,
         sctp: sctp_total,

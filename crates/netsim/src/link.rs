@@ -44,7 +44,29 @@ pub enum DropReason {
     LinkDown,
 }
 
-/// Per-link counters.
+/// Why a *link* refused a packet. A strict subset of [`DropReason`]: random
+/// loss is decided by the network's Dummynet pipe before any link is
+/// touched, so a link can only ever report congestion or being down — the
+/// type makes a `Loss` verdict from the link layer unrepresentable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkDrop {
+    /// FIFO overflow (congestion).
+    QueueFull,
+    /// Interface or path administratively down.
+    LinkDown,
+}
+
+impl From<LinkDrop> for DropReason {
+    fn from(d: LinkDrop) -> DropReason {
+        match d {
+            LinkDrop::QueueFull => DropReason::QueueFull,
+            LinkDrop::LinkDown => DropReason::LinkDown,
+        }
+    }
+}
+
+/// Per-link counters. Drop counts are charged by [`Link::transmit`], the
+/// single point where a link refuses a packet.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct LinkStats {
     pub packets: u64,
@@ -54,7 +76,7 @@ pub struct LinkStats {
 }
 
 /// Mutable link state.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Link {
     pub cfg: LinkCfg,
     pub up: bool,
@@ -76,14 +98,14 @@ impl Link {
 
     /// Offer a packet of `wire_bytes` to the link at `now`. On success,
     /// returns the instant the last bit arrives at the far end.
-    pub fn transmit(&mut self, now: SimTime, wire_bytes: u32) -> Result<SimTime, DropReason> {
+    pub fn transmit(&mut self, now: SimTime, wire_bytes: u32) -> Result<SimTime, LinkDrop> {
         if !self.up {
             self.stats.drops_down += 1;
-            return Err(DropReason::LinkDown);
+            return Err(LinkDrop::LinkDown);
         }
         if self.backlog_bytes(now) + wire_bytes as u64 > self.cfg.queue_cap_bytes {
             self.stats.drops_queue += 1;
-            return Err(DropReason::QueueFull);
+            return Err(LinkDrop::QueueFull);
         }
         let start = self.busy_until.max(now);
         let depart = start + transmission_time(wire_bytes as u64, self.cfg.bandwidth_bps);
@@ -136,7 +158,7 @@ mod tests {
         for _ in 0..6 {
             l.transmit(SimTime::ZERO, 1500).unwrap(); // 9000 B backlog
         }
-        assert_eq!(l.transmit(SimTime::ZERO, 1500), Err(DropReason::QueueFull));
+        assert_eq!(l.transmit(SimTime::ZERO, 1500), Err(LinkDrop::QueueFull));
         assert_eq!(l.stats.drops_queue, 1);
         // After the backlog drains, transmission works again.
         let later = SimTime::ZERO + Dur::from_millis(1);
@@ -147,7 +169,7 @@ mod tests {
     fn down_link_drops_everything() {
         let mut l = gig_link();
         l.up = false;
-        assert_eq!(l.transmit(SimTime::ZERO, 100), Err(DropReason::LinkDown));
+        assert_eq!(l.transmit(SimTime::ZERO, 100), Err(LinkDrop::LinkDown));
         assert_eq!(l.stats.drops_down, 1);
         l.up = true;
         assert!(l.transmit(SimTime::ZERO, 100).is_ok());

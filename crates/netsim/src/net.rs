@@ -19,7 +19,7 @@ use rand::Rng;
 use simcore::{Dur, SimTime};
 
 use crate::addr::IfAddr;
-use crate::link::{DropReason, Link, LinkCfg, LinkStats};
+use crate::link::{DropReason, Link, LinkCfg, LinkDrop, LinkStats};
 
 /// Network-wide configuration.
 #[derive(Debug, Clone, Copy)]
@@ -64,7 +64,7 @@ pub enum Verdict {
 }
 
 /// Aggregate counters.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NetStats {
     pub packets_offered: u64,
     pub packets_delivered: u64,
@@ -75,6 +75,7 @@ pub struct NetStats {
 }
 
 /// The simulated cluster network.
+#[derive(Debug, Clone)]
 pub struct Net {
     pub cfg: NetCfg,
     /// `links[host][iface]` = (uplink to switch, downlink from switch).
@@ -139,7 +140,9 @@ impl Net {
             "networks are independent: cannot route {src} -> {dst}"
         );
 
-        // Dummynet pipe: one Bernoulli trial per packet per path.
+        // Dummynet pipe: one Bernoulli trial per packet per path. Loss is
+        // decided here, before any link is touched — the link layer can only
+        // report congestion or down (see [`LinkDrop`]).
         if self.cfg.loss_prob > 0.0 && rng.gen_bool(self.cfg.loss_prob) {
             self.stats.drops_loss += 1;
             return Verdict::Drop(DropReason::Loss);
@@ -165,13 +168,99 @@ impl Net {
         }
     }
 
-    fn record_drop(&mut self, r: DropReason) -> Verdict {
+    /// The single place link-refused packets are charged to the network-wide
+    /// counters. Takes [`LinkDrop`], not [`DropReason`]: loss never reaches
+    /// the links, and the compiler now enforces there is no such arm here.
+    fn record_drop(&mut self, r: LinkDrop) -> Verdict {
         match r {
-            DropReason::Loss => self.stats.drops_loss += 1,
-            DropReason::QueueFull => self.stats.drops_queue += 1,
-            DropReason::LinkDown => self.stats.drops_down += 1,
+            LinkDrop::QueueFull => self.stats.drops_queue += 1,
+            LinkDrop::LinkDown => self.stats.drops_down += 1,
         }
-        Verdict::Drop(r)
+        Verdict::Drop(r.into())
+    }
+
+    /// Offer a train of back-to-back packets at `now`, all `src` → `dst`.
+    ///
+    /// Exactly equivalent to `wire_bytes.len()` sequential [`Net::transmit`]
+    /// calls: the per-packet Bernoulli loss trials are drawn in the same RNG
+    /// order, the delivery instants come from the same `busy_until`
+    /// recurrence, and the returned verdicts are identical element-wise —
+    /// but the links are borrowed once, the stats are updated once, and the
+    /// caller pays one call for the whole train. (The burst-equivalence
+    /// proptests pin this down.)
+    pub fn transmit_burst(
+        &mut self,
+        now: SimTime,
+        src: IfAddr,
+        dst: IfAddr,
+        wire_bytes: &[u32],
+        rng: &mut SmallRng,
+    ) -> Vec<Verdict> {
+        self.check_addr(src);
+        self.check_addr(dst);
+        let n = wire_bytes.len();
+        self.stats.packets_offered += n as u64;
+
+        if src.host == dst.host {
+            // Loopback: no loss, no queueing.
+            self.stats.packets_delivered += n as u64;
+            self.stats.bytes_delivered += wire_bytes.iter().map(|&b| b as u64).sum::<u64>();
+            let at = now + self.cfg.loopback_delay;
+            return vec![Verdict::Deliver { at }; n];
+        }
+
+        assert_eq!(
+            src.iface, dst.iface,
+            "networks are independent: cannot route {src} -> {dst}"
+        );
+
+        // Distinct hosts: split the host axis so the uplink and downlink can
+        // be borrowed simultaneously for the whole train.
+        let (a, b) = (src.host as usize, dst.host as usize);
+        let (up, down) = if a < b {
+            let (lo, hi) = self.links.split_at_mut(b);
+            (&mut lo[a][src.iface as usize].0, &mut hi[0][dst.iface as usize].1)
+        } else {
+            let (lo, hi) = self.links.split_at_mut(a);
+            (&mut hi[0][src.iface as usize].0, &mut lo[b][dst.iface as usize].1)
+        };
+
+        let mut delivered = 0u64;
+        let mut bytes = 0u64;
+        let mut loss = 0u64;
+        let mut queue = 0u64;
+        let mut down_drops = 0u64;
+        let mut out = Vec::with_capacity(n);
+        for &wb in wire_bytes {
+            if self.cfg.loss_prob > 0.0 && rng.gen_bool(self.cfg.loss_prob) {
+                loss += 1;
+                out.push(Verdict::Drop(DropReason::Loss));
+                continue;
+            }
+            let v = up.transmit(now, wb).and_then(|at_switch| {
+                down.transmit(at_switch + self.cfg.switch_latency, wb)
+            });
+            out.push(match v {
+                Ok(at) => {
+                    delivered += 1;
+                    bytes += wb as u64;
+                    Verdict::Deliver { at }
+                }
+                Err(r) => {
+                    match r {
+                        LinkDrop::QueueFull => queue += 1,
+                        LinkDrop::LinkDown => down_drops += 1,
+                    }
+                    Verdict::Drop(r.into())
+                }
+            });
+        }
+        self.stats.packets_delivered += delivered;
+        self.stats.bytes_delivered += bytes;
+        self.stats.drops_loss += loss;
+        self.stats.drops_queue += queue;
+        self.stats.drops_down += down_drops;
+        out
     }
 
     /// Administratively set one interface (both directions) up or down —

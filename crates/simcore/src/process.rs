@@ -84,11 +84,28 @@ fn spin_limit() -> u32 {
     })
 }
 
+/// Driver side: block until some process returns the baton. The driver
+/// cannot watch any single process's `state` — direct handoffs pass the
+/// token between processes without involving it — so releases are signalled
+/// through this explicit flag, set only by `park`/`finish`. `swap` consumes
+/// the release; a stale unpark permit merely re-runs the check.
+fn wait_baton(baton: &AtomicBool) {
+    let mut spins = 0;
+    while !baton.swap(false, Ordering::AcqRel) {
+        if spins < spin_limit() {
+            spins += 1;
+            std::hint::spin_loop();
+        } else {
+            std::thread::park();
+        }
+    }
+}
+
 /// Per-process handoff control: the run token plus the two thread handles an
 /// ownership transfer can target. `notify_one` semantics are structural —
 /// `Thread::unpark` wakes exactly one specific thread, and per direction
 /// only one thread can ever be waiting (the driver waits only in
-/// `wait_token_released`, the process thread only in `wait_token_granted`).
+/// `wait_baton`, the process thread only in `wait_token_granted`).
 struct ProcCtl {
     name: String,
     state: AtomicU8,
@@ -114,14 +131,39 @@ impl ProcCtl {
     }
 
     /// Process side: give the token back to the driver and wait for it to
-    /// be granted again. One store + one unpark in each direction.
-    fn park(&self) {
+    /// be granted again. One store + one unpark in each direction. `baton`
+    /// is the explicit returned-to-driver flag the driver waits on — it
+    /// cannot watch our `state`, because a direct handoff (see
+    /// [`ProcCtl::park_to`]) also leaves it PARKED while another process
+    /// runs.
+    fn park(&self, baton: &AtomicBool) {
         let prev = self.state.swap(PARKED, Ordering::AcqRel);
         debug_assert_eq!(prev, RUNNING, "park by a thread that does not own the token");
+        baton.store(true, Ordering::Release);
         self.driver_thread
             .get()
             .expect("driver registers its handle before any process runs")
             .unpark();
+        self.wait_token_granted();
+    }
+
+    /// Process side: hand the run token directly to `next`, bypassing the
+    /// driver entirely, then wait to be granted again. Two context switches
+    /// instead of the four a park → driver → resume round trip costs. The
+    /// caller must have checked that `next` is parked (or not yet started)
+    /// and must leave the driver's baton untouched — the driver stays
+    /// blocked, exactly as if the original process were still running.
+    fn park_to(&self, next: &ProcCtl) {
+        let prev = self.state.swap(PARKED, Ordering::AcqRel);
+        debug_assert_eq!(prev, RUNNING, "handoff by a thread that does not own the token");
+        let nprev = next.state.swap(RUNNING, Ordering::AcqRel);
+        debug_assert!(
+            matches!(nprev, PARKED | CREATED),
+            "direct handoff to a process that is not waiting for the token"
+        );
+        if let Some(t) = next.proc_thread.get() {
+            t.unpark();
+        }
         self.wait_token_granted();
     }
 
@@ -150,10 +192,12 @@ impl ProcCtl {
         }
     }
 
-    /// Driver side: hand the token to this process and block until it parks
-    /// or finishes. Returns whether control was actually transferred
-    /// (i.e. the process was not already done).
-    fn resume_and_wait(&self) -> bool {
+    /// Driver side: hand the token to this process and block until the baton
+    /// comes back to the driver — possibly after a chain of direct
+    /// process→process handoffs starting at this process. Returns whether
+    /// control was actually transferred (i.e. the process was not already
+    /// done).
+    fn resume_and_wait(&self, baton: &AtomicBool) -> bool {
         match self.state.load(Ordering::Acquire) {
             DONE => return false,
             s @ (PARKED | CREATED) => {
@@ -165,34 +209,17 @@ impl ProcCtl {
             }
             _ => unreachable!("driver resumed a running process"),
         }
-        self.wait_token_released();
+        wait_baton(baton);
         true
-    }
-
-    fn wait_token_released(&self) {
-        // Single-waiter invariant, driver direction: only the registered
-        // driver thread ever waits for the token to come back.
-        debug_assert!(
-            self.driver_thread.get().is_some_and(|t| t.id() == std::thread::current().id()),
-            "single-waiter invariant: only the driver waits for a park"
-        );
-        let mut spins = 0;
-        while self.state.load(Ordering::Acquire) == RUNNING {
-            if spins < spin_limit() {
-                spins += 1;
-                std::hint::spin_loop();
-            } else {
-                std::thread::park();
-            }
-        }
     }
 
     /// Process side: final token release. `panicked` is published before the
     /// DONE store so the driver's acquire load of `state` orders it.
-    fn finish(&self, panicked: bool) {
+    fn finish(&self, panicked: bool, baton: &AtomicBool) {
         self.panicked.store(panicked, Ordering::Release);
         let prev = self.state.swap(DONE, Ordering::AcqRel);
         debug_assert_eq!(prev, RUNNING, "finish by a thread that does not own the token");
+        baton.store(true, Ordering::Release);
         self.driver_thread
             .get()
             .expect("driver registers its handle before any process runs")
@@ -230,6 +257,10 @@ struct Shared<W> {
     /// entitled to run at the current time. Synchronized by the run-token
     /// handoff (the driver only writes it while holding every token).
     inflight_wakes: std::sync::atomic::AtomicUsize,
+    /// True while the run token is on its way back to the driver (set by
+    /// `park`/`finish`, consumed by `wait_baton`). Direct process→process
+    /// handoffs leave it false: the driver sleeps through the whole chain.
+    baton: AtomicBool,
 }
 
 /// A handle a simulated process uses to touch the shared world, sleep, and
@@ -266,7 +297,68 @@ impl<W: Send + 'static> ProcEnv<W> {
     ///
     /// May return spuriously (see module docs); re-check your condition.
     pub fn park(&self) {
-        self.ctl.park();
+        if self.drive_until_woken() {
+            return;
+        }
+        self.ctl.park(&self.shared.baton);
+    }
+
+    /// Inline-driver fast path: instead of handing the run token back, the
+    /// parking process fires due events itself — it still owns the token, the
+    /// driver is blocked in `wait_baton`, and the lock serializes world
+    /// access — reproducing the driver's exact sequence: fire events in
+    /// (time, seq) order until a wake appears. A single-wake batch is then
+    /// resolved without the driver: a batch of exactly `[self]` is consumed
+    /// and we keep running (zero context switches for the hot blocking-recv
+    /// cycle); a sole wake for a parked peer becomes a direct token handoff
+    /// to it (two switches instead of four). Anything else — a mixed batch,
+    /// deadline, an empty queue, batch peers still in flight — defers to the
+    /// real driver by parking normally, with every event fired so far
+    /// counted exactly as if the driver had fired it. Disabled under the
+    /// reference discipline. Returns true when this process was woken.
+    fn drive_until_woken(&self) -> bool {
+        // Not-yet-resumed peers of the driver's current wake batch must run
+        // before any further event fires; only the driver can resume them.
+        if self.shared.inflight_wakes.load(Ordering::Acquire) != 0 {
+            return false;
+        }
+        let next = {
+            let mut g = self.shared.sim.lock();
+            if g.ctx.is_reference() {
+                return false;
+            }
+            loop {
+                if g.ctx.has_wakes() {
+                    match g.ctx.sole_wake() {
+                        Some(p) if p == self.id => {
+                            g.ctx.consume_sole_wake();
+                            return true;
+                        }
+                        Some(p) if self.shared.ctls[p.0].is_parked_or_created() => {
+                            g.ctx.consume_sole_wake();
+                            break p;
+                        }
+                        // Mixed batch (or a wake aimed at a finished
+                        // process): only the driver can run it correctly.
+                        _ => return false,
+                    }
+                }
+                match g.ctx.pop_event_due() {
+                    crate::sched::Popped::Fired(f) => {
+                        let Sim { world, ctx } = &mut *g;
+                        f.call(world, ctx);
+                    }
+                    // Deadline bookkeeping and deadlock detection belong to
+                    // the driver; park and let it look at the same state.
+                    _ => return false,
+                }
+            }
+            // Lock dropped here: the peer relocks the sim immediately on
+            // resume.
+        };
+        self.ctl.park_to(&self.shared.ctls[next.0]);
+        // The token came back: someone consumed a wake batch of `[self]`.
+        true
     }
 
     /// Block until `poll` returns `Some`. `poll` runs under the world lock
@@ -343,6 +435,15 @@ pub struct RunOutcome<W> {
     pub wakes_coalesced: u64,
     /// True if the run was cut short by the deadline.
     pub hit_deadline: bool,
+    /// Packet trains emitted through the burst path (diagnostic; zero under
+    /// the reference discipline by design).
+    pub bursts_total: u64,
+    /// Packets carried inside those trains; each still counts in `events`.
+    pub pkts_fused: u64,
+    /// Timers that took the O(1) wheel insert (diagnostic).
+    pub wheel_hits: u64,
+    /// Timers beyond the wheel horizon that fell back to the heap.
+    pub heap_falls: u64,
 }
 
 type ProcMain<W> = Box<dyn FnOnce(ProcEnv<W>) + Send + 'static>;
@@ -403,12 +504,14 @@ impl<W: Send + 'static> Runtime<W> {
             sim: Mutex::new(Sim { world, ctx }),
             ctls,
             inflight_wakes: std::sync::atomic::AtomicUsize::new(0),
+            baton: AtomicBool::new(false),
         });
 
         // Spawn process threads; each waits for its first resume.
         let mut joins: Vec<JoinHandle<()>> = Vec::with_capacity(self.mains.len());
         for (i, (name, main)) in self.mains.drain(..).enumerate() {
             let ctl = Arc::clone(&shared.ctls[i]);
+            let shared2 = Arc::clone(&shared);
             let env = ProcEnv { id: ProcId(i), shared: Arc::clone(&shared), ctl: Arc::clone(&ctl) };
             let handle = std::thread::Builder::new()
                 .name(format!("sim-{name}"))
@@ -416,7 +519,7 @@ impl<W: Send + 'static> Runtime<W> {
                     ctl.wait_first_resume();
                     let result = catch_unwind(AssertUnwindSafe(move || main(env)));
                     let panicked = result.is_err();
-                    ctl.finish(panicked);
+                    ctl.finish(panicked, &shared2.baton);
                     if let Err(payload) = result {
                         // Preserve the panic message in test output; the
                         // driver aborts the run when it notices.
@@ -469,10 +572,12 @@ impl<W: Send + 'static> Runtime<W> {
                     // sleep fast path.
                     shared.inflight_wakes.fetch_sub(1, Ordering::Release);
                     let ctl = &shared.ctls[p.0];
-                    if ctl.resume_and_wait() {
+                    if ctl.resume_and_wait(&shared.baton) {
                         handoffs += 1;
                     }
-                    if ctl.panicked() {
+                    // The baton may have hopped through several processes
+                    // before returning; any of them could have panicked.
+                    if shared.ctls.iter().any(|c| c.panicked()) {
                         break 'driver;
                     }
                 }
@@ -493,15 +598,18 @@ impl<W: Send + 'static> Runtime<W> {
                     if g.ctx.has_wakes() {
                         break;
                     }
-                    let Some(t) = g.ctx.next_event_time() else { break };
-                    if t > self.deadline {
-                        hit_deadline = true;
-                        break;
+                    match g.ctx.pop_event_due() {
+                        crate::sched::Popped::Fired(f) => {
+                            let Sim { world, ctx } = &mut *g;
+                            f.call(world, ctx);
+                            fired = true;
+                        }
+                        crate::sched::Popped::PastBound => {
+                            hit_deadline = true;
+                            break;
+                        }
+                        crate::sched::Popped::Empty => break,
                     }
-                    let Some(f) = g.ctx.pop_event() else { break };
-                    let Sim { world, ctx } = &mut *g;
-                    f(world, ctx);
-                    fired = true;
                 }
                 fired
             };
@@ -565,6 +673,10 @@ impl<W: Send + 'static> Runtime<W> {
             events: sim.ctx.events_fired(),
             handoffs,
             wakes_coalesced: sim.ctx.wakes_coalesced(),
+            bursts_total: sim.ctx.bursts(),
+            pkts_fused: sim.ctx.fused_pkts(),
+            wheel_hits: sim.ctx.wheel_hits(),
+            heap_falls: sim.ctx.heap_falls(),
             world: sim.world,
             hit_deadline,
         }

@@ -102,3 +102,104 @@ proptest! {
         prop_assert_eq!(once(&steps), once(&steps));
     }
 }
+
+/// One randomized timer in the wheel-vs-heap equivalence test: a delay that
+/// may land in a wheel bucket (with forced ties), near the horizon boundary,
+/// or far beyond it (heap), plus an optional cancellation — immediate or
+/// scheduled from a separate canceller event.
+#[derive(Debug, Clone, Copy)]
+enum Cancel {
+    Keep,
+    Immediate,
+    /// Cancel from an event fired at this delay (no-op if the target
+    /// already fired, exactly like the real API).
+    At(u64),
+}
+
+fn timer_op() -> impl Strategy<Value = (u64, Cancel)> {
+    use simcore::sched::{WHEEL_GRAIN_NS, WHEEL_HORIZON_NS};
+    let delay = prop_oneof![
+        // Same-bucket and same-instant collisions inside the wheel.
+        (0u64..48).prop_map(|x| x * (WHEEL_GRAIN_NS / 2)),
+        // Anywhere inside the horizon.
+        0u64..WHEEL_HORIZON_NS,
+        // Straddling the boundary and far beyond it (heap fallback).
+        (WHEEL_HORIZON_NS - 2 * WHEEL_GRAIN_NS)..(4 * WHEEL_HORIZON_NS),
+    ];
+    let cancel = prop_oneof![
+        Just(Cancel::Keep),
+        Just(Cancel::Keep),
+        Just(Cancel::Keep),
+        Just(Cancel::Immediate),
+        (0u64..2 * WHEEL_HORIZON_NS).prop_map(Cancel::At),
+    ];
+    (delay, cancel)
+}
+
+proptest! {
+    /// The hierarchical wheel + heap queue fires exactly what a plain
+    /// `BinaryHeap<(time, seq)>` model says it should, in exactly that
+    /// order, under random scheduling and cancellation on both sides of the
+    /// wheel horizon. Cancelled timers never fire; cancelling an
+    /// already-fired timer is a no-op.
+    #[test]
+    fn wheel_fires_like_a_binary_heap(ops in prop::collection::vec(timer_op(), 1..60)) {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        // Model: timer i gets seq i; canceller k (in op order) gets seq
+        // n + k. A cancel is effective iff the canceller's (time, seq)
+        // orders before its target's — with seq_c >= n > i, that reduces to
+        // a strictly earlier timestamp.
+        let n = ops.len();
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        for (i, &(d, c)) in ops.iter().enumerate() {
+            let dead = match c {
+                Cancel::Immediate => true,
+                Cancel::At(tc) => tc < d,
+                Cancel::Keep => false,
+            };
+            if !dead {
+                heap.push(Reverse((d, i)));
+            }
+        }
+        let mut expected = Vec::new();
+        while let Some(Reverse((at, i))) = heap.pop() {
+            expected.push((at, i));
+        }
+
+        struct W {
+            fired: Vec<(u64, usize)>,
+            ids: Vec<simcore::TimerId>,
+        }
+        let mut rt = Runtime::new(W { fired: Vec::new(), ids: Vec::new() }, 11);
+        let plan = ops.clone();
+        rt.spawn("sched", move |env: ProcEnv<W>| {
+            env.with(|w, ctx| {
+                // Targets first: seqs 0..n in op order.
+                for (i, &(d, _)) in plan.iter().enumerate() {
+                    let id = ctx.schedule_in(Dur::from_nanos(d), move |w: &mut W, ctx| {
+                        w.fired.push((ctx.now().as_nanos(), i));
+                    });
+                    w.ids.push(id);
+                }
+                // Then cancellers (seqs n..) and immediate cancels.
+                for (i, &(_, c)) in plan.iter().enumerate() {
+                    match c {
+                        Cancel::Keep => {}
+                        Cancel::Immediate => ctx.cancel(w.ids[i]),
+                        Cancel::At(tc) => {
+                            ctx.schedule_in(Dur::from_nanos(tc), move |w: &mut W, ctx| {
+                                ctx.cancel(w.ids[i]);
+                            });
+                        }
+                    }
+                }
+            });
+            // Outlive every timer and canceller.
+            env.sleep(Dur::from_nanos(5 * simcore::sched::WHEEL_HORIZON_NS));
+        });
+        let out = rt.run();
+        prop_assert_eq!(out.world.fired, expected);
+    }
+}

@@ -3,8 +3,24 @@
 //! `send` asks the network for a delivery verdict and, on success, schedules
 //! the matching `deliver` event, which demultiplexes on protocol back into
 //! the TCP or SCTP input routines.
+//!
+//! `send_train` is the burst path: K back-to-back packets to one peer are
+//! offered to the network in one [`netsim::Net::transmit_burst`] call and the
+//! survivors delivered through **one** scheduled event that walks the train,
+//! advancing the clock inline between per-packet arrival instants
+//! ([`simcore::Ctx::try_advance_to`]). The fusion is invisible to the
+//! protocols: packet j's delivery runs at exactly its arrival time, under
+//! exactly the (time, seq) fire-order position its own per-packet event
+//! would have had — the head event reserves one sequence number per
+//! surviving packet, and whenever an inline advance would reorder against a
+//! foreign event or a wake, the rest of the train falls back to a real
+//! event carrying its reserved seq. Under the reference discipline
+//! (`SIM_CHECK=1`) trains degrade to per-packet sends outright.
+
+use std::collections::VecDeque;
 
 use netsim::{IfAddr, Verdict};
+use simcore::SimTime;
 
 use crate::{sctp, tcp, World, Wx};
 
@@ -50,5 +66,74 @@ fn deliver(w: &mut World, ctx: &mut Wx, pkt: Packet) {
     match pkt.body {
         Proto::Tcp(seg) => tcp::input(w, ctx, pkt.src, pkt.dst, seg),
         Proto::Sctp(p) => sctp::input(w, ctx, pkt.src, pkt.dst, p),
+    }
+}
+
+/// Offer a train of back-to-back packets (one source, one destination) to
+/// the network and schedule delivery of the survivors as one fused event.
+///
+/// Exactly equivalent to `pkts.len()` sequential [`send`] calls: same RNG
+/// draw order, same verdicts, same per-packet delivery instants, same
+/// (time, seq) fire positions, same `events_fired` count.
+pub fn send_train(w: &mut World, ctx: &mut Wx, pkts: Vec<Packet>) {
+    if pkts.len() < 2 || ctx.is_reference() {
+        for pkt in pkts {
+            send(w, ctx, pkt);
+        }
+        return;
+    }
+    let (src, dst) = (pkts[0].src, pkts[0].dst);
+    debug_assert!(
+        pkts.iter().all(|p| p.src == src && p.dst == dst),
+        "a train must not cross a peer boundary"
+    );
+    let sizes: Vec<u32> = pkts.iter().map(|p| IP_HEADER + p.body.wire_len()).collect();
+    let verdicts = w.net.transmit_burst(ctx.now(), src, dst, &sizes, &mut ctx.rng);
+    let mut train: VecDeque<(SimTime, Packet)> = pkts
+        .into_iter()
+        .zip(verdicts)
+        .filter_map(|(pkt, v)| match v {
+            Verdict::Deliver { at } => Some((at, pkt)),
+            Verdict::Drop(_) => None, // the network recorded the drop
+        })
+        .collect();
+    match train.len() {
+        0 => {}
+        1 => {
+            let (at, pkt) = train.pop_front().unwrap();
+            ctx.schedule_at(at, move |w: &mut World, ctx: &mut Wx| deliver(w, ctx, pkt));
+        }
+        k => {
+            ctx.note_burst(k as u64);
+            // The head event owns the first survivor's seq and reserves one
+            // more per remaining survivor — the seqs k per-packet
+            // `schedule_at` calls would have drawn (drops allocate none).
+            let at0 = train.front().unwrap().0;
+            let base = ctx.next_seq();
+            let got = ctx.schedule_train_at(at0, (k - 1) as u64, move |w, ctx| {
+                deliver_train(w, ctx, train, base)
+            });
+            debug_assert_eq!(got, base);
+        }
+    }
+}
+
+/// Deliver the train's packets in sequence, each at its own arrival instant,
+/// advancing the clock inline when legal and falling back to a real event
+/// (with the packet's reserved seq) when not. `seq` is the front packet's
+/// reserved sequence number.
+fn deliver_train(w: &mut World, ctx: &mut Wx, mut train: VecDeque<(SimTime, Packet)>, mut seq: u64) {
+    while let Some((_, pkt)) = train.pop_front() {
+        deliver(w, ctx, pkt);
+        seq += 1;
+        let Some(&(next_at, _)) = train.front() else { return };
+        if !ctx.try_advance_to(next_at, seq) {
+            // A wake or an earlier-ordered event intervenes: the rest of the
+            // train becomes a real event in its reserved fire position.
+            ctx.schedule_at_seq(next_at, seq, move |w: &mut World, ctx: &mut Wx| {
+                deliver_train(w, ctx, train, seq)
+            });
+            return;
+        }
     }
 }

@@ -327,15 +327,22 @@ pub fn set_primary(w: &mut World, a: AssocId, path: u8) {
 // Packet construction / transmission
 // ---------------------------------------------------------------------------
 
-fn send_packet(w: &mut World, ctx: &mut Wx, a: AssocId, path: u8, vtag: u64, chunks: Vec<Chunk>) {
-    let cfg = cfg_of(w, a.host);
+/// Build the wire packet for `chunks` and charge the per-packet sender
+/// stats; emission is the caller's business (immediate, CRC-delayed, or
+/// buffered into a train).
+fn build_packet(w: &mut World, ctx: &mut Wx, a: AssocId, path: u8, vtag: u64, chunks: Vec<Chunk>) -> Packet {
     let ak = assoc_mut(w, a);
     ak.stats.packets_out += 1;
     let src = ak.local_addr(a.host, path);
     let dst = ak.peer_addr(path);
     let (sp, dp) = (ak.local_port, ak.peer_port);
     ak.paths[path as usize].last_used = ctx.now();
-    let pkt = Packet { src, dst, body: Proto::Sctp(SctpPacket { src_port: sp, dst_port: dp, vtag, chunks }) };
+    Packet { src, dst, body: Proto::Sctp(SctpPacket { src_port: sp, dst_port: dp, vtag, chunks }) }
+}
+
+fn send_packet(w: &mut World, ctx: &mut Wx, a: AssocId, path: u8, vtag: u64, chunks: Vec<Chunk>) {
+    let cfg = cfg_of(w, a.host);
+    let pkt = build_packet(w, ctx, a, path, vtag, chunks);
     if cfg.crc_enabled {
         // Model the CRC32c CPU cost (§3.6): sender computes, receiver
         // verifies — charge both as added latency proportional to size.
@@ -389,7 +396,35 @@ impl Assoc {
 /// Transmit retransmissions first, then new data, bundling to PMTU,
 /// respecting per-path cwnd and the peer's rwnd. Implements the
 /// "full PMTU at one byte of cwnd space" rule (§4.1.1).
+///
+/// The packets of one send opportunity leave back-to-back for one peer, so
+/// they are accumulated into a train and offered to the network in one
+/// [`ip::send_train`] call. Equivalence with per-packet emission: nothing
+/// between two emissions in this loop touches the network or the RNG, so
+/// the batched loss trials and `busy_until` arithmetic happen in the same
+/// order at the same instant; a path change flushes (a train must not span
+/// interfaces); and the CRC-delay model falls back to per-packet emission
+/// (each packet needs its own delay event). The T3 timer armed mid-loop
+/// orders after the whole train in the seq stream where the reference
+/// discipline puts it after the first packet, but its deadline is RTO-far
+/// (≥ 1 s) while train arrivals are queue-bounded (≪ 1 s), so no
+/// (time, seq) tie between them is possible and fire order is unchanged.
 fn try_send(w: &mut World, ctx: &mut Wx, a: AssocId) {
+    let crc = cfg_of(w, a.host).crc_enabled;
+    let mut train: Vec<Packet> = Vec::new();
+    let mut train_path = 0u8;
+    try_send_inner(w, ctx, a, crc, &mut train, &mut train_path);
+    ip::send_train(w, ctx, train);
+}
+
+fn try_send_inner(
+    w: &mut World,
+    ctx: &mut Wx,
+    a: AssocId,
+    crc: bool,
+    train: &mut Vec<Packet>,
+    train_path: &mut u8,
+) {
     let cfg = cfg_of(w, a.host);
     let mut burst = 0u32;
     loop {
@@ -586,7 +621,17 @@ fn try_send(w: &mut World, ctx: &mut Wx, a: AssocId) {
         if packet.is_empty() {
             return;
         }
-        send_packet(w, ctx, a, path, vtag, packet);
+        if crc {
+            // CRC cost model delays each packet individually; no fusion.
+            send_packet(w, ctx, a, path, vtag, packet);
+        } else {
+            if !train.is_empty() && *train_path != path {
+                ip::send_train(w, ctx, std::mem::take(train));
+            }
+            let pkt = build_packet(w, ctx, a, path, vtag, packet);
+            *train_path = path;
+            train.push(pkt);
+        }
         burst += 1;
         if has_data && !assoc_ref(w, a).t3_armed {
             arm_t3(w, ctx, a);

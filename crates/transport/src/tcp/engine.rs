@@ -49,8 +49,17 @@ fn sack_blocks(sk: &TcpSock, cfg: &TcpCfg) -> Vec<(u64, u64)> {
     blocks
 }
 
-/// Build and transmit one segment; updates stats and delayed-ACK state.
-fn emit(w: &mut World, ctx: &mut Wx, s: SockId, flags: Flags, seq: u64, payload: Vec<Bytes>, probe: bool) {
+/// Build one segment's wire packet; updates stats and delayed-ACK state.
+/// Emission is the caller's business (immediate or buffered into a train).
+fn build_segment(
+    w: &mut World,
+    ctx: &mut Wx,
+    s: SockId,
+    flags: Flags,
+    seq: u64,
+    payload: Vec<Bytes>,
+    probe: bool,
+) -> Packet {
     let cfg = cfg_of(w, s);
     let sk = sock_mut(w, s);
     let payload_len = total_len(&payload) as u32;
@@ -76,7 +85,13 @@ fn emit(w: &mut World, ctx: &mut Wx, s: SockId, flags: Flags, seq: u64, payload:
     sk.stats.bytes_out += payload_len as u64;
     sk.last_send = ctx.now();
     let (src, dst) = (sk.local.0, sk.remote.0);
-    ip::send(w, ctx, Packet { src, dst, body: Proto::Tcp(seg) });
+    Packet { src, dst, body: Proto::Tcp(seg) }
+}
+
+/// Build and transmit one segment.
+fn emit(w: &mut World, ctx: &mut Wx, s: SockId, flags: Flags, seq: u64, payload: Vec<Bytes>, probe: bool) {
+    let pkt = build_segment(w, ctx, s, flags, seq, payload, probe);
+    ip::send(w, ctx, pkt);
 }
 
 /// The initial SYN carries no ACK flag.
@@ -379,10 +394,18 @@ pub(crate) fn output(w: &mut World, ctx: &mut Wx, s: SockId) {
         }
     }
     let any = !segs.is_empty();
+    // A cwnd's worth of segments leaves back-to-back for one peer: emit as
+    // one train. Nothing between two emissions here touches the network or
+    // the RNG, so the fused path is step-for-step equivalent to per-segment
+    // emission (see `ip::send_train`); the RTO armed below is seconds out
+    // while train arrivals are queue-bounded, so its seq position cannot
+    // produce a (time, seq) tie either way.
+    let mut train = Vec::with_capacity(segs.len());
     for (seq, payload, fin) in segs {
         let flags = if fin { Flags::FIN } else { Flags::EMPTY };
-        emit(w, ctx, s, flags, seq, payload, false);
+        train.push(build_segment(w, ctx, s, flags, seq, payload, false));
     }
+    ip::send_train(w, ctx, train);
     {
         let sk = sock_mut(w, s);
         let outstanding = sk.flight() > 0;

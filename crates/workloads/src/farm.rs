@@ -83,6 +83,14 @@ pub struct FarmResult {
     pub handoffs: u64,
     /// Wakes coalesced away by the runtime fast path (self-metering).
     pub wakes_coalesced: u64,
+    /// Packet trains emitted through the burst path (self-metering).
+    pub bursts_total: u64,
+    /// Packets fused inside those trains (self-metering).
+    pub pkts_fused: u64,
+    /// Timers that took the O(1) wheel insert (self-metering).
+    pub wheel_hits: u64,
+    /// Timers beyond the wheel horizon (heap fallback; self-metering).
+    pub heap_falls: u64,
     /// Peak length of the matching layer's unexpected-message queue across
     /// all ranks — must stay bounded for this latency-tolerant workload.
     pub unexpected_peak: usize,
@@ -112,6 +120,10 @@ pub fn run(mpi_cfg: MpiCfg, cfg: FarmCfg) -> FarmResult {
         events: report.events,
         handoffs: report.handoffs,
         wakes_coalesced: report.wakes_coalesced,
+        bursts_total: report.bursts_total,
+        pkts_fused: report.pkts_fused,
+        wheel_hits: report.wheel_hits,
+        heap_falls: report.heap_falls,
         unexpected_peak: peak.load(std::sync::atomic::Ordering::Relaxed),
     }
 }
