@@ -109,7 +109,6 @@ fn wait_baton(baton: &AtomicBool) {
 struct ProcCtl {
     name: String,
     state: AtomicU8,
-    panicked: AtomicBool,
     /// The process thread, registered before its first wait. `resume` may
     /// run before registration; then the process has not parked yet and
     /// will observe RUNNING without needing the unpark.
@@ -124,7 +123,6 @@ impl ProcCtl {
         ProcCtl {
             name,
             state: AtomicU8::new(CREATED),
-            panicked: AtomicBool::new(false),
             proc_thread: OnceLock::new(),
             driver_thread: OnceLock::new(),
         }
@@ -213,10 +211,10 @@ impl ProcCtl {
         true
     }
 
-    /// Process side: final token release. `panicked` is published before the
-    /// DONE store so the driver's acquire load of `state` orders it.
-    fn finish(&self, panicked: bool, baton: &AtomicBool) {
-        self.panicked.store(panicked, Ordering::Release);
+    /// Process side: final token release. Any panic flag must be published
+    /// (see `Shared::any_panicked`) before this, so the driver's acquire of
+    /// the baton orders it.
+    fn finish(&self, baton: &AtomicBool) {
         let prev = self.state.swap(DONE, Ordering::AcqRel);
         debug_assert_eq!(prev, RUNNING, "finish by a thread that does not own the token");
         baton.store(true, Ordering::Release);
@@ -224,10 +222,6 @@ impl ProcCtl {
             .get()
             .expect("driver registers its handle before any process runs")
             .unpark();
-    }
-
-    fn panicked(&self) -> bool {
-        self.panicked.load(Ordering::Acquire)
     }
 
     fn is_done(&self) -> bool {
@@ -261,6 +255,10 @@ struct Shared<W> {
     /// `park`/`finish`, consumed by `wait_baton`). Direct process→process
     /// handoffs leave it false: the driver sleeps through the whole chain.
     baton: AtomicBool,
+    /// Any process panicked. Set (before `finish` releases the baton) by the
+    /// panicking thread, so the driver's post-resume check is one flag load
+    /// instead of an O(ranks) scan over every `ProcCtl`.
+    any_panicked: AtomicBool,
 }
 
 /// A handle a simulated process uses to touch the shared world, sleep, and
@@ -505,6 +503,7 @@ impl<W: Send + 'static> Runtime<W> {
             ctls,
             inflight_wakes: std::sync::atomic::AtomicUsize::new(0),
             baton: AtomicBool::new(false),
+            any_panicked: AtomicBool::new(false),
         });
 
         // Spawn process threads; each waits for its first resume.
@@ -518,8 +517,10 @@ impl<W: Send + 'static> Runtime<W> {
                 .spawn(move || {
                     ctl.wait_first_resume();
                     let result = catch_unwind(AssertUnwindSafe(move || main(env)));
-                    let panicked = result.is_err();
-                    ctl.finish(panicked, &shared2.baton);
+                    if result.is_err() {
+                        shared2.any_panicked.store(true, Ordering::Release);
+                    }
+                    ctl.finish(&shared2.baton);
                     if let Err(payload) = result {
                         // Preserve the panic message in test output; the
                         // driver aborts the run when it notices.
@@ -577,7 +578,7 @@ impl<W: Send + 'static> Runtime<W> {
                     }
                     // The baton may have hopped through several processes
                     // before returning; any of them could have panicked.
-                    if shared.ctls.iter().any(|c| c.panicked()) {
+                    if shared.any_panicked.load(Ordering::Acquire) {
                         break 'driver;
                     }
                 }
@@ -633,7 +634,7 @@ impl<W: Send + 'static> Runtime<W> {
             }
         }
 
-        let panicked = shared.ctls.iter().any(|c| c.panicked());
+        let panicked = shared.any_panicked.load(Ordering::Acquire);
 
         // On deadline or panic, stranded threads are parked forever; we must
         // not join them. In the normal path all are done and join cleanly.
