@@ -1,6 +1,34 @@
 //! Tiny JSON emitter — replaces `serde`/`serde_json` for result files so
 //! the workspace builds offline (see README "offline builds"). Emission
-//! only; nothing in this repo parses JSON back.
+//! only, plus the schema-version sniff `BenchReport::save` uses to retire
+//! pre-versioned result files instead of silently mixing schemas.
+
+/// Schema version stamped into every `results/BENCH_*.json` roll-up.
+///
+/// * v1 (implicit): no `schema_version` field — reports through PR 3.
+/// * v2: adds `schema_version`; cells carry the flight-recorder era's
+///   meter set.
+///
+/// Bump this when a field changes meaning or disappears; adding fields is
+/// backward-compatible and does not need a bump.
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Best-effort schema version of a previously written report.
+///
+/// Files that predate versioning (v1) have no `schema_version` key and
+/// report 1. This is a sniff, not a parse: the writer only ever emits
+/// `"schema_version": <int>` on its own line, so a substring scan is
+/// exact for our own files and harmlessly approximate for foreign ones.
+pub fn sniff_schema_version(text: &str) -> u64 {
+    let Some(at) = text.find("\"schema_version\"") else { return 1 };
+    let rest = &text[at + "\"schema_version\"".len()..];
+    let digits: String = rest
+        .chars()
+        .skip_while(|c| *c == ':' || c.is_whitespace())
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().unwrap_or(1)
+}
 
 /// A JSON value.
 #[derive(Debug, Clone)]
@@ -210,6 +238,17 @@ mod tests {
         assert!(s.contains("2.5"));
         assert!(s.contains("3.0"), "integral float keeps decimal: {s}");
         assert!(s.contains("\"empty\": []"));
+    }
+
+    #[test]
+    fn schema_sniff_reads_version_or_defaults_to_v1() {
+        assert_eq!(sniff_schema_version("{\n  \"schema_version\": 2,\n  \"fig\": \"x\"\n}"), 2);
+        assert_eq!(sniff_schema_version("{\"schema_version\":17}"), 17);
+        // Pre-versioned files (through PR 3) have no key at all.
+        assert_eq!(sniff_schema_version("{\n  \"fig\": \"fig10\"\n}"), 1);
+        assert_eq!(sniff_schema_version(""), 1);
+        // Garbage after the key degrades to v1, never panics.
+        assert_eq!(sniff_schema_version("\"schema_version\": \"two\""), 1);
     }
 
     #[test]

@@ -163,6 +163,7 @@ pub struct BenchReport {
 impl ToJson for BenchReport {
     fn to_json(&self) -> Json {
         Json::Obj(vec![
+            ("schema_version", crate::json::SCHEMA_VERSION.to_json()),
             ("fig", self.fig.to_json()),
             ("scale", self.scale.to_json()),
             ("threads", self.threads.to_json()),
@@ -176,11 +177,24 @@ impl ToJson for BenchReport {
 impl BenchReport {
     /// Writes `results/BENCH_<fig>.json`.
     pub fn save(&self) {
-        let dir = std::path::Path::new("results");
-        if std::fs::create_dir_all(dir).is_ok() {
-            let path = dir.join(format!("BENCH_{}.json", self.fig));
-            let _ = std::fs::write(path, self.to_json().render() + "\n");
+        self.save_to(std::path::Path::new("results"));
+    }
+
+    /// [`save`] with an explicit directory (testable). A pre-existing file
+    /// with a different `schema_version` is retired to `.bak` first, so a
+    /// reader diffing result files across PRs never silently compares
+    /// fields whose meaning changed between schemas.
+    pub fn save_to(&self, dir: &std::path::Path) {
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
         }
+        let path = dir.join(format!("BENCH_{}.json", self.fig));
+        if let Ok(old) = std::fs::read_to_string(&path) {
+            if crate::json::sniff_schema_version(&old) != crate::json::SCHEMA_VERSION {
+                let _ = std::fs::rename(&path, path.with_extension("json.bak"));
+            }
+        }
+        let _ = std::fs::write(path, self.to_json().render() + "\n");
     }
 
     /// One-line harness summary for the binaries' stderr.
@@ -260,6 +274,12 @@ pub fn run_cells(fig: &str, scale: Scale, cells: Vec<Cell<'_>>) -> (Vec<Measured
                     break;
                 }
                 let cell = &cells[i];
+                // Name any flight-recorder capture after the cell, so a
+                // `TRACE=1 fig10 --quick` run leaves one
+                // `traces/<fig>_<label>.{pcapng,jsonl}` pair per cell. The
+                // label is thread-local; clearing it keeps later non-cell
+                // runs (e.g. Criterion) on the seed-derived default name.
+                trace::set_run_label(Some(&format!("{fig} {}", cell.label)));
                 // Shadow run first so the metered (fast) run below is
                 // undisturbed. The discipline flag is thread-local, so
                 // parallel workers shadow-check independently.
@@ -272,6 +292,7 @@ pub fn run_cells(fig: &str, scale: Scale, cells: Vec<Cell<'_>>) -> (Vec<Measured
                 let t0 = Instant::now();
                 let m = (cell.run)();
                 let wall = t0.elapsed().as_secs_f64();
+                trace::set_run_label(None);
                 if let Some(r) = &reference {
                     assert_disciplines_agree(&cell.label, r, &m);
                 }
@@ -384,6 +405,7 @@ mod tests {
         };
         let s = r.to_json().render();
         for key in [
+            "\"schema_version\"",
             "\"fig\"",
             "\"threads\"",
             "\"cells\"",
@@ -399,5 +421,40 @@ mod tests {
         ] {
             assert!(s.contains(key), "missing {key} in {s}");
         }
+        assert!(
+            s.contains(&format!("\"schema_version\": {}", crate::json::SCHEMA_VERSION)),
+            "report must stamp the current schema: {s}"
+        );
+    }
+
+    #[test]
+    fn save_retires_old_schema_files_to_bak() {
+        let dir = std::env::temp_dir()
+            .join(format!("bench-schema-test-{}-{:?}", std::process::id(), std::thread::current().id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let report = BenchReport {
+            fig: "figtest".into(),
+            scale: "quick",
+            threads: 1,
+            wall_secs_total: 0.1,
+            events_total: 1,
+            cells: vec![],
+        };
+        let path = dir.join("BENCH_figtest.json");
+        let bak = dir.join("BENCH_figtest.json.bak");
+
+        // Seed a pre-versioned (v1) file, as PR 3 and earlier wrote.
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(&path, "{\n  \"fig\": \"figtest\"\n}\n").unwrap();
+        report.save_to(&dir);
+        assert!(bak.exists(), "v1 file must be retired, not overwritten");
+        let new = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(crate::json::sniff_schema_version(&new), crate::json::SCHEMA_VERSION);
+
+        // Same-schema overwrite keeps the old backup untouched.
+        std::fs::write(&bak, "sentinel").unwrap();
+        report.save_to(&dir);
+        assert_eq!(std::fs::read_to_string(&bak).unwrap(), "sentinel");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

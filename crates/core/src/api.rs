@@ -254,6 +254,15 @@ impl Mpi {
         let Mpi { env, core, rpi, cost, meter, .. } = self;
         let (req, charge) = env.with(|w, ctx| {
             let (req, ctrl) = core.post_recv(src, tag, cxt);
+            if ctx.tracing() {
+                ctx.trace_emit(trace::Event::MpiPost(trace::MpiPostEv {
+                    rank: core.rank,
+                    src: src.map_or(-1, |s| s as i32),
+                    tag: tag.unwrap_or(-1),
+                    cxt,
+                    matched: core.matched_at_post(req),
+                }));
+            }
             let have_ctrl = !ctrl.is_empty();
             for (peer, e) in ctrl {
                 rpi.enqueue(peer, e, Vec::new(), None);

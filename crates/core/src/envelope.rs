@@ -55,6 +55,18 @@ impl EnvKind {
     pub fn has_body(self) -> bool {
         matches!(self, EnvKind::Eager | EnvKind::SyncEager | EnvKind::RndvBody)
     }
+
+    /// Stable lowercase name (flight-recorder event field).
+    pub fn name(self) -> &'static str {
+        match self {
+            EnvKind::Eager => "eager",
+            EnvKind::SyncEager => "sync_eager",
+            EnvKind::RndvReq => "rndv_req",
+            EnvKind::RndvAck => "rndv_ack",
+            EnvKind::RndvBody => "rndv_body",
+            EnvKind::SyncAck => "sync_ack",
+        }
+    }
 }
 
 /// A message envelope. `src` is the sender's rank.

@@ -27,6 +27,11 @@ pub struct MpiCfg {
     pub short_limit: u32,
     /// RPI-level long-message piece size for SCTP (§3.4).
     pub long_piece: u32,
+    /// Enable the flight recorder (crates/trace) for this run. `TRACE=1`
+    /// in the environment also turns it on; this flag lets tests toggle
+    /// tracing in-process without env races. File sinks (traces/*.pcapng,
+    /// traces/*.jsonl) are written only under `TRACE=1`.
+    pub trace: bool,
 }
 
 impl MpiCfg {
@@ -42,6 +47,7 @@ impl MpiCfg {
             seed: 1,
             short_limit: 64 * 1024,
             long_piece: 64 * 1024,
+            trace: false,
         }
     }
 
@@ -106,6 +112,35 @@ impl MpiCfg {
     }
 }
 
+/// Build the run's flight recorder: `cfg.trace` forces one on (tests);
+/// otherwise `TRACE=1` decides. Returns None when tracing is off.
+fn make_tracer(cfg: &MpiCfg) -> Option<trace::Tracer> {
+    match trace::Tracer::from_env() {
+        Some(t) => Some(t),
+        None if cfg.trace => Some(trace::Tracer::new(trace::DEFAULT_CAP, trace::DEFAULT_SNAP)),
+        None => None,
+    }
+}
+
+/// Write the capture files after a run — only under `TRACE=1`, so runs that
+/// trace in-process (cfg.trace) stay filesystem-silent. Nothing is printed:
+/// figure stdout/stderr must stay bit-identical with tracing on or off.
+fn flush_trace(tracer: &Option<trace::Tracer>, end: SimTime, seed: u64) {
+    let Some(t) = tracer else { return };
+    if !trace::Tracer::env_enabled() {
+        return;
+    }
+    let dump = t.dump(end.as_nanos());
+    let label = trace::run_label().unwrap_or_else(|| format!("run-{seed:#x}"));
+    let name = trace::sanitize_label(&label);
+    let dir = std::path::Path::new("traces");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let _ = std::fs::write(dir.join(format!("{name}.pcapng")), dump.write_pcapng());
+    let _ = std::fs::write(dir.join(format!("{name}.jsonl")), dump.write_jsonl());
+}
+
 /// Result of one MPI run.
 #[derive(Debug, Clone)]
 pub struct MpiReport {
@@ -155,8 +190,14 @@ where
     if let TransportSel::Sctp { streams, .. } = cfg.transport {
         sctp_cfg.out_streams = sctp_cfg.out_streams.max(streams);
     }
-    let world = World::new(cfg.net, cfg.tcp, sctp_cfg);
+    let mut world = World::new(cfg.net, cfg.tcp, sctp_cfg);
+    let tracer = make_tracer(&cfg);
+    if let Some(t) = &tracer {
+        t.set_topology(world.net.hosts(), world.net.ifaces());
+        world.net.tracer = Some(t.clone());
+    }
     let mut rt = Runtime::new(world, cfg.seed);
+    rt.set_tracer(tracer.clone());
     let f = Arc::new(f);
     let table = Arc::new(std::sync::Mutex::new(JobTable::default()));
     let proc_cfg = MpiProcCfg {
@@ -188,6 +229,7 @@ where
         });
     }
     let out = rt.run();
+    flush_trace(&tracer, out.sim_time, cfg.seed);
     let w = &out.world;
     let report = MpiReport {
         sim_time: out.sim_time,
@@ -249,8 +291,14 @@ where
     if let TransportSel::Sctp { streams, .. } = cfg.transport {
         sctp_cfg.out_streams = sctp_cfg.out_streams.max(streams);
     }
-    let world = World::new(cfg.net, cfg.tcp, sctp_cfg);
+    let mut world = World::new(cfg.net, cfg.tcp, sctp_cfg);
+    let tracer = make_tracer(&cfg);
+    if let Some(t) = &tracer {
+        t.set_topology(world.net.hosts(), world.net.ifaces());
+        world.net.tracer = Some(t.clone());
+    }
     let mut rt = Runtime::new(world, cfg.seed);
+    rt.set_tracer(tracer.clone());
     let f = Arc::new(f);
     let proc_cfg = MpiProcCfg {
         size: cfg.nprocs,
@@ -283,6 +331,7 @@ where
         }
     }
     let out = rt.run();
+    flush_trace(&tracer, out.sim_time, cfg.seed);
     let w = &out.world;
     let mut tcp_total = SockStats::default();
     for h in &w.hosts {

@@ -110,6 +110,19 @@ pub struct EnvOutcome {
     pub body_send: Option<(ReqId, Envelope, Vec<Bytes>)>,
 }
 
+impl EnvOutcome {
+    /// Did the envelope of `kind` find a posted receive (rather than landing
+    /// in the unexpected queue)? Control kinds (ACKs, rendezvous bodies)
+    /// always pair with a pending request.
+    pub fn matched_posted(&self, kind: EnvKind) -> bool {
+        match kind {
+            EnvKind::Eager | EnvKind::SyncEager => matches!(self.sink, Some(Sink::Req(_))),
+            EnvKind::RndvReq => !self.ctrl.is_empty(),
+            _ => true,
+        }
+    }
+}
+
 /// The per-process matching state.
 pub struct Core {
     pub rank: u16,
@@ -184,6 +197,12 @@ impl Core {
 
     pub fn is_done(&self, r: ReqId) -> bool {
         self.reqs[r.0].state == ReqState::Done
+    }
+
+    /// Did this receive find a buffered unexpected message at post time?
+    /// (Any state other than freshly-posted means it matched something.)
+    pub fn matched_at_post(&self, r: ReqId) -> bool {
+        self.reqs[r.0].state != ReqState::RecvPosted
     }
 
     /// Take a completed request's payload + status. Panics if not done.

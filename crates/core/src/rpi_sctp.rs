@@ -259,7 +259,7 @@ impl SctpRpi {
             meter.charge(cost.syscall + cost.sctp_per_msg + cost.sctp_bytes(msg.len as usize));
             progressed = true;
             let peer = self.peer_of_assoc(msg.assoc);
-            self.handle_message(core, peer, msg.stream, msg.data, msg.len as usize);
+            self.handle_message(ctx, core, peer, msg.stream, msg.data, msg.len as usize);
         }
         // Writes: every peer, every stream — a blocked stream does not
         // block the others (§3.2). Peers with nothing queued are skipped.
@@ -334,7 +334,15 @@ impl SctpRpi {
 
     /// Two-level demux (association → stream), then the per-stream state
     /// machine: either an in-progress long body or a fresh envelope.
-    fn handle_message(&mut self, core: &mut Core, peer: u16, sid: u16, data: Vec<Bytes>, len: usize) {
+    fn handle_message(
+        &mut self,
+        ctx: &Wx,
+        core: &mut Core,
+        peer: u16,
+        sid: u16,
+        data: Vec<Bytes>,
+        len: usize,
+    ) {
         let st = &mut self.rd[peer as usize][sid as usize];
         if let Some(sink) = st.sink {
             // A long body is in flight on this stream: this message is the
@@ -357,6 +365,17 @@ impl SctpRpi {
         debug_assert!(data[0].len() >= ENV_SIZE, "first chunk must hold the envelope");
         let env = Envelope::from_bytes(&data[0]);
         let out = core.on_envelope(peer, env);
+        if ctx.tracing() {
+            ctx.trace_emit(trace::Event::MpiMatch(trace::MpiMatchEv {
+                rank: core.rank,
+                src: env.src,
+                tag: env.tag,
+                cxt: env.cxt,
+                len: env.len as u64,
+                kind: env.kind.name(),
+                posted: out.matched_posted(env.kind),
+            }));
+        }
         self.enqueue_ctrl(out.ctrl);
         if let Some((req, benv, body)) = out.body_send {
             self.enqueue_body_send(peer, req, benv, body);

@@ -203,7 +203,7 @@ impl TcpRpi {
                     }
                     if buf.len() == ENV_SIZE {
                         let env = Envelope::from_bytes(buf);
-                        self.handle_envelope(core, peer, env);
+                        self.handle_envelope(ctx, core, peer, env);
                     }
                 }
                 ReadState::Body { sink, remaining, total } => {
@@ -227,8 +227,19 @@ impl TcpRpi {
         progressed
     }
 
-    fn handle_envelope(&mut self, core: &mut Core, peer: u16, env: Envelope) {
+    fn handle_envelope(&mut self, ctx: &Wx, core: &mut Core, peer: u16, env: Envelope) {
         let out = core.on_envelope(peer, env);
+        if ctx.tracing() {
+            ctx.trace_emit(trace::Event::MpiMatch(trace::MpiMatchEv {
+                rank: core.rank,
+                src: env.src,
+                tag: env.tag,
+                cxt: env.cxt,
+                len: env.len as u64,
+                kind: env.kind.name(),
+                posted: out.matched_posted(env.kind),
+            }));
+        }
         self.enqueue_ctrl(out.ctrl);
         if let Some((req, benv, body)) = out.body_send {
             self.enqueue_body_send(peer, req, benv, body);

@@ -89,6 +89,13 @@ impl Link {
         Link { cfg, up: true, busy_until: SimTime::ZERO, stats: LinkStats::default() }
     }
 
+    /// Time until the transmitter frees up, in nanoseconds — the queueing
+    /// delay a packet offered at `now` would see. The flight recorder stamps
+    /// this on drop events to distinguish congestion from bad luck.
+    pub fn backlog_ns(&self, now: SimTime) -> u64 {
+        self.busy_until.since(now).as_nanos()
+    }
+
     /// Bytes currently backlogged in the (virtual) queue at `now`.
     pub fn backlog_bytes(&self, now: SimTime) -> u64 {
         let backlog = self.busy_until.since(now);

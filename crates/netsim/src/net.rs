@@ -81,6 +81,9 @@ pub struct Net {
     /// `links[host][iface]` = (uplink to switch, downlink from switch).
     links: Vec<Vec<(Link, Link)>>,
     pub stats: NetStats,
+    /// Flight recorder for link-level drop events; observation only, never
+    /// consulted for any verdict.
+    pub tracer: Option<trace::Tracer>,
 }
 
 impl Net {
@@ -92,7 +95,36 @@ impl Net {
                     .collect()
             })
             .collect();
-        Net { cfg, links, stats: NetStats::default() }
+        Net { cfg, links, stats: NetStats::default(), tracer: None }
+    }
+
+    fn trace_drop(
+        tracer: &Option<trace::Tracer>,
+        now: SimTime,
+        src: IfAddr,
+        dst: IfAddr,
+        wire_bytes: u32,
+        reason: DropReason,
+        backlog_ns: u64,
+    ) {
+        if let Some(t) = tracer {
+            let reason = match reason {
+                DropReason::Loss => trace::DropKind::Loss,
+                DropReason::QueueFull => trace::DropKind::QueueFull,
+                DropReason::LinkDown => trace::DropKind::LinkDown,
+            };
+            t.emit(
+                now.as_nanos(),
+                trace::Event::LinkDrop(trace::LinkDropEv {
+                    src_host: src.host,
+                    src_if: src.iface,
+                    dst_host: dst.host,
+                    wire_bytes,
+                    reason,
+                    backlog_ns,
+                }),
+            );
+        }
     }
 
     /// Number of hosts.
@@ -145,26 +177,38 @@ impl Net {
         // report congestion or down (see [`LinkDrop`]).
         if self.cfg.loss_prob > 0.0 && rng.gen_bool(self.cfg.loss_prob) {
             self.stats.drops_loss += 1;
+            if self.tracer.is_some() {
+                let backlog = self.links[src.host as usize][src.iface as usize].0.backlog_ns(now);
+                Self::trace_drop(&self.tracer, now, src, dst, wire_bytes, DropReason::Loss, backlog);
+            }
             return Verdict::Drop(DropReason::Loss);
         }
 
         // Uplink: src host -> switch.
         let up = &mut self.links[src.host as usize][src.iface as usize].0;
+        let backlog = if self.tracer.is_some() { up.backlog_ns(now) } else { 0 };
         let at_switch = match up.transmit(now, wire_bytes) {
             Ok(t) => t,
-            Err(r) => return self.record_drop(r),
+            Err(r) => {
+                Self::trace_drop(&self.tracer, now, src, dst, wire_bytes, r.into(), backlog);
+                return self.record_drop(r);
+            }
         };
 
         // Downlink: switch -> dst host (store-and-forward).
         let start = at_switch + self.cfg.switch_latency;
         let down = &mut self.links[dst.host as usize][dst.iface as usize].1;
+        let backlog = if self.tracer.is_some() { down.backlog_ns(start) } else { 0 };
         match down.transmit(start, wire_bytes) {
             Ok(t) => {
                 self.stats.packets_delivered += 1;
                 self.stats.bytes_delivered += wire_bytes as u64;
                 Verdict::Deliver { at: t }
             }
-            Err(r) => self.record_drop(r),
+            Err(r) => {
+                Self::trace_drop(&self.tracer, now, src, dst, wire_bytes, r.into(), backlog);
+                self.record_drop(r)
+            }
         }
     }
 
@@ -231,12 +275,19 @@ impl Net {
         let mut queue = 0u64;
         let mut down_drops = 0u64;
         let mut out = Vec::with_capacity(n);
+        // The links are borrowed out of `self.links` for the whole train;
+        // the tracer is a disjoint field, so hooks stay borrow-compatible.
+        let tracer = &self.tracer;
         for &wb in wire_bytes {
             if self.cfg.loss_prob > 0.0 && rng.gen_bool(self.cfg.loss_prob) {
                 loss += 1;
+                if tracer.is_some() {
+                    Self::trace_drop(tracer, now, src, dst, wb, DropReason::Loss, up.backlog_ns(now));
+                }
                 out.push(Verdict::Drop(DropReason::Loss));
                 continue;
             }
+            let backlog = if tracer.is_some() { up.backlog_ns(now) } else { 0 };
             let v = up.transmit(now, wb).and_then(|at_switch| {
                 down.transmit(at_switch + self.cfg.switch_latency, wb)
             });
@@ -251,6 +302,7 @@ impl Net {
                         LinkDrop::QueueFull => queue += 1,
                         LinkDrop::LinkDown => down_drops += 1,
                     }
+                    Self::trace_drop(tracer, now, src, dst, wb, r.into(), backlog);
                     Verdict::Drop(r.into())
                 }
             });

@@ -456,6 +456,7 @@ pub struct Runtime<W> {
     mains: Vec<(String, ProcMain<W>)>,
     deadline: SimTime,
     pre_events: Vec<PreEvent<W>>,
+    tracer: Option<trace::Tracer>,
 }
 
 impl<W: Send + 'static> Runtime<W> {
@@ -467,6 +468,7 @@ impl<W: Send + 'static> Runtime<W> {
             mains: Vec::new(),
             deadline: SimTime::MAX,
             pre_events: Vec::new(),
+            tracer: None,
         }
     }
 
@@ -474,6 +476,14 @@ impl<W: Send + 'static> Runtime<W> {
     /// would pass `deadline`. Guards against runaway simulations in tests.
     pub fn set_deadline(&mut self, deadline: SimTime) {
         self.deadline = deadline;
+    }
+
+    /// Install a flight recorder; it is handed to the scheduler context
+    /// before the first process runs, so every event of the run is visible
+    /// to the hooks. Tracing never perturbs the simulation (see
+    /// [`Ctx::trace_emit`]).
+    pub fn set_tracer(&mut self, tracer: Option<trace::Tracer>) {
+        self.tracer = tracer;
     }
 
     /// Register a process. Ids are assigned densely in spawn order.
@@ -546,6 +556,7 @@ impl<W: Send + 'static> Runtime<W> {
             let mut g = shared.sim.lock();
             g.ctx.set_reference(reference_discipline());
             g.ctx.set_deadline(self.deadline);
+            g.ctx.set_tracer(self.tracer.take());
             for (at, f) in self.pre_events.drain(..) {
                 g.ctx.schedule_at(at, f);
             }

@@ -242,6 +242,10 @@ pub struct Ctx<W> {
     /// keep their own generator; this one is for ad-hoc draws (e.g. link loss).
     pub rng: SmallRng,
     events_fired: u64,
+    /// Flight recorder, if tracing is enabled for this run. Hooks must be
+    /// read-only with respect to simulation state: no RNG draws, no event
+    /// scheduling — outputs stay bit-identical with tracing on or off.
+    tracer: Option<trace::Tracer>,
 }
 
 impl<W> Ctx<W> {
@@ -270,6 +274,34 @@ impl<W> Ctx<W> {
             fused_pkts: 0,
             rng,
             events_fired: 0,
+            tracer: None,
+        }
+    }
+
+    pub(crate) fn set_tracer(&mut self, tracer: Option<trace::Tracer>) {
+        self.tracer = tracer;
+    }
+
+    /// Is the flight recorder on? Hooks check this before building events
+    /// so tracing costs one branch when off.
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// The installed flight recorder, for hooks that need more than a plain
+    /// emit (frame snaplen, HOL-state tracking).
+    #[inline]
+    pub fn tracer(&self) -> Option<&trace::Tracer> {
+        self.tracer.as_ref()
+    }
+
+    /// Record one trace event stamped with the current virtual clock.
+    /// No-op when tracing is off.
+    #[inline]
+    pub fn trace_emit(&self, ev: trace::Event) {
+        if let Some(t) = &self.tracer {
+            t.emit(self.now.as_nanos(), ev);
         }
     }
 

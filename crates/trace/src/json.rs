@@ -1,0 +1,255 @@
+//! Minimal JSON parser, sufficient for the JSONL event log this crate emits
+//! and for the BENCH `results/*.json` schema check. No dependencies, no
+//! allocations beyond the output value tree.
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum JVal {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<JVal>),
+    Obj(Vec<(String, JVal)>),
+}
+
+impl JVal {
+    pub fn get(&self, key: &str) -> Option<&JVal> {
+        match self {
+            JVal::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JVal::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_f64().and_then(|n| if n >= 0.0 { Some(n as u64) } else { None })
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        self.as_f64().map(|n| n as i64)
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JVal::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[JVal]> {
+        match self {
+            JVal::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+pub fn parse(s: &str) -> Result<JVal, String> {
+    let b = s.as_bytes();
+    let mut p = Parser { b, i: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.i != b.len() {
+        return Err(format!("trailing bytes at offset {}", p.i));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at offset {}", c as char, self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<JVal, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JVal::Str(self.string()?)),
+            Some(b't') => self.lit("true", JVal::Bool(true)),
+            Some(b'f') => self.lit("false", JVal::Bool(false)),
+            Some(b'n') => self.lit("null", JVal::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected byte at offset {}", self.i)),
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: JVal) -> Result<JVal, String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at offset {}", self.i))
+        }
+    }
+
+    fn number(&mut self) -> Result<JVal, String> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-')) {
+            self.i += 1;
+        }
+        let txt = std::str::from_utf8(&self.b[start..self.i]).map_err(|_| "utf8".to_string())?;
+        txt.parse::<f64>().map(JVal::Num).map_err(|e| format!("bad number '{txt}': {e}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            if self.i + 4 >= self.b.len() {
+                                return Err("short \\u escape".into());
+                            }
+                            let hex = std::str::from_utf8(&self.b[self.i + 1..self.i + 5])
+                                .map_err(|_| "utf8".to_string())?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u".to_string())?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.i += 4;
+                        }
+                        _ => return Err("bad escape".into()),
+                    }
+                    self.i += 1;
+                }
+                Some(c) => {
+                    // Multi-byte UTF-8 passes through verbatim.
+                    let len = match c {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let end = (self.i + len).min(self.b.len());
+                    out.push_str(std::str::from_utf8(&self.b[self.i..end]).map_err(|_| "utf8".to_string())?);
+                    self.i = end;
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JVal, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(JVal::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let k = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let v = self.value()?;
+            fields.push((k, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(JVal::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at offset {}", self.i)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JVal, String> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(JVal::Arr(out));
+        }
+        loop {
+            self.skip_ws();
+            out.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(JVal::Arr(out));
+                }
+                _ => return Err(format!("expected ',' or ']' at offset {}", self.i)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_event_line() {
+        let v = parse(r#"{"t":1234,"ev":"pkt","src":0,"verdict":"loss","nested":[1,2.5,-3],"ok":true,"none":null}"#).unwrap();
+        assert_eq!(v.get("t").unwrap().as_u64(), Some(1234));
+        assert_eq!(v.get("ev").unwrap().as_str(), Some("pkt"));
+        assert_eq!(v.get("verdict").unwrap().as_str(), Some("loss"));
+        assert_eq!(v.get("nested").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(v.get("nested").unwrap().as_arr().unwrap()[2].as_i64(), Some(-3));
+        assert_eq!(v.get("ok"), Some(&JVal::Bool(true)));
+        assert_eq!(v.get("none"), Some(&JVal::Null));
+    }
+
+    #[test]
+    fn strings_escape() {
+        let v = parse(r#"{"k":"a\"b\\c\nd"}"#).unwrap();
+        assert_eq!(v.get("k").unwrap().as_str(), Some("a\"b\\c\nd"));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse("{} x").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+    }
+}

@@ -1,0 +1,97 @@
+//! pcapng writer: emits captures of the simulated wire that standard
+//! dissectors (wireshark/tshark) open directly.
+//!
+//! Layout per the pcapng spec (draft-tuexen-opsawg-pcapng): a Section Header
+//! Block, one Interface Description Block per simulated link (host NIC →
+//! switch), then one Enhanced Packet Block per captured frame, stamped on
+//! the *sending* interface. All integers little-endian; every block carries
+//! its total length fore and aft. Frames are raw IPv4 (LINKTYPE_RAW), and
+//! timestamps are virtual-clock nanoseconds (if_tsresol = 9).
+
+/// LINKTYPE_RAW: packet begins with the raw IPv4/IPv6 header.
+pub const LINKTYPE_RAW: u16 = 101;
+
+const BT_SHB: u32 = 0x0A0D_0D0A;
+const BT_IDB: u32 = 0x0000_0001;
+const BT_EPB: u32 = 0x0000_0006;
+const BYTE_ORDER_MAGIC: u32 = 0x1A2B_3C4D;
+
+fn pad4(n: usize) -> usize {
+    (4 - n % 4) % 4
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append one option TLV (code, length, value, pad-to-4).
+fn put_option(out: &mut Vec<u8>, code: u16, val: &[u8]) {
+    put_u16(out, code);
+    put_u16(out, val.len() as u16);
+    out.extend_from_slice(val);
+    out.extend(std::iter::repeat(0u8).take(pad4(val.len())));
+}
+
+/// Wrap a block body in (type, total_len, body, total_len).
+fn block(ty: u32, body: &[u8]) -> Vec<u8> {
+    let total = 12 + body.len() as u32;
+    let mut out = Vec::with_capacity(total as usize);
+    put_u32(&mut out, ty);
+    put_u32(&mut out, total);
+    out.extend_from_slice(body);
+    put_u32(&mut out, total);
+    out
+}
+
+/// Section Header Block: magic, version 1.0, unknown section length.
+pub fn section_header_block() -> Vec<u8> {
+    let mut body = Vec::new();
+    put_u32(&mut body, BYTE_ORDER_MAGIC);
+    put_u16(&mut body, 1); // major
+    put_u16(&mut body, 0); // minor
+    body.extend_from_slice(&u64::MAX.to_le_bytes()); // section length: unspecified
+    block(BT_SHB, &body)
+}
+
+/// Interface Description Block for one simulated link, with an `if_name`
+/// option and `if_tsresol = 9` (nanosecond timestamps).
+pub fn interface_description_block(name: &str) -> Vec<u8> {
+    let mut body = Vec::new();
+    put_u16(&mut body, LINKTYPE_RAW);
+    put_u16(&mut body, 0); // reserved
+    put_u32(&mut body, 0); // snaplen: no limit recorded at file level
+    put_option(&mut body, 2, name.as_bytes()); // if_name
+    put_option(&mut body, 9, &[9u8]); // if_tsresol: 10^-9
+    put_option(&mut body, 0, &[]); // opt_endofopt
+    block(BT_IDB, &body)
+}
+
+/// Enhanced Packet Block: one captured (possibly snapped) frame.
+pub fn enhanced_packet_block(iface: u32, t_ns: u64, orig_len: u32, data: &[u8]) -> Vec<u8> {
+    let mut body = Vec::new();
+    put_u32(&mut body, iface);
+    put_u32(&mut body, (t_ns >> 32) as u32);
+    put_u32(&mut body, t_ns as u32);
+    put_u32(&mut body, data.len() as u32); // captured length
+    put_u32(&mut body, orig_len);
+    body.extend_from_slice(data);
+    body.extend(std::iter::repeat(0u8).take(pad4(data.len())));
+    block(BT_EPB, &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_are_multiple_of_four() {
+        assert_eq!(section_header_block().len() % 4, 0);
+        assert_eq!(interface_description_block("h0i0").len() % 4, 0);
+        assert_eq!(interface_description_block("h10i2").len() % 4, 0);
+        assert_eq!(enhanced_packet_block(0, 0, 5, &[1, 2, 3, 4, 5]).len() % 4, 0);
+    }
+}

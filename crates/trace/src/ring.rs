@@ -1,0 +1,86 @@
+//! Preallocated overwrite-oldest ring buffer for trace records.
+//!
+//! A flight recorder must never grow without bound: the ring holds the most
+//! recent `cap` records and counts how many older ones it overwrote, so the
+//! sinks can report truncation honestly instead of silently pretending the
+//! capture is complete.
+
+use crate::Rec;
+
+#[derive(Debug, Clone)]
+pub struct Ring {
+    buf: Vec<Rec>,
+    cap: usize,
+    /// Index of the oldest record once the ring has wrapped.
+    head: usize,
+    /// Records overwritten because the ring was full.
+    dropped: u64,
+}
+
+impl Ring {
+    pub fn new(cap: usize) -> Ring {
+        let cap = cap.max(1);
+        Ring { buf: Vec::with_capacity(cap.min(1 << 16)), cap, head: 0, dropped: 0 }
+    }
+
+    pub fn push(&mut self, rec: Rec) {
+        if self.buf.len() < self.cap {
+            self.buf.push(rec);
+        } else {
+            self.buf[self.head] = rec;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Records in arrival order (oldest surviving record first).
+    pub fn to_vec(&self) -> Vec<Rec> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Event, Rec};
+
+    fn rec(seq: u64) -> Rec {
+        Rec { t_ns: seq, seq, ev: Event::RtoFire(crate::RtoFireEv { proto: crate::Proto8::Tcp, host: 0, peer: 1, backoff: 0, marked: 0 }) }
+    }
+
+    #[test]
+    fn keeps_latest_and_counts_dropped() {
+        let mut r = Ring::new(3);
+        for i in 0..5 {
+            r.push(rec(i));
+        }
+        let v = r.to_vec();
+        assert_eq!(v.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(r.dropped(), 2);
+    }
+
+    #[test]
+    fn no_wrap_is_in_order() {
+        let mut r = Ring::new(8);
+        for i in 0..4 {
+            r.push(rec(i));
+        }
+        assert_eq!(r.to_vec().iter().map(|r| r.seq).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(r.dropped(), 0);
+    }
+}

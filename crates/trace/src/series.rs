@@ -1,0 +1,55 @@
+//! In-memory time-series store.
+//!
+//! Congestion-window transitions are the one event class the analyzer wants
+//! as a *curve* rather than a log, so the tracer folds them into a keyed
+//! point store as they arrive. Everything is plain data; the store is cloned
+//! out wholesale when the run finishes.
+
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SeriesKey {
+    /// 0 = TCP, 1 = SCTP (see `Proto8`).
+    pub proto: u8,
+    pub host: u16,
+    pub peer: u16,
+    pub path: u8,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeriesPoint {
+    pub t_ns: u64,
+    pub cwnd: u64,
+    pub ssthresh: u64,
+    pub flight: u64,
+}
+
+#[derive(Debug, Clone, Default)]
+pub struct SeriesStore {
+    pub cwnd: BTreeMap<SeriesKey, Vec<SeriesPoint>>,
+}
+
+impl SeriesStore {
+    pub fn push(&mut self, key: SeriesKey, pt: SeriesPoint) {
+        self.cwnd.entry(key).or_default().push(pt);
+    }
+
+    pub fn total_points(&self) -> usize {
+        self.cwnd.values().map(|v| v.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyed_append() {
+        let mut s = SeriesStore::default();
+        let k = SeriesKey { proto: 1, host: 0, peer: 1, path: 0 };
+        s.push(k, SeriesPoint { t_ns: 10, cwnd: 4380, ssthresh: u64::MAX, flight: 0 });
+        s.push(k, SeriesPoint { t_ns: 20, cwnd: 5840, ssthresh: u64::MAX, flight: 1460 });
+        assert_eq!(s.cwnd[&k].len(), 2);
+        assert_eq!(s.total_points(), 2);
+    }
+}

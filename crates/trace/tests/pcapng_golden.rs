@@ -1,0 +1,96 @@
+//! Golden-byte tests for the pcapng writer: the exact octets of each block
+//! type, checked against the pcapng spec by hand. Any layout drift (endian,
+//! padding, option encoding) breaks these before it breaks a dissector.
+
+use trace::pcapng::{enhanced_packet_block, interface_description_block, section_header_block};
+
+#[test]
+fn section_header_block_golden() {
+    let expect: [u8; 28] = [
+        0x0A, 0x0D, 0x0D, 0x0A, // block type
+        0x1C, 0x00, 0x00, 0x00, // total length = 28
+        0x4D, 0x3C, 0x2B, 0x1A, // byte-order magic
+        0x01, 0x00, 0x00, 0x00, // version 1.0
+        0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, // section length: unspecified
+        0x1C, 0x00, 0x00, 0x00, // trailing total length
+    ];
+    assert_eq!(section_header_block(), expect);
+}
+
+#[test]
+fn interface_description_block_golden() {
+    let expect: [u8; 40] = [
+        0x01, 0x00, 0x00, 0x00, // block type = IDB
+        0x28, 0x00, 0x00, 0x00, // total length = 40
+        0x65, 0x00, // linktype = 101 (LINKTYPE_RAW)
+        0x00, 0x00, // reserved
+        0x00, 0x00, 0x00, 0x00, // snaplen = 0 (no limit)
+        0x02, 0x00, 0x04, 0x00, b'h', b'0', b'i', b'0', // if_name = "h0i0"
+        0x09, 0x00, 0x01, 0x00, 0x09, 0x00, 0x00, 0x00, // if_tsresol = 10^-9, padded
+        0x00, 0x00, 0x00, 0x00, // opt_endofopt
+        0x28, 0x00, 0x00, 0x00, // trailing total length
+    ];
+    assert_eq!(interface_description_block("h0i0"), expect);
+}
+
+#[test]
+fn interface_name_padding() {
+    // A 5-char name pads to 8: block grows by exactly one 4-byte word.
+    let b = interface_description_block("h10i2");
+    assert_eq!(b.len(), 44);
+    assert_eq!(&b[16..20], &[0x02, 0x00, 0x05, 0x00]);
+    assert_eq!(&b[20..25], b"h10i2");
+    assert_eq!(&b[25..28], &[0, 0, 0]); // option padding
+}
+
+#[test]
+fn enhanced_packet_block_golden() {
+    let data = [0xDE, 0xAD, 0xBE, 0xEF, 0x01];
+    let t_ns: u64 = (1 << 32) | 2; // high word 1, low word 2
+    let expect: [u8; 40] = [
+        0x06, 0x00, 0x00, 0x00, // block type = EPB
+        0x28, 0x00, 0x00, 0x00, // total length = 40
+        0x02, 0x00, 0x00, 0x00, // interface id = 2
+        0x01, 0x00, 0x00, 0x00, // timestamp high
+        0x02, 0x00, 0x00, 0x00, // timestamp low
+        0x05, 0x00, 0x00, 0x00, // captured length = 5
+        0xDC, 0x05, 0x00, 0x00, // original length = 1500
+        0xDE, 0xAD, 0xBE, 0xEF, 0x01, 0x00, 0x00, 0x00, // data, padded to 8
+        0x28, 0x00, 0x00, 0x00, // trailing total length
+    ];
+    assert_eq!(enhanced_packet_block(2, t_ns, 1500, &data), expect);
+}
+
+#[test]
+fn whole_capture_assembles_in_order() {
+    use trace::{DropKind, Event, PktEv, PktKind, PktVerdict, Proto8, Tracer};
+    let tr = Tracer::new(64, 0);
+    tr.set_topology(2, 1);
+    tr.emit(
+        7,
+        Event::Pkt(PktEv {
+            src_host: 1,
+            src_if: 0,
+            dst_host: 0,
+            dst_if: 0,
+            proto: Proto8::Sctp,
+            kind: PktKind::Data,
+            wire_len: 1500,
+            verdict: PktVerdict::Drop(DropKind::Loss),
+            tsn: 1,
+            ntsn: 1,
+            stream: 0,
+            frame: vec![0x45, 0x00, 0x00, 0x04],
+            frame_orig_len: 1500,
+        }),
+    );
+    let bytes = tr.dump(10).write_pcapng();
+    // SHB(28) + 2×IDB(40) + EPB: 12 + 20 + 4 data padded to 4 = 36.
+    assert_eq!(bytes.len(), 28 + 40 + 40 + 36);
+    // The EPB lands on interface 1 (host 1, iface 0) with orig_len 1500.
+    let epb = &bytes[108..];
+    assert_eq!(&epb[0..4], &[0x06, 0x00, 0x00, 0x00]);
+    assert_eq!(&epb[8..12], &[0x01, 0x00, 0x00, 0x00]); // iface id
+    assert_eq!(&epb[20..24], &[0x04, 0x00, 0x00, 0x00]); // cap len
+    assert_eq!(&epb[24..28], &[0xDC, 0x05, 0x00, 0x00]); // orig len 1500
+}

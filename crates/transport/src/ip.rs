@@ -19,10 +19,10 @@
 
 use std::collections::VecDeque;
 
-use netsim::{IfAddr, Verdict};
+use netsim::{DropReason, IfAddr, Verdict};
 use simcore::SimTime;
 
-use crate::{sctp, tcp, World, Wx};
+use crate::{sctp, tcp, wire_bytes, World, Wx};
 
 /// IPv4 header size (no options).
 pub const IP_HEADER: u32 = 20;
@@ -51,10 +51,58 @@ pub struct Packet {
     pub body: Proto,
 }
 
+/// Flight-recorder capture of one packet, built *before* the network's
+/// verdict so the serialized frame reflects exactly what was offered.
+struct PktCapture {
+    frame: Vec<u8>,
+    frame_orig_len: u32,
+    proto: trace::Proto8,
+    kind: trace::PktKind,
+    tsn: u64,
+    ntsn: u32,
+    stream: i32,
+}
+
+fn capture(ctx: &Wx, pkt: &Packet) -> Option<PktCapture> {
+    let tracer = ctx.tracer()?;
+    let (frame, frame_orig_len) = wire_bytes::capture_frame(pkt, ctx.now().as_nanos(), tracer.snaplen());
+    let (proto, kind, tsn, ntsn, stream) = wire_bytes::pkt_meta(&pkt.body);
+    Some(PktCapture { frame, frame_orig_len, proto, kind, tsn, ntsn, stream })
+}
+
+fn emit_pkt(ctx: &Wx, src: IfAddr, dst: IfAddr, wire_len: u32, verdict: Verdict, cap: PktCapture) {
+    let verdict = match verdict {
+        Verdict::Deliver { at } => trace::PktVerdict::Deliver { at_ns: at.as_nanos() },
+        Verdict::Drop(DropReason::Loss) => trace::PktVerdict::Drop(trace::DropKind::Loss),
+        Verdict::Drop(DropReason::QueueFull) => trace::PktVerdict::Drop(trace::DropKind::QueueFull),
+        Verdict::Drop(DropReason::LinkDown) => trace::PktVerdict::Drop(trace::DropKind::LinkDown),
+    };
+    ctx.trace_emit(trace::Event::Pkt(trace::PktEv {
+        src_host: src.host,
+        src_if: src.iface,
+        dst_host: dst.host,
+        dst_if: dst.iface,
+        proto: cap.proto,
+        kind: cap.kind,
+        wire_len,
+        verdict,
+        tsn: cap.tsn,
+        ntsn: cap.ntsn,
+        stream: cap.stream,
+        frame: cap.frame,
+        frame_orig_len: cap.frame_orig_len,
+    }));
+}
+
 /// Offer `pkt` to the network; schedule delivery if it survives.
 pub fn send(w: &mut World, ctx: &mut Wx, pkt: Packet) {
     let size = IP_HEADER + pkt.body.wire_len();
-    match w.net.transmit(ctx.now(), pkt.src, pkt.dst, size, &mut ctx.rng) {
+    let cap = capture(ctx, &pkt);
+    let verdict = w.net.transmit(ctx.now(), pkt.src, pkt.dst, size, &mut ctx.rng);
+    if let Some(cap) = cap {
+        emit_pkt(ctx, pkt.src, pkt.dst, size, verdict, cap);
+    }
+    match verdict {
         Verdict::Deliver { at } => {
             ctx.schedule_at(at, move |w: &mut World, ctx: &mut Wx| deliver(w, ctx, pkt));
         }
@@ -88,7 +136,17 @@ pub fn send_train(w: &mut World, ctx: &mut Wx, pkts: Vec<Packet>) {
         "a train must not cross a peer boundary"
     );
     let sizes: Vec<u32> = pkts.iter().map(|p| IP_HEADER + p.body.wire_len()).collect();
+    let caps: Option<Vec<PktCapture>> = if ctx.tracing() {
+        Some(pkts.iter().map(|p| capture(ctx, p).expect("tracer present")).collect())
+    } else {
+        None
+    };
     let verdicts = w.net.transmit_burst(ctx.now(), src, dst, &sizes, &mut ctx.rng);
+    if let Some(caps) = caps {
+        for ((cap, &v), &size) in caps.into_iter().zip(&verdicts).zip(&sizes) {
+            emit_pkt(ctx, src, dst, size, v, cap);
+        }
+    }
     let mut train: VecDeque<(SimTime, Packet)> = pkts
         .into_iter()
         .zip(verdicts)

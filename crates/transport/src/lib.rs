@@ -34,6 +34,7 @@ pub mod ranges;
 pub mod rto;
 pub mod sctp;
 pub mod tcp;
+pub mod wire_bytes;
 
 use netsim::{Net, NetCfg};
 use simcore::Ctx;

@@ -114,6 +114,11 @@ impl RtoEstimator {
     pub fn srtt(&self) -> Option<Dur> {
         self.srtt
     }
+
+    /// Smoothed RTT variance (diagnostics).
+    pub fn rttvar(&self) -> Dur {
+        self.rttvar
+    }
 }
 
 #[cfg(test)]

@@ -10,8 +10,8 @@ use crate::ip::{self, Packet, Proto};
 use crate::{World, Wx};
 
 use super::assoc::{
-    Assoc, AssocId, AssocState, AssocStats, Endpoint, EpId, InStream, PendingChunk, RecvMsg,
-    SctpCfg, SentChunk,
+    Assoc, AssocId, AssocState, AssocStats, Endpoint, EpId, InStream, PathState, PendingChunk,
+    RecvMsg, SctpCfg, SentChunk,
 };
 use super::wire::{Chunk, Cookie, DataChunk, SctpPacket};
 
@@ -42,6 +42,20 @@ fn assoc_ref(w: &World, a: AssocId) -> &Assoc {
 fn host_secret(w: &mut World, ctx: &mut Wx, host: u16) -> u64 {
     let sh = &mut w.hosts[host as usize].sctp;
     *sh.secret.get_or_insert_with(|| ctx.rng.gen())
+}
+
+/// Flight-recorder snapshot of one path's congestion state. Callers guard
+/// with `ctx.tracing()` so the off path costs one branch.
+fn trace_cwnd(ctx: &Wx, host: u16, peer: u16, path: u8, ps: &PathState) {
+    ctx.trace_emit(trace::Event::Cwnd(trace::CwndEv {
+        proto: trace::Proto8::Sctp,
+        host,
+        peer,
+        path,
+        cwnd: ps.cwnd,
+        ssthresh: ps.ssthresh,
+        flight: ps.flight,
+    }));
 }
 
 // ---------------------------------------------------------------------------
@@ -680,6 +694,17 @@ fn arm_t3(w: &mut World, ctx: &mut Wx, a: AssocId) {
     let gen = ak.t3_gen;
     let path = earliest_outstanding_path(ak);
     let d = ak.paths[path as usize].rto.current();
+    if ctx.tracing() {
+        let rto = &ak.paths[path as usize].rto;
+        ctx.trace_emit(trace::Event::RtoArm(trace::RtoArmEv {
+            proto: trace::Proto8::Sctp,
+            host: a.host,
+            peer: ak.peer_host,
+            rto_ns: d.as_nanos(),
+            srtt_ns: rto.srtt().map_or(-1, |x| x.as_nanos() as i64),
+            rttvar_ns: rto.rttvar().as_nanos() as i64,
+        }));
+    }
     ctx.schedule_in(d, move |w: &mut World, ctx: &mut Wx| on_t3(w, ctx, a, gen));
 }
 
@@ -734,6 +759,7 @@ fn on_t3(w: &mut World, ctx: &mut Wx, a: AssocId, gen: u64) {
             // Everything below the floor is already acked, so the walk
             // starts at the cursor instead of the window's base.
             let floor = ak.unacked_floor;
+            let mut marked = 0u32;
             for (&tsn, c) in ak.sent.range_mut(floor..) {
                 if !c.acked && !c.marked_rtx {
                     ak.paths[c.path as usize].flight = ak.paths[c.path as usize]
@@ -744,10 +770,21 @@ fn on_t3(w: &mut World, ctx: &mut Wx, a: AssocId, gen: u64) {
                     c.marked_rtx = true;
                     c.missing = 0;
                     ak.rtx_queue.insert(tsn);
+                    marked += 1;
                 }
             }
             ak.in_fast_recovery = false;
             ak.rtt_probe = None;
+            if ctx.tracing() {
+                ctx.trace_emit(trace::Event::RtoFire(trace::RtoFireEv {
+                    proto: trace::Proto8::Sctp,
+                    host: a.host,
+                    peer: ak.peer_host,
+                    backoff: ak.paths[p as usize].rto.backoff_shift(),
+                    marked,
+                }));
+                trace_cwnd(ctx, a.host, ak.peer_host, p, &ak.paths[p as usize]);
+            }
         }
     }
     if failed {
@@ -1263,6 +1300,7 @@ fn handle_data(w: &mut World, ctx: &mut Wx, a: AssocId, _src: IfAddr, d: DataChu
 
         let sid = d.stream;
         let aid = a;
+        let peer = ak.peer_host;
         let st = ak.in_stream_mut(sid);
         st.frags.insert(d.tsn, d);
         // Assemble complete fragment runs; gate ordered messages on SSN.
@@ -1288,6 +1326,23 @@ fn handle_data(w: &mut World, ctx: &mut Wx, a: AssocId, _src: IfAddr, d: DataChu
             } else {
                 st.ready.insert(ssn, (ppid, data, mlen));
             }
+        }
+        // Flight recorder: a stream is head-of-line blocked while complete
+        // messages sit in `ready`, gated on an earlier SSN whose message is
+        // still missing data. Fragments mid-reassembly (`frags`) alone are
+        // ordinary transmission latency, not HOL — counting them would
+        // charge every multi-chunk message as a block even at zero loss.
+        // Edge detection lives in the tracer.
+        if let Some(t) = ctx.tracer() {
+            let blocked = !st.ready.is_empty();
+            t.hol_update(
+                ctx.now().as_nanos(),
+                a.host,
+                peer,
+                sid,
+                blocked,
+                delivered.len() as u32,
+            );
         }
         ak.stats.msgs_delivered += delivered.len() as u64;
     }
@@ -1476,6 +1531,8 @@ fn process_sack(w: &mut World, ctx: &mut Wx, a: AssocId, cum: u64, a_rwnd: u64, 
         if highest > 0 {
             let mut newly_marked = false;
             let mut first_marked_path = ak.primary;
+            let mut first_marked_tsn = 0u64;
+            let mut n_marked = 0u32;
             // Entries below the earliest-unacked cursor are all acked, so
             // the strike walk starts there, not at the window's base.
             let floor = ak.unacked_floor;
@@ -1496,8 +1553,10 @@ fn process_sack(w: &mut World, ctx: &mut Wx, a: AssocId, cum: u64, a_rwnd: u64, 
                         ak.rtx_queue.insert(tsn);
                         if !newly_marked {
                             first_marked_path = c.path;
+                            first_marked_tsn = tsn;
                         }
                         newly_marked = true;
+                        n_marked += 1;
                     }
                 }
             }
@@ -1510,6 +1569,17 @@ fn process_sack(w: &mut World, ctx: &mut Wx, a: AssocId, cum: u64, a_rwnd: u64, 
                     ps.ssthresh = (ps.cwnd / 2).max(4 * pmtu);
                     ps.cwnd = ps.ssthresh;
                     ps.partial_bytes_acked = 0;
+                    if ctx.tracing() {
+                        ctx.trace_emit(trace::Event::FastRtx(trace::FastRtxEv {
+                            proto: trace::Proto8::Sctp,
+                            host: a.host,
+                            peer: ak.peer_host,
+                            tsn: first_marked_tsn,
+                            count: n_marked,
+                        }));
+                        let ps = &ak.paths[first_marked_path as usize];
+                        trace_cwnd(ctx, a.host, ak.peer_host, first_marked_path, ps);
+                    }
                 }
                 do_fast_rtx = true;
             }
@@ -1519,6 +1589,7 @@ fn process_sack(w: &mut World, ctx: &mut Wx, a: AssocId, cum: u64, a_rwnd: u64, 
         }
 
         // Congestion window growth (byte counting — §4.1.1).
+        let peer = ak.peer_host;
         for (p, &acked) in newly_acked.iter().enumerate() {
             if acked == 0 {
                 continue;
@@ -1550,6 +1621,9 @@ fn process_sack(w: &mut World, ctx: &mut Wx, a: AssocId, cum: u64, a_rwnd: u64, 
                     }
                 }
                 ps.cwnd = ps.cwnd.min(cfg.sndbuf * 4);
+                if ctx.tracing() {
+                    trace_cwnd(ctx, a.host, peer, p as u8, &ak.paths[p]);
+                }
             }
         }
         if ak.outstanding_bytes == 0 {

@@ -21,6 +21,20 @@ fn cfg_of(w: &World, s: SockId) -> TcpCfg {
     w.hosts[s.host as usize].tcp.cfg
 }
 
+/// Flight-recorder snapshot of the congestion state. Callers guard with
+/// `ctx.tracing()` so the off path costs one branch.
+fn trace_cwnd(ctx: &Wx, s: SockId, sk: &TcpSock) {
+    ctx.trace_emit(trace::Event::Cwnd(trace::CwndEv {
+        proto: trace::Proto8::Tcp,
+        host: s.host,
+        peer: sk.remote.0.host,
+        path: 0,
+        cwnd: sk.cc.cwnd,
+        ssthresh: sk.cc.ssthresh,
+        flight: sk.flight(),
+    }));
+}
+
 /// Advertised receive window with receiver-side silly-window avoidance:
 /// never advertise a dribble smaller than one MSS.
 fn adv_wnd(sk: &TcpSock, cfg: &TcpCfg) -> u64 {
@@ -156,6 +170,16 @@ fn arm_rto(w: &mut World, ctx: &mut Wx, s: SockId) {
     sk.rto_armed = true;
     let gen = sk.rto_gen;
     let d = sk.rto.current();
+    if ctx.tracing() {
+        ctx.trace_emit(trace::Event::RtoArm(trace::RtoArmEv {
+            proto: trace::Proto8::Tcp,
+            host: s.host,
+            peer: sk.remote.0.host,
+            rto_ns: d.as_nanos(),
+            srtt_ns: sk.rto.srtt().map_or(-1, |x| x.as_nanos() as i64),
+            rttvar_ns: sk.rto.rttvar().as_nanos() as i64,
+        }));
+    }
     ctx.schedule_in(d, move |w: &mut World, ctx: &mut Wx| on_rto(w, ctx, s, gen));
 }
 
@@ -202,9 +226,10 @@ fn on_rto(w: &mut World, ctx: &mut Wx, s: SockId, gen: u64) {
         if std::env::var("TCP_TRACE").is_ok() {
             eprintln!("[{}] RTO: una={} nxt={} cwnd={} recovery={} sacked={:?}", ctx.now(), sk.snd_una, sk.snd_nxt, sk.cc.cwnd, sk.cc.in_recovery, sk.sacked.iter().collect::<Vec<_>>());
         }
+        let marked = sk.flight();
         sk.stats.timeouts += 1;
         sk.rto.backoff();
-        sk.cc.ssthresh = (sk.flight() / 2).max(2 * mss);
+        sk.cc.ssthresh = (marked / 2).max(2 * mss);
         sk.cc.cwnd = mss;
         sk.cc.in_recovery = false;
         sk.cc.dupacks = 0;
@@ -220,6 +245,16 @@ fn on_rto(w: &mut World, ctx: &mut Wx, s: SockId, gen: u64) {
         if sk.fin_sent && sk.snd_una <= sk.snd.end_seq() {
             // The FIN (if any) rides again on the re-sent tail.
             sk.fin_sent = false;
+        }
+        if ctx.tracing() {
+            ctx.trace_emit(trace::Event::RtoFire(trace::RtoFireEv {
+                proto: trace::Proto8::Tcp,
+                host: s.host,
+                peer: sk.remote.0.host,
+                backoff: sk.rto.backoff_shift(),
+                marked: marked.min(u32::MAX as u64) as u32,
+            }));
+            trace_cwnd(ctx, s, sk);
         }
     }
     output(w, ctx, s);
@@ -603,6 +638,9 @@ fn process_ack(w: &mut World, ctx: &mut Wx, s: SockId, seg: &TcpSegment) {
                 // Growth beyond the send buffer is useless; cap it.
                 sk.cc.cwnd = sk.cc.cwnd.min(cfg.sndbuf * 4);
             }
+            if ctx.tracing() {
+                trace_cwnd(ctx, s, sk);
+            }
             // Restart (or stop) the retransmission timer.
             let fin_unacked = sk.fin_sent && sk.snd_una <= sk.snd.end_seq();
             if sk.flight() > 0 || fin_unacked {
@@ -635,6 +673,9 @@ fn process_ack(w: &mut World, ctx: &mut Wx, s: SockId, seg: &TcpSegment) {
                 sk.stats.dup_acks_in += 1;
                 if sk.cc.in_recovery {
                     sk.cc.cwnd += mss; // inflation during recovery
+                    if ctx.tracing() {
+                        trace_cwnd(ctx, s, sk);
+                    }
                 } else {
                     sk.cc.dupacks += 1;
                     if sk.cc.dupacks >= cfg.dupack_thresh {
@@ -645,6 +686,16 @@ fn process_ack(w: &mut World, ctx: &mut Wx, s: SockId, seg: &TcpSegment) {
                         sk.cc.in_recovery = true;
                         sk.cc.cwnd = sk.cc.ssthresh + 3 * mss;
                         sk.stats.fast_retransmits += 1;
+                        if ctx.tracing() {
+                            ctx.trace_emit(trace::Event::FastRtx(trace::FastRtxEv {
+                                proto: trace::Proto8::Tcp,
+                                host: s.host,
+                                peer: sk.remote.0.host,
+                                tsn: sk.snd_una,
+                                count: sk.cc.dupacks,
+                            }));
+                            trace_cwnd(ctx, s, sk);
+                        }
                     }
                 }
             }

@@ -1,0 +1,494 @@
+//! On-wire byte serialization for the flight recorder's pcapng sink.
+//!
+//! The simulator keeps segments and chunks as typed Rust values; this module
+//! renders them into the real RFC encodings — IPv4 (no options), TCP with
+//! MSS/timestamp/SACK options and a correct ones-complement checksum, SCTP
+//! per RFC 4960 with a correct CRC32c — so the captures dissect cleanly in
+//! wireshark/tshark. Only the tracer calls this, and only when tracing is
+//! on; nothing in the simulation reads these bytes back.
+//!
+//! Fidelity notes, where the model is wider than the wire:
+//! - TSNs, tags, sequence numbers are `u64` in the model and truncate to
+//!   `u32` here (runs never get near wraparound).
+//! - The model charges unpadded TCP option sizes; real headers pad to a
+//!   32-bit boundary, so a serialized TCP frame can be up to 2 bytes longer
+//!   than the simulated wire size. The capture records both lengths.
+//! - SACK gap-ack blocks clamp to the RFC's 16-bit offsets.
+
+use crate::crc32c::crc32c;
+use crate::ip::{Packet, Proto, IP_HEADER};
+use crate::sctp::{Chunk, Cookie, SctpPacket};
+use crate::tcp::{Flags, TcpSegment};
+
+/// Trace metadata extracted from a packet: (proto, kind, first payload
+/// unit, payload extent, stream id).
+pub fn pkt_meta(body: &Proto) -> (trace::Proto8, trace::PktKind, u64, u32, i32) {
+    match body {
+        Proto::Tcp(seg) => {
+            let kind = if seg.payload_len > 0 {
+                trace::PktKind::Data
+            } else if seg.flags.contains(Flags::SYN) || seg.flags.contains(Flags::FIN) || seg.flags.contains(Flags::RST) || seg.probe {
+                trace::PktKind::Ctl
+            } else {
+                trace::PktKind::Ack
+            };
+            (trace::Proto8::Tcp, kind, seg.seq, seg.payload_len, -1)
+        }
+        Proto::Sctp(p) => {
+            let mut first_data: Option<(u64, u16)> = None;
+            let mut ndata = 0u32;
+            let mut has_sack = false;
+            for c in &p.chunks {
+                match c {
+                    Chunk::Data(d) => {
+                        if first_data.is_none() {
+                            first_data = Some((d.tsn, d.stream));
+                        }
+                        ndata += 1;
+                    }
+                    Chunk::Sack { .. } => has_sack = true,
+                    _ => {}
+                }
+            }
+            match first_data {
+                Some((tsn, stream)) => (trace::Proto8::Sctp, trace::PktKind::Data, tsn, ndata, stream as i32),
+                None if has_sack => (trace::Proto8::Sctp, trace::PktKind::Sack, 0, 0, -1),
+                None => (trace::Proto8::Sctp, trace::PktKind::Ctl, 0, 0, -1),
+            }
+        }
+    }
+}
+
+/// Serialize a packet to a raw-IPv4 frame and snap it: returns
+/// `(snapped_frame, full_frame_len)`.
+pub fn capture_frame(pkt: &Packet, now_ns: u64, snaplen: usize) -> (Vec<u8>, u32) {
+    let mut frame = encode_packet(pkt, now_ns);
+    let full = frame.len() as u32;
+    frame.truncate(snaplen);
+    (frame, full)
+}
+
+/// The full serialized frame: IPv4 header + TCP segment or SCTP packet.
+pub fn encode_packet(pkt: &Packet, now_ns: u64) -> Vec<u8> {
+    let src_ip = host_ip(pkt.src.host, pkt.src.iface);
+    let dst_ip = host_ip(pkt.dst.host, pkt.dst.iface);
+    let (proto_num, body) = match &pkt.body {
+        Proto::Tcp(seg) => (6u8, encode_tcp(seg, src_ip, dst_ip, now_ns)),
+        Proto::Sctp(p) => (132u8, encode_sctp(p)),
+    };
+    let total_len = IP_HEADER as usize + body.len();
+    let mut out = Vec::with_capacity(total_len);
+    out.push(0x45); // version 4, IHL 5
+    out.push(0); // TOS
+    out.extend_from_slice(&(total_len as u16).to_be_bytes());
+    out.extend_from_slice(&0u16.to_be_bytes()); // identification
+    out.extend_from_slice(&0x4000u16.to_be_bytes()); // DF, fragment offset 0
+    out.push(64); // TTL
+    out.push(proto_num);
+    out.extend_from_slice(&0u16.to_be_bytes()); // checksum placeholder
+    out.extend_from_slice(&src_ip);
+    out.extend_from_slice(&dst_ip);
+    let cks = ones_complement_sum(&out[..IP_HEADER as usize], 0);
+    out[10..12].copy_from_slice(&(!cks).to_be_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Addressing scheme for the capture: interface `i` of host `h` is
+/// `10.i.(h >> 8).(h & 0xff)` — one /16 per simulated network.
+pub fn host_ip(host: u16, iface: u8) -> [u8; 4] {
+    [10, iface, (host >> 8) as u8, (host & 0xff) as u8]
+}
+
+/// Ones-complement sum over `data` (big-endian 16-bit words), folded.
+fn ones_complement_sum(data: &[u8], init: u32) -> u16 {
+    let mut sum = init;
+    let mut chunks = data.chunks_exact(2);
+    for w in &mut chunks {
+        sum += u16::from_be_bytes([w[0], w[1]]) as u32;
+    }
+    if let [b] = chunks.remainder() {
+        sum += (*b as u32) << 8;
+    }
+    while sum > 0xffff {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    sum as u16
+}
+
+fn encode_tcp(seg: &TcpSegment, src_ip: [u8; 4], dst_ip: [u8; 4], now_ns: u64) -> Vec<u8> {
+    // Options, kept 32-bit aligned as a real stack would emit them.
+    let mut opts = Vec::new();
+    if seg.flags.contains(Flags::SYN) {
+        opts.extend_from_slice(&[2, 4]); // MSS
+        opts.extend_from_slice(&1460u16.to_be_bytes());
+    }
+    // Timestamps (always on, as the model's 12-byte charge assumes).
+    opts.extend_from_slice(&[1, 1, 8, 10]);
+    opts.extend_from_slice(&((now_ns / 1_000_000) as u32).to_be_bytes()); // TSval (ms ticks)
+    opts.extend_from_slice(&0u32.to_be_bytes()); // TSecr
+    if !seg.sack.is_empty() {
+        opts.extend_from_slice(&[1, 1, 5, (2 + 8 * seg.sack.len()) as u8]);
+        for &(lo, hi) in &seg.sack {
+            opts.extend_from_slice(&(lo as u32).to_be_bytes());
+            opts.extend_from_slice(&(hi as u32).to_be_bytes());
+        }
+    }
+    while opts.len() % 4 != 0 {
+        opts.push(1); // NOP
+    }
+    let header_len = 20 + opts.len();
+
+    let mut flags = 0u8;
+    if seg.flags.contains(Flags::FIN) {
+        flags |= 0x01;
+    }
+    if seg.flags.contains(Flags::SYN) {
+        flags |= 0x02;
+    }
+    if seg.flags.contains(Flags::RST) {
+        flags |= 0x04;
+    }
+    if seg.payload_len > 0 {
+        flags |= 0x08; // PSH
+    }
+    if seg.flags.contains(Flags::ACK) {
+        flags |= 0x10;
+    }
+
+    let mut out = Vec::with_capacity(header_len + seg.payload_len as usize);
+    out.extend_from_slice(&seg.src_port.to_be_bytes());
+    out.extend_from_slice(&seg.dst_port.to_be_bytes());
+    out.extend_from_slice(&(seg.seq as u32).to_be_bytes());
+    out.extend_from_slice(&(seg.ack as u32).to_be_bytes());
+    out.push(((header_len / 4) as u8) << 4);
+    out.push(flags);
+    out.extend_from_slice(&(seg.wnd.min(u16::MAX as u64) as u16).to_be_bytes());
+    out.extend_from_slice(&0u16.to_be_bytes()); // checksum placeholder
+    out.extend_from_slice(&0u16.to_be_bytes()); // urgent pointer
+    out.extend_from_slice(&opts);
+    for b in &seg.payload {
+        out.extend_from_slice(b);
+    }
+
+    // Pseudo-header checksum: src, dst, zero/proto, TCP length.
+    let mut pseudo = 0u32;
+    pseudo += u16::from_be_bytes([src_ip[0], src_ip[1]]) as u32;
+    pseudo += u16::from_be_bytes([src_ip[2], src_ip[3]]) as u32;
+    pseudo += u16::from_be_bytes([dst_ip[0], dst_ip[1]]) as u32;
+    pseudo += u16::from_be_bytes([dst_ip[2], dst_ip[3]]) as u32;
+    pseudo += 6; // protocol
+    pseudo += out.len() as u32;
+    let cks = ones_complement_sum(&out, pseudo);
+    out[16..18].copy_from_slice(&(!cks).to_be_bytes());
+    out
+}
+
+fn encode_sctp(p: &SctpPacket) -> Vec<u8> {
+    let mut out = Vec::with_capacity(p.wire_len() as usize);
+    out.extend_from_slice(&p.src_port.to_be_bytes());
+    out.extend_from_slice(&p.dst_port.to_be_bytes());
+    out.extend_from_slice(&(p.vtag as u32).to_be_bytes());
+    out.extend_from_slice(&0u32.to_be_bytes()); // CRC32c placeholder
+    for c in &p.chunks {
+        encode_chunk(&mut out, c);
+    }
+    // RFC 4960 Appendix B: compute CRC32c with the checksum field zeroed and
+    // transmit the result least-significant byte first.
+    let crc = crc32c(&out);
+    out[8..12].copy_from_slice(&crc.to_le_bytes());
+    out
+}
+
+fn put_chunk_header(out: &mut Vec<u8>, ty: u8, flags: u8, len: u16) {
+    out.push(ty);
+    out.push(flags);
+    out.extend_from_slice(&len.to_be_bytes());
+}
+
+fn pad4(out: &mut Vec<u8>, start: usize) {
+    while (out.len() - start) % 4 != 0 {
+        out.push(0);
+    }
+}
+
+/// Gap-ack block offsets relative to `cum`, clamped to the RFC's u16.
+fn gap_offsets(cum: u64, lo: u64, hi: u64) -> (u16, u16) {
+    let start = lo.saturating_sub(cum).min(u16::MAX as u64) as u16;
+    let end = (hi - 1).saturating_sub(cum).min(u16::MAX as u64) as u16;
+    (start, end)
+}
+
+fn encode_chunk(out: &mut Vec<u8>, c: &Chunk) {
+    let start = out.len();
+    match c {
+        Chunk::Data(d) => {
+            let mut flags = 0u8;
+            if d.end {
+                flags |= 0x01;
+            }
+            if d.begin {
+                flags |= 0x02;
+            }
+            if d.unordered {
+                flags |= 0x04;
+            }
+            put_chunk_header(out, 0, flags, (16 + d.data.len()) as u16);
+            out.extend_from_slice(&(d.tsn as u32).to_be_bytes());
+            out.extend_from_slice(&d.stream.to_be_bytes());
+            out.extend_from_slice(&(d.ssn as u16).to_be_bytes());
+            out.extend_from_slice(&d.ppid.to_be_bytes());
+            out.extend_from_slice(&d.data);
+        }
+        Chunk::Sack { cum_tsn, a_rwnd, gaps, dup_count: _ } => {
+            put_chunk_header(out, 3, 0, (16 + 4 * gaps.len()) as u16);
+            out.extend_from_slice(&(*cum_tsn as u32).to_be_bytes());
+            out.extend_from_slice(&((*a_rwnd).min(u32::MAX as u64) as u32).to_be_bytes());
+            out.extend_from_slice(&(gaps.len() as u16).to_be_bytes());
+            out.extend_from_slice(&0u16.to_be_bytes()); // dup TSNs carried: none
+            for &(lo, hi) in gaps {
+                let (s, e) = gap_offsets(*cum_tsn, lo, hi);
+                out.extend_from_slice(&s.to_be_bytes());
+                out.extend_from_slice(&e.to_be_bytes());
+            }
+        }
+        Chunk::Init { init_tag, a_rwnd, out_streams, in_streams, init_tsn } => {
+            put_chunk_header(out, 1, 0, 20);
+            put_init_body(out, *init_tag, *a_rwnd, *out_streams, *in_streams, *init_tsn);
+        }
+        Chunk::InitAck { init_tag, a_rwnd, out_streams, in_streams, init_tsn, cookie } => {
+            put_chunk_header(out, 2, 0, 96);
+            put_init_body(out, *init_tag, *a_rwnd, *out_streams, *in_streams, *init_tsn);
+            // State cookie parameter: 4-byte header + 72-byte padded value.
+            out.extend_from_slice(&7u16.to_be_bytes());
+            out.extend_from_slice(&76u16.to_be_bytes());
+            let vstart = out.len();
+            put_cookie(out, cookie);
+            while out.len() - vstart < 72 {
+                out.push(0);
+            }
+        }
+        Chunk::CookieEcho { cookie } => {
+            put_chunk_header(out, 10, 0, 80);
+            let vstart = out.len();
+            put_cookie(out, cookie);
+            while out.len() - vstart < 76 {
+                out.push(0);
+            }
+        }
+        Chunk::CookieAck => put_chunk_header(out, 11, 0, 4),
+        Chunk::Heartbeat { path, nonce } => {
+            put_chunk_header(out, 4, 0, 12);
+            put_hb_info(out, *path, *nonce);
+        }
+        Chunk::HeartbeatAck { path, nonce } => {
+            put_chunk_header(out, 5, 0, 12);
+            put_hb_info(out, *path, *nonce);
+        }
+        Chunk::Shutdown { cum_tsn } => {
+            put_chunk_header(out, 7, 0, 8);
+            out.extend_from_slice(&(*cum_tsn as u32).to_be_bytes());
+        }
+        Chunk::ShutdownAck => put_chunk_header(out, 8, 0, 4),
+        Chunk::ShutdownComplete => put_chunk_header(out, 14, 0, 4),
+        Chunk::Abort => put_chunk_header(out, 6, 0, 4),
+    }
+    pad4(out, start);
+}
+
+fn put_init_body(out: &mut Vec<u8>, init_tag: u64, a_rwnd: u64, out_streams: u16, in_streams: u16, init_tsn: u64) {
+    out.extend_from_slice(&(init_tag as u32).to_be_bytes());
+    out.extend_from_slice(&(a_rwnd.min(u32::MAX as u64) as u32).to_be_bytes());
+    out.extend_from_slice(&out_streams.to_be_bytes());
+    out.extend_from_slice(&in_streams.to_be_bytes());
+    out.extend_from_slice(&(init_tsn as u32).to_be_bytes());
+}
+
+/// Heartbeat info parameter (type 1): the nonce, truncated to 4 bytes —
+/// enough for the dissector; `path` is implicit in the addresses.
+fn put_hb_info(out: &mut Vec<u8>, _path: u8, nonce: u64) {
+    out.extend_from_slice(&1u16.to_be_bytes());
+    out.extend_from_slice(&8u16.to_be_bytes());
+    out.extend_from_slice(&(nonce as u32).to_be_bytes());
+}
+
+/// The cookie's 66-byte field serialization (padded by callers to the
+/// modelled [`crate::sctp::wire::COOKIE_WIRE_LEN`]).
+fn put_cookie(out: &mut Vec<u8>, c: &Cookie) {
+    out.extend_from_slice(&c.peer_host.to_be_bytes());
+    out.extend_from_slice(&c.peer_port.to_be_bytes());
+    out.extend_from_slice(&c.local_port.to_be_bytes());
+    out.extend_from_slice(&c.peer_tag.to_be_bytes());
+    out.extend_from_slice(&c.local_tag.to_be_bytes());
+    out.extend_from_slice(&c.peer_rwnd.to_be_bytes());
+    out.extend_from_slice(&c.peer_init_tsn.to_be_bytes());
+    out.extend_from_slice(&c.my_init_tsn.to_be_bytes());
+    out.extend_from_slice(&c.out_streams.to_be_bytes());
+    out.extend_from_slice(&c.in_streams.to_be_bytes());
+    out.extend_from_slice(&c.created_at.as_nanos().to_be_bytes());
+    out.extend_from_slice(&c.mac.to_be_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use netsim::IfAddr;
+    use crate::sctp::DataChunk;
+
+    fn sctp_packet() -> Packet {
+        Packet {
+            src: IfAddr::new(0, 1),
+            dst: IfAddr::new(3, 1),
+            body: Proto::Sctp(SctpPacket {
+                src_port: 5600,
+                dst_port: 5600,
+                vtag: 0xDEAD_BEEF,
+                chunks: vec![
+                    Chunk::Data(DataChunk {
+                        tsn: 42,
+                        stream: 3,
+                        ssn: 7,
+                        begin: true,
+                        end: false,
+                        unordered: false,
+                        ppid: 9,
+                        data: Bytes::from_static(b"hello world"),
+                    }),
+                    Chunk::Sack { cum_tsn: 41, a_rwnd: 220 * 1024, gaps: vec![(44, 46)], dup_count: 1 },
+                ],
+            }),
+        }
+    }
+
+    #[test]
+    fn sctp_frame_layout_and_lengths() {
+        let pkt = sctp_packet();
+        let frame = encode_packet(&pkt, 5_000_000);
+        // IPv4 header.
+        assert_eq!(frame[0], 0x45);
+        assert_eq!(frame[9], 132, "IP proto = SCTP");
+        assert_eq!(&frame[12..16], &[10, 1, 0, 0], "src 10.1.0.0");
+        assert_eq!(&frame[16..20], &[10, 1, 0, 3], "dst 10.1.0.3");
+        assert_eq!(
+            u16::from_be_bytes([frame[2], frame[3]]) as usize,
+            frame.len(),
+            "IP total length matches"
+        );
+        // SCTP common header at offset 20.
+        assert_eq!(u16::from_be_bytes([frame[20], frame[21]]), 5600);
+        assert_eq!(u32::from_be_bytes([frame[24], frame[25], frame[26], frame[27]]), 0xDEAD_BEEF);
+        // Chunk sizes: DATA 16 + 11 = 27 padded 28; SACK 16 + 4 = 20.
+        let body = &pkt.body;
+        assert_eq!(frame.len() as u32, IP_HEADER + body_wire_len(body));
+        // DATA chunk header at offset 32: type 0, flags B=0x02.
+        assert_eq!(frame[32], 0);
+        assert_eq!(frame[33], 0x02);
+        assert_eq!(u16::from_be_bytes([frame[34], frame[35]]), 27, "unpadded chunk length");
+        // SACK at 32 + 28 = 60: type 3, one gap block [3, 4] rel cum 41.
+        assert_eq!(frame[60], 3);
+        assert_eq!(u32::from_be_bytes([frame[64], frame[65], frame[66], frame[67]]), 41, "cum TSN");
+        assert_eq!(u16::from_be_bytes([frame[72], frame[73]]), 1, "one gap block");
+        assert_eq!(u16::from_be_bytes([frame[76], frame[77]]), 3, "gap start offset");
+        assert_eq!(u16::from_be_bytes([frame[78], frame[79]]), 4, "gap end offset");
+    }
+
+    fn body_wire_len(b: &Proto) -> u32 {
+        match b {
+            Proto::Tcp(s) => s.wire_len(),
+            Proto::Sctp(p) => p.wire_len(),
+        }
+    }
+
+    #[test]
+    fn sctp_crc32c_round_trips() {
+        // The stored checksum must equal crc32c over the SCTP bytes with the
+        // checksum field zeroed — the round-trip the satellite task pins to
+        // `transport/src/crc32c.rs`.
+        let frame = encode_packet(&sctp_packet(), 0);
+        let sctp = &frame[IP_HEADER as usize..];
+        let stored = u32::from_le_bytes([sctp[8], sctp[9], sctp[10], sctp[11]]);
+        let mut zeroed = sctp.to_vec();
+        zeroed[8..12].fill(0);
+        assert_eq!(stored, crc32c(&zeroed));
+        // And it is a real CRC: flipping any byte breaks it.
+        zeroed[0] ^= 0xFF;
+        assert_ne!(stored, crc32c(&zeroed));
+    }
+
+    #[test]
+    fn ip_header_checksum_is_valid() {
+        let frame = encode_packet(&sctp_packet(), 0);
+        // Summing the full header including the stored checksum yields 0xFFFF.
+        assert_eq!(ones_complement_sum(&frame[..20], 0), 0xFFFF);
+    }
+
+    #[test]
+    fn tcp_frame_checksum_and_options() {
+        let seg = TcpSegment {
+            src_port: 5700,
+            dst_port: 5700,
+            flags: Flags::ACK,
+            seq: 1000,
+            ack: 2000,
+            wnd: 220 * 1024, // larger than u16: clamps on the wire
+            sack: vec![(3000, 4460)],
+            probe: false,
+            payload: vec![Bytes::from_static(&[0xAB; 16])],
+            payload_len: 16,
+        };
+        let pkt = Packet { src: IfAddr::new(1, 0), dst: IfAddr::new(2, 0), body: Proto::Tcp(seg) };
+        let frame = encode_packet(&pkt, 12_000_000);
+        assert_eq!(frame[9], 6, "IP proto = TCP");
+        let tcp = &frame[20..];
+        assert_eq!(u32::from_be_bytes([tcp[4], tcp[5], tcp[6], tcp[7]]), 1000);
+        let header_len = (tcp[12] >> 4) as usize * 4;
+        // 20 base + 12 ts + (2 NOP + 10 sack) = 44.
+        assert_eq!(header_len, 44);
+        assert_eq!(tcp[13] & 0x10, 0x10, "ACK set");
+        assert_eq!(u16::from_be_bytes([tcp[14], tcp[15]]), u16::MAX, "window clamped");
+        // Verify the transport checksum over the pseudo-header.
+        let src_ip = [10, 0, 0, 1];
+        let dst_ip = [10, 0, 0, 2];
+        let mut pseudo = 0u32;
+        pseudo += u16::from_be_bytes([src_ip[0], src_ip[1]]) as u32;
+        pseudo += u16::from_be_bytes([src_ip[2], src_ip[3]]) as u32;
+        pseudo += u16::from_be_bytes([dst_ip[0], dst_ip[1]]) as u32;
+        pseudo += u16::from_be_bytes([dst_ip[2], dst_ip[3]]) as u32;
+        pseudo += 6 + tcp.len() as u32;
+        assert_eq!(ones_complement_sum(tcp, pseudo), 0xFFFF, "checksum validates");
+    }
+
+    #[test]
+    fn meta_classifies_packets() {
+        let (proto, kind, tsn, ntsn, stream) = pkt_meta(&sctp_packet().body);
+        assert_eq!(proto, trace::Proto8::Sctp);
+        assert_eq!(kind, trace::PktKind::Data);
+        assert_eq!((tsn, ntsn, stream), (42, 1, 3));
+
+        let ack = Proto::Tcp(TcpSegment {
+            src_port: 1,
+            dst_port: 1,
+            flags: Flags::ACK,
+            seq: 0,
+            ack: 10,
+            wnd: 1000,
+            sack: vec![],
+            probe: false,
+            payload: vec![],
+            payload_len: 0,
+        });
+        let (proto, kind, ..) = pkt_meta(&ack);
+        assert_eq!(proto, trace::Proto8::Tcp);
+        assert_eq!(kind, trace::PktKind::Ack);
+    }
+
+    #[test]
+    fn capture_snaps_but_reports_full_length() {
+        let pkt = sctp_packet();
+        let full = encode_packet(&pkt, 0).len() as u32;
+        let (frame, orig) = capture_frame(&pkt, 0, 40);
+        assert_eq!(frame.len(), 40);
+        assert_eq!(orig, full);
+    }
+}
