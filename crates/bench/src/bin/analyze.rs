@@ -18,7 +18,7 @@ use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 use bench_harness::render_table;
-use trace::analyze::{self, bucket_labels, cwnd_curves, hol_rows, recovery, stall};
+use trace::analyze::{self, bucket_labels, cwnd_curves, fault_windows, hol_rows, recovery, stall};
 use trace::jsonl::parse_lines;
 
 fn ms(ns: u64) -> String {
@@ -140,11 +140,42 @@ fn print_cwnd(cap: &Capture) {
     );
 }
 
+/// Fault windows (from the fault plane's trace edges) correlated with the
+/// drops and timer expiries that landed inside them.
+fn print_faults(cap: &Capture) {
+    let ws = fault_windows(&cap.events);
+    if ws.is_empty() {
+        return;
+    }
+    let table: Vec<Vec<String>> = ws
+        .iter()
+        .map(|w| {
+            vec![
+                w.kind.clone(),
+                w.rule.to_string(),
+                ms(w.from_ns),
+                ms(w.until_ns),
+                ms(w.until_ns - w.from_ns),
+                w.drops.to_string(),
+                w.rto_fires.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &format!("Fault windows: {}", cap.name),
+            &["fault", "rule", "from ms", "until ms", "span ms", "drops", "rto fires"],
+            &table,
+        )
+    );
+}
+
 /// The cross-capture roll-up: one row per cell, stall time by cause.
 fn stall_summary(caps: &[Capture], markdown: bool) -> String {
     let header = [
         "cell", "makespan ms", "pkts", "drops", "hol blk", "hol ms", "fast rtx", "fast ms",
-        "rto fires", "rto ms", "unexp msgs",
+        "rto fires", "rto ms", "unexp msgs", "faults",
     ];
     let rows: Vec<Vec<String>> = caps
         .iter()
@@ -162,6 +193,7 @@ fn stall_summary(caps: &[Capture], markdown: bool) -> String {
                 st.rto_fires.to_string(),
                 ms(st.rto_recovery_ns),
                 st.mpi_unexpected.to_string(),
+                st.fault_edges.to_string(),
             ]
         })
         .collect();
@@ -213,6 +245,7 @@ fn main() -> ExitCode {
         }
         print_recovery(cap);
         print_cwnd(cap);
+        print_faults(cap);
     }
     print!("{}", stall_summary(&caps, markdown));
     println!(

@@ -1,0 +1,40 @@
+//! **E-faults** — Figure 10 rerun under *bursty* loss: a Gilbert–Elliott
+//! chain matched to the Bernoulli figure's 1 % / 2 % average rates
+//! (bad-state loss 25 %, mean burst 8 packets) replaces the uniform pipe.
+//! Compare against `results/fig10.json` at the same average rate to see
+//! what loss *correlation* alone does to each transport.
+//!
+//! Usage: `fig10_burst [--quick]`
+
+use bench_harness::{farm_burst_figure_metered, human_size, render_table, save_json, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let (rows, bench) = farm_burst_figure_metered(scale, 1);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                human_size(r.task_bytes),
+                format!("{:.0}%", r.avg_loss * 100.0),
+                format!("{:.1}", r.sctp_secs),
+                format!("{:.1}", r.tcp_secs),
+                format!("{:.1}", r.tcp_era_secs),
+                format!("{:.2}x", r.ratio_tcp_over_sctp),
+                format!("{:.2}x", r.ratio_era),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Fig 10 under bursty loss (GE, matched avg rate; total run time, s)",
+            &["task", "avg", "SCTP s", "TCP s", "TCPera s", "TCP/SCTP", "era/SCTP"],
+            &table,
+        )
+    );
+    println!("compare: results/fig10.json rows at loss 1%/2% (independent losses)");
+    save_json(&scale.tag("fig10_burst"), &rows);
+    bench.save();
+    eprintln!("{}", bench.summary());
+}

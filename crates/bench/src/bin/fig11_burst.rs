@@ -1,0 +1,39 @@
+//! **E-faults** — Figure 11 (fanout 10) rerun under *bursty* loss, matched
+//! to the Bernoulli figure's average rates. See `fig10_burst` for the
+//! chain parameters; fanout 10 gives the farm more concurrency to hide the
+//! deeper, rarer stalls bursty loss produces.
+//!
+//! Usage: `fig11_burst [--quick]`
+
+use bench_harness::{farm_burst_figure_metered, human_size, render_table, save_json, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let (rows, bench) = farm_burst_figure_metered(scale, 10);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                human_size(r.task_bytes),
+                format!("{:.0}%", r.avg_loss * 100.0),
+                format!("{:.1}", r.sctp_secs),
+                format!("{:.1}", r.tcp_secs),
+                format!("{:.1}", r.tcp_era_secs),
+                format!("{:.2}x", r.ratio_tcp_over_sctp),
+                format!("{:.2}x", r.ratio_era),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Fig 11 under bursty loss (GE, matched avg rate; total run time, s)",
+            &["task", "avg", "SCTP s", "TCP s", "TCPera s", "TCP/SCTP", "era/SCTP"],
+            &table,
+        )
+    );
+    println!("compare: results/fig11.json rows at loss 1%/2% (independent losses)");
+    save_json(&scale.tag("fig11_burst"), &rows);
+    bench.save();
+    eprintln!("{}", bench.summary());
+}

@@ -1,0 +1,45 @@
+//! **E-faults** — the failover timeline: a scripted link flap takes every
+//! host's primary interface down from 50 ms to 10 s into the run. Multihomed
+//! SCTP (3 paths) detects the dead path after `path_max_retrans` consecutive
+//! T3 expiries and keeps the farm moving on an alternate; singlehomed SCTP
+//! and TCP stall until the link returns. The trailing rows sweep
+//! heartbeat-interval × path-max-retrans to show the detection-latency
+//! trade-off.
+//!
+//! The same plan + seed is byte-identical across runs; `TRACE=1` captures
+//! the flap edges (`ev=fault`) alongside every packet for `analyze`.
+//!
+//! Usage: `flap [--quick]`
+
+use bench_harness::{flap_timeline_metered, render_table, save_json, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let (rows, bench) = flap_timeline_metered(scale);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.config.clone(),
+                r.flap.to_string(),
+                format!("{}", r.hb_ms),
+                format!("{}", r.pmr),
+                format!("{:.2}", r.secs),
+                r.failovers.to_string(),
+                if r.failovers == 0 { "-".into() } else { format!("{:.0}", r.detect_ms) },
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "E-faults: failover timeline (primary-path flap 0.05 s .. 10 s)",
+            &["config", "flap", "hb_ms", "pmr", "secs", "failovers", "detect_ms"],
+            &table,
+        )
+    );
+    println!("expected: 3-path fails over and finishes; 1-path and tcp stall past the flap end");
+    save_json(&scale.tag("flap"), &rows);
+    bench.save();
+    eprintln!("{}", bench.summary());
+}

@@ -42,6 +42,11 @@ pub enum Json {
     Str(String),
     Arr(Vec<Json>),
     Obj(Vec<(&'static str, Json)>),
+    /// Pre-rendered JSON embedded verbatim (no re-indentation). Used to
+    /// splice a [`netsim::FaultPlan`]'s own serialization into a report so
+    /// the plan text in `results/BENCH_*.json` is byte-for-byte what
+    /// `FaultPlan::from_json` replays.
+    Raw(String),
 }
 
 impl Json {
@@ -72,6 +77,7 @@ impl Json {
             }
             Json::Int(i) => out.push_str(&i.to_string()),
             Json::UInt(u) => out.push_str(&u.to_string()),
+            Json::Raw(s) => out.push_str(s),
             Json::Str(s) => {
                 out.push('"');
                 for c in s.chars() {

@@ -438,6 +438,259 @@ pub fn fig12(scale: Scale) -> Vec<Fig12Row> {
 }
 
 // ---------------------------------------------------------------------------
+// E-faults — the farm under *bursty* loss (Gilbert–Elliott), matched to the
+// Bernoulli figures' average rates, and the scripted link-flap timeline
+// ---------------------------------------------------------------------------
+
+/// One row of the bursty-loss farm figures (fig10burst / fig11burst): same
+/// shape as [`FarmRow`] but the loss column is the Gilbert–Elliott chain's
+/// long-run average, not a Bernoulli probability.
+#[derive(Debug, Clone)]
+pub struct FarmBurstRow {
+    pub task_bytes: usize,
+    pub fanout: u32,
+    /// Long-run average loss rate of the chain (matched to the Bernoulli
+    /// figures' 1 % / 2 % columns).
+    pub avg_loss: f64,
+    pub sctp_secs: f64,
+    pub tcp_secs: f64,
+    pub tcp_era_secs: f64,
+    pub ratio_tcp_over_sctp: f64,
+    pub ratio_era: f64,
+}
+
+impl_to_json!(FarmBurstRow {
+    task_bytes,
+    fanout,
+    avg_loss,
+    sctp_secs,
+    tcp_secs,
+    tcp_era_secs,
+    ratio_tcp_over_sctp,
+    ratio_era,
+});
+
+/// Mean loss-burst length used by the bursty-loss figures (packets). With
+/// `loss_bad` = 0.25 a visit to the bad state clips a few packets out of a
+/// train rather than sprinkling independent singles.
+pub const BURST_MEAN_PKTS: f64 = 8.0;
+
+/// Conditional loss rate inside the bad state for the bursty-loss figures.
+pub const BURST_LOSS_BAD: f64 = 0.25;
+
+/// The Gilbert–Elliott plan whose long-run average matches `avg_loss`.
+pub fn burst_plan(avg_loss: f64) -> netsim::FaultPlan {
+    netsim::FaultPlan {
+        burst_loss: vec![netsim::BurstLossRule::matched(
+            netsim::Scope::ALL,
+            avg_loss,
+            BURST_LOSS_BAD,
+            BURST_MEAN_PKTS,
+        )],
+        ..Default::default()
+    }
+}
+
+/// Figures 10/11 rerun under bursty loss at matched average rates: the
+/// Bernoulli pipe is off (`loss = 0`) and a Gilbert–Elliott chain supplies
+/// all the damage. Burstiness concentrates loss into fewer, deeper stalls —
+/// how SCTP's SACK recovery and TCP's RTO chains each cope is the point.
+pub fn farm_burst_figure_metered(scale: Scale, fanout: u32) -> (Vec<FarmBurstRow>, BenchReport) {
+    let runs = match scale {
+        Scale::Paper => 3,
+        Scale::Quick => 1,
+    };
+    let fig = if fanout == 1 { "fig10burst" } else { "fig11burst" };
+    let rates = [0.01, 0.02];
+    let mut cells = Vec::new();
+    let mut keys = Vec::new();
+    for &task_bytes in &[30 * 1024, 300 * 1024] {
+        for &avg in &rates {
+            keys.push((task_bytes, avg));
+            let cfg = farm_cfg(scale, task_bytes, fanout);
+            for (rpi, mk) in transports3() {
+                for s in 0..runs {
+                    let seed = SEED_BASE + s;
+                    let mut m = mk(8, 0.0).with_seed(seed);
+                    m.fault_plan = burst_plan(avg);
+                    cells.push(farm_cell(
+                        format!("task={task_bytes} ge_avg={avg} rpi={rpi} seed={seed:#x}"),
+                        m,
+                        cfg,
+                    ));
+                }
+            }
+        }
+    }
+    // Both rate variants ride in the report as a JSON array, in `rates`
+    // order — each element replays through `FaultPlan::from_json`.
+    let plans = rates.map(|r| burst_plan(r).to_json()).join(",");
+    let (vals, report) = runner::run_cells_with_plan(fig, scale, cells, Some(format!("[{plans}]")));
+    let rows = keys
+        .iter()
+        .zip(vals.chunks_exact(3 * runs as usize))
+        .map(|(&(task_bytes, avg_loss), chunk)| {
+            let (sctp, rest) = chunk.split_at(runs as usize);
+            let (tcp, era) = rest.split_at(runs as usize);
+            let (sctp, tcp, tcp_era) = (mean(sctp), mean(tcp), mean(era));
+            FarmBurstRow {
+                task_bytes,
+                fanout,
+                avg_loss,
+                sctp_secs: sctp,
+                tcp_secs: tcp,
+                tcp_era_secs: tcp_era,
+                ratio_tcp_over_sctp: tcp / sctp,
+                ratio_era: tcp_era / sctp,
+            }
+        })
+        .collect();
+    (rows, report)
+}
+
+/// One cell of the failover timeline.
+#[derive(Debug, Clone)]
+pub struct FlapRow {
+    /// Transport / path configuration ("sctp-1path", "sctp-3path", "tcp").
+    pub config: String,
+    /// Did this cell run under the flap plan?
+    pub flap: bool,
+    /// Heartbeat interval, ms.
+    pub hb_ms: u64,
+    /// `path_max_retrans` for the run.
+    pub pmr: u32,
+    pub secs: f64,
+    pub failovers: u64,
+    /// First failover minus flap start, ms (0 when no failover happened) —
+    /// the fault-detection latency.
+    pub detect_ms: f64,
+}
+
+impl_to_json!(FlapRow { config, flap, hb_ms, pmr, secs, failovers, detect_ms });
+
+/// Flap window start: late enough that connection setup is done.
+pub const FLAP_FROM_NS: u64 = 50_000_000; // 50 ms
+/// Flap window end: the primary network is down for just under 10 s.
+pub const FLAP_UNTIL_NS: u64 = 10_000_000_000;
+
+/// The failover-timeline plan: every host's interface 0 (the primary path)
+/// goes down for the window.
+pub fn flap_plan() -> netsim::FaultPlan {
+    netsim::FaultPlan {
+        flaps: vec![netsim::FlapRule {
+            scope: netsim::Scope::on_iface(0),
+            from_ns: FLAP_FROM_NS,
+            until_ns: FLAP_UNTIL_NS,
+        }],
+        ..Default::default()
+    }
+}
+
+/// The failover timeline (§3.5.1 under a *scripted* flap): the primary
+/// network drops out for ~10 s mid-job. Multihomed SCTP detects the dead
+/// path (`path_max_retrans` consecutive T3 expiries) and switches to an
+/// alternate; singlehomed SCTP and TCP stall until the link returns. A
+/// heartbeat-interval × path-max-retrans sweep shows the detection-latency
+/// trade-off. Asserts the acceptance shape: the 3-path cell fails over at
+/// least once and beats the 1-path cell, which cannot finish before the
+/// flap ends.
+pub fn flap_timeline_metered(scale: Scale) -> (Vec<FlapRow>, BenchReport) {
+    use std::sync::Mutex;
+    use workloads::farm::FaultFarmResult;
+
+    let base_hb_ms: u64 = 500;
+    let base_pmr: u32 = 2;
+    let farm = farm_cfg(scale, 30 * 1024, 10);
+    let mk_sctp = |paths: u8, hb_ms: u64, pmr: u32, flap: bool| {
+        let mut m = MpiCfg::sctp(8, 0.0).with_seed(SEED_BASE);
+        m.sctp.num_paths = paths;
+        m.sctp.heartbeat_interval = Some(simcore::Dur::from_millis(hb_ms));
+        m.sctp.path_max_retrans = pmr;
+        if flap {
+            m.fault_plan = flap_plan();
+        }
+        m
+    };
+    // (config, hb, pmr, flap, MpiCfg) — base cells first, then the sweep.
+    let mut specs: Vec<(String, u64, u32, bool, MpiCfg)> = Vec::new();
+    for flap in [false, true] {
+        specs.push(("sctp-1path".into(), base_hb_ms, base_pmr, flap, mk_sctp(1, base_hb_ms, base_pmr, flap)));
+        specs.push(("sctp-3path".into(), base_hb_ms, base_pmr, flap, mk_sctp(3, base_hb_ms, base_pmr, flap)));
+        let mut tcp = MpiCfg::tcp(8, 0.0).with_seed(SEED_BASE);
+        if flap {
+            tcp.fault_plan = flap_plan();
+        }
+        specs.push(("tcp".into(), base_hb_ms, base_pmr, flap, tcp));
+    }
+    for &hb_ms in &[250u64, 1000] {
+        specs.push(("sctp-3path".into(), hb_ms, base_pmr, true, mk_sctp(3, hb_ms, base_pmr, true)));
+    }
+    for &pmr in &[1u32, 4] {
+        specs.push(("sctp-3path".into(), base_hb_ms, pmr, true, mk_sctp(3, base_hb_ms, pmr, true)));
+    }
+
+    // The runner's Measured can't carry the failover metrics, so each cell
+    // also parks its full FaultFarmResult in a slot by index.
+    let slots: Vec<Mutex<Option<FaultFarmResult>>> = specs.iter().map(|_| Mutex::new(None)).collect();
+    let cells: Vec<Cell<'_>> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, (config, hb_ms, pmr, flap, m))| {
+            let (m, farm) = (m.clone(), farm);
+            let slot = &slots[i];
+            Cell::new(format!("config={config} hb={hb_ms}ms pmr={pmr} flap={flap}"), move || {
+                let r = farm::run_with_plan(m.clone(), farm);
+                assert_eq!(r.tasks_done, farm.num_tasks, "tasks lost in the flap");
+                *slot.lock().unwrap() = Some(r);
+                Measured::new(r.secs, r.secs, r.events)
+            })
+        })
+        .collect();
+    let (_, report) =
+        runner::run_cells_with_plan("flap", scale, cells, Some(flap_plan().to_json()));
+    let rows: Vec<FlapRow> = specs
+        .iter()
+        .zip(&slots)
+        .map(|((config, hb_ms, pmr, flap, _), slot)| {
+            let r = slot.lock().unwrap().expect("cell not run");
+            let detect_ms = if r.first_failover_ns == 0 {
+                0.0
+            } else {
+                (r.first_failover_ns.saturating_sub(FLAP_FROM_NS)) as f64 / 1e6
+            };
+            FlapRow {
+                config: config.clone(),
+                flap: *flap,
+                hb_ms: *hb_ms,
+                pmr: *pmr,
+                secs: r.secs,
+                failovers: r.failovers,
+                detect_ms,
+            }
+        })
+        .collect();
+
+    // Acceptance shape of the base cells.
+    let find = |config: &str, flap: bool| {
+        rows.iter()
+            .find(|r| r.config == config && r.flap == flap && r.hb_ms == base_hb_ms && r.pmr == base_pmr)
+            .expect("base cell present")
+    };
+    let one = find("sctp-1path", true);
+    let three = find("sctp-3path", true);
+    assert!(three.failovers >= 1, "3-path run must fail over: {three:?}");
+    assert!(
+        three.secs < one.secs,
+        "failover must beat stalling through the flap: {three:?} vs {one:?}"
+    );
+    assert!(
+        one.secs >= FLAP_UNTIL_NS as f64 / 1e9,
+        "a singlehomed run cannot finish while its only path is down: {one:?}"
+    );
+    (rows, report)
+}
+
+// ---------------------------------------------------------------------------
 // A2 — Option A vs Option B (long-message race fixes, §3.4)
 // ---------------------------------------------------------------------------
 

@@ -157,20 +157,29 @@ pub struct BenchReport {
     pub threads: usize,
     pub wall_secs_total: f64,
     pub events_total: u64,
+    /// The fault plan every cell ran under, as [`netsim::FaultPlan::to_json`]
+    /// text — present only for fault experiments. Replaying the report is
+    /// `FaultPlan::from_json` on this string plus the cell label's seed.
+    /// Adding this field is schema-compatible (see `SCHEMA_VERSION`).
+    pub fault_plan: Option<String>,
     pub cells: Vec<CellMeter>,
 }
 
 impl ToJson for BenchReport {
     fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("schema_version", crate::json::SCHEMA_VERSION.to_json()),
             ("fig", self.fig.to_json()),
             ("scale", self.scale.to_json()),
             ("threads", self.threads.to_json()),
             ("wall_secs_total", self.wall_secs_total.to_json()),
             ("events_total", self.events_total.to_json()),
-            ("cells", self.cells.to_json()),
-        ])
+        ];
+        if let Some(plan) = &self.fault_plan {
+            fields.push(("fault_plan", Json::Raw(plan.clone())));
+        }
+        fields.push(("cells", self.cells.to_json()));
+        Json::Obj(fields)
     }
 }
 
@@ -180,7 +189,7 @@ impl BenchReport {
         self.save_to(std::path::Path::new("results"));
     }
 
-    /// [`save`] with an explicit directory (testable). A pre-existing file
+    /// [`BenchReport::save`] with an explicit directory (testable). A pre-existing file
     /// with a different `schema_version` is retired to `.bak` first, so a
     /// reader diffing result files across PRs never silently compares
     /// fields whose meaning changed between schemas.
@@ -259,6 +268,18 @@ fn assert_disciplines_agree(label: &str, reference: &Measured, fast: &Measured) 
 /// Runs all cells on the worker pool; returns per-cell measurements in
 /// cell order plus the metering roll-up.
 pub fn run_cells(fig: &str, scale: Scale, cells: Vec<Cell<'_>>) -> (Vec<Measured>, BenchReport) {
+    run_cells_with_plan(fig, scale, cells, None)
+}
+
+/// [`run_cells`] for fault experiments: `plan_json` (the serialized
+/// [`netsim::FaultPlan`] every cell ran under) is stamped into the report so
+/// `results/BENCH_<fig>.json` carries everything needed to replay the run.
+pub fn run_cells_with_plan(
+    fig: &str,
+    scale: Scale,
+    cells: Vec<Cell<'_>>,
+    plan_json: Option<String>,
+) -> (Vec<Measured>, BenchReport) {
     let n = cells.len();
     let threads = pool_threads().min(n.max(1));
     let check = sim_check();
@@ -335,6 +356,7 @@ pub fn run_cells(fig: &str, scale: Scale, cells: Vec<Cell<'_>>) -> (Vec<Measured
         threads,
         wall_secs_total: wall_total,
         events_total: meters.iter().map(|m| m.events_fired).sum(),
+        fault_plan: plan_json,
         cells: meters,
     };
     (values, report)
@@ -388,6 +410,7 @@ mod tests {
             threads: 2,
             wall_secs_total: 0.5,
             events_total: 10,
+            fault_plan: None,
             cells: vec![CellMeter {
                 label: "a".into(),
                 wall_secs: 0.25,
@@ -428,6 +451,33 @@ mod tests {
     }
 
     #[test]
+    fn fault_plan_embeds_verbatim_and_replays() {
+        let plan = netsim::FaultPlan {
+            flaps: vec![netsim::FlapRule {
+                scope: netsim::Scope::on_iface(0),
+                from_ns: 50_000_000,
+                until_ns: 10_000_000_000,
+            }],
+            ..Default::default()
+        };
+        let text = plan.to_json();
+        let report = BenchReport {
+            fig: "flap_quick".into(),
+            scale: "quick",
+            threads: 1,
+            wall_secs_total: 0.1,
+            events_total: 1,
+            fault_plan: Some(text.clone()),
+            cells: vec![],
+        };
+        let s = report.to_json().render();
+        // Embedded verbatim — what the file carries is exactly what
+        // `FaultPlan::from_json` replays.
+        assert!(s.contains(&format!("\"fault_plan\": {text}")), "not verbatim: {s}");
+        assert_eq!(netsim::FaultPlan::from_json(&text).unwrap(), plan);
+    }
+
+    #[test]
     fn save_retires_old_schema_files_to_bak() {
         let dir = std::env::temp_dir()
             .join(format!("bench-schema-test-{}-{:?}", std::process::id(), std::thread::current().id()));
@@ -438,6 +488,7 @@ mod tests {
             threads: 1,
             wall_secs_total: 0.1,
             events_total: 1,
+            fault_plan: None,
             cells: vec![],
         };
         let path = dir.join("BENCH_figtest.json");

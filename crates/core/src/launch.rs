@@ -32,6 +32,11 @@ pub struct MpiCfg {
     /// tracing in-process without env races. File sinks (traces/*.pcapng,
     /// traces/*.jsonl) are written only under `TRACE=1`.
     pub trace: bool,
+    /// Scripted faults (bursty loss, link flaps, jitter, degradation)
+    /// installed on the network before the run starts. The default empty
+    /// plan is exactly equivalent to no fault plane at all — bit-identical
+    /// figure output, zero extra RNG draws.
+    pub fault_plan: netsim::FaultPlan,
 }
 
 impl MpiCfg {
@@ -48,6 +53,7 @@ impl MpiCfg {
             short_limit: 64 * 1024,
             long_piece: 64 * 1024,
             trace: false,
+            fault_plan: netsim::FaultPlan::default(),
         }
     }
 
@@ -191,6 +197,7 @@ where
         sctp_cfg.out_streams = sctp_cfg.out_streams.max(streams);
     }
     let mut world = World::new(cfg.net, cfg.tcp, sctp_cfg);
+    world.net.set_fault_plan(cfg.fault_plan.clone());
     let tracer = make_tracer(&cfg);
     if let Some(t) = &tracer {
         t.set_topology(world.net.hosts(), world.net.ifaces());
@@ -275,6 +282,11 @@ fn fold_sctp(mut a: AssocStats, s: AssocStats) -> AssocStats {
     a.sacks_in += s.sacks_in;
     a.msgs_delivered += s.msgs_delivered;
     a.failovers += s.failovers;
+    if s.first_failover_ns != 0
+        && (a.first_failover_ns == 0 || s.first_failover_ns < a.first_failover_ns)
+    {
+        a.first_failover_ns = s.first_failover_ns;
+    }
     a
 }
 
@@ -292,6 +304,7 @@ where
         sctp_cfg.out_streams = sctp_cfg.out_streams.max(streams);
     }
     let mut world = World::new(cfg.net, cfg.tcp, sctp_cfg);
+    world.net.set_fault_plan(cfg.fault_plan.clone());
     let tracer = make_tracer(&cfg);
     if let Some(t) = &tracer {
         t.set_topology(world.net.hosts(), world.net.ifaces());
@@ -333,36 +346,10 @@ where
     let out = rt.run();
     flush_trace(&tracer, out.sim_time, cfg.seed);
     let w = &out.world;
-    let mut tcp_total = SockStats::default();
-    for h in &w.hosts {
-        let s = h.tcp.total_stats();
-        tcp_total.segs_out += s.segs_out;
-        tcp_total.segs_in += s.segs_in;
-        tcp_total.bytes_out += s.bytes_out;
-        tcp_total.bytes_in += s.bytes_in;
-        tcp_total.retransmits += s.retransmits;
-        tcp_total.fast_retransmits += s.fast_retransmits;
-        tcp_total.timeouts += s.timeouts;
-        tcp_total.dup_acks_in += s.dup_acks_in;
-    }
-    let mut sctp_total = AssocStats::default();
-    for h in &w.hosts {
-        let s = h.sctp.total_stats();
-        sctp_total.packets_out += s.packets_out;
-        sctp_total.packets_in += s.packets_in;
-        sctp_total.data_chunks_out += s.data_chunks_out;
-        sctp_total.data_chunks_in += s.data_chunks_in;
-        sctp_total.bytes_out += s.bytes_out;
-        sctp_total.bytes_in += s.bytes_in;
-        sctp_total.retransmits += s.retransmits;
-        sctp_total.fast_retransmits += s.fast_retransmits;
-        sctp_total.timeouts += s.timeouts;
-        sctp_total.dup_tsns_in += s.dup_tsns_in;
-        sctp_total.sacks_out += s.sacks_out;
-        sctp_total.sacks_in += s.sacks_in;
-        sctp_total.msgs_delivered += s.msgs_delivered;
-        sctp_total.failovers += s.failovers;
-    }
+    let tcp_total =
+        w.hosts.iter().map(|h| h.tcp.total_stats()).fold(SockStats::default(), fold_tcp);
+    let sctp_total =
+        w.hosts.iter().map(|h| h.sctp.total_stats()).fold(AssocStats::default(), fold_sctp);
     MpiReport {
         sim_time: out.sim_time,
         events: out.events,

@@ -15,15 +15,19 @@ pub struct HostId(pub u16);
 /// IP address bound to one NIC.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct IfAddr {
+    /// Host index within the cluster.
     pub host: u16,
+    /// Interface index on that host (= network index).
     pub iface: u8,
 }
 
 impl IfAddr {
+    /// Address of interface `iface` on host `host`.
     pub const fn new(host: u16, iface: u8) -> Self {
         IfAddr { host, iface }
     }
 
+    /// The host this interface belongs to.
     pub const fn host_id(self) -> HostId {
         HostId(self.host)
     }

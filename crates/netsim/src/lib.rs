@@ -8,11 +8,20 @@
 //! function from (time, packet) to a delivery instant or a drop verdict; the
 //! transport layer above turns delivery instants into scheduler events. That
 //! keeps the network unit-testable without a running simulation.
+//!
+//! Beyond the uniform Bernoulli pipe, the [`fault`] module scripts
+//! deterministic failure scenarios — bursty Gilbert–Elliott loss, scheduled
+//! link flaps, bounded-reordering delay jitter, and bandwidth-degradation
+//! windows — installed per-[`Net`] via [`Net::set_fault_plan`].
+
+#![warn(missing_docs)]
 
 pub mod addr;
+pub mod fault;
 pub mod link;
 pub mod net;
 
 pub use addr::{HostId, IfAddr};
+pub use fault::{BurstLossRule, DegradeRule, FaultPlan, FlapRule, JitterRule, Scope};
 pub use link::{DropReason, LinkCfg, LinkStats};
 pub use net::{Net, NetCfg, NetStats, Verdict};

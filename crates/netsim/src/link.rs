@@ -69,22 +69,30 @@ impl From<LinkDrop> for DropReason {
 /// single point where a link refuses a packet.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct LinkStats {
+    /// Packets accepted onto the link.
     pub packets: u64,
+    /// Bytes accepted onto the link.
     pub bytes: u64,
+    /// Packets tail-dropped at a full queue.
     pub drops_queue: u64,
+    /// Packets refused while the link was down.
     pub drops_down: u64,
 }
 
 /// Mutable link state.
 #[derive(Debug, Clone)]
 pub struct Link {
+    /// Static parameters (rate, delay, queue capacity).
     pub cfg: LinkCfg,
+    /// Administrative status; a down link refuses every packet.
     pub up: bool,
     busy_until: SimTime,
+    /// Accept/drop counters.
     pub stats: LinkStats,
 }
 
 impl Link {
+    /// A fresh, idle, up link.
     pub fn new(cfg: LinkCfg) -> Self {
         Link { cfg, up: true, busy_until: SimTime::ZERO, stats: LinkStats::default() }
     }
@@ -106,16 +114,32 @@ impl Link {
     /// Offer a packet of `wire_bytes` to the link at `now`. On success,
     /// returns the instant the last bit arrives at the far end.
     pub fn transmit(&mut self, now: SimTime, wire_bytes: u32) -> Result<SimTime, LinkDrop> {
+        self.transmit_at_rate(now, wire_bytes, self.cfg.bandwidth_bps)
+    }
+
+    /// Like [`Link::transmit`] but serializing at `bandwidth_bps` instead
+    /// of the configured line rate — the fault plane's bandwidth-degradation
+    /// windows slow a link down without mutating its configuration. The
+    /// implied queue occupancy is measured at the same effective rate, so a
+    /// degraded link also tail-drops sooner.
+    pub fn transmit_at_rate(
+        &mut self,
+        now: SimTime,
+        wire_bytes: u32,
+        bandwidth_bps: u64,
+    ) -> Result<SimTime, LinkDrop> {
         if !self.up {
             self.stats.drops_down += 1;
             return Err(LinkDrop::LinkDown);
         }
-        if self.backlog_bytes(now) + wire_bytes as u64 > self.cfg.queue_cap_bytes {
+        let backlog = self.busy_until.since(now);
+        let backlog_bytes = (backlog.as_nanos() as u128 * bandwidth_bps as u128 / 8_000_000_000) as u64;
+        if backlog_bytes + wire_bytes as u64 > self.cfg.queue_cap_bytes {
             self.stats.drops_queue += 1;
             return Err(LinkDrop::QueueFull);
         }
         let start = self.busy_until.max(now);
-        let depart = start + transmission_time(wire_bytes as u64, self.cfg.bandwidth_bps);
+        let depart = start + transmission_time(wire_bytes as u64, bandwidth_bps);
         self.busy_until = depart;
         self.stats.packets += 1;
         self.stats.bytes += wire_bytes as u64;

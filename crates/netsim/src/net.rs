@@ -19,13 +19,17 @@ use rand::Rng;
 use simcore::{Dur, SimTime};
 
 use crate::addr::IfAddr;
+use crate::fault::{FaultPlan, FaultState};
 use crate::link::{DropReason, Link, LinkCfg, LinkDrop, LinkStats};
 
 /// Network-wide configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct NetCfg {
+    /// Number of hosts in the cluster.
     pub hosts: u16,
+    /// Interfaces per host = number of independent networks.
     pub ifaces_per_host: u8,
+    /// Parameters shared by every link.
     pub link: LinkCfg,
     /// Store-and-forward latency of the switch.
     pub switch_latency: Dur,
@@ -59,34 +63,51 @@ impl NetCfg {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Verdict {
     /// The last bit arrives at the destination interface at this instant.
-    Deliver { at: SimTime },
+    Deliver {
+        /// Arrival instant of the last bit.
+        at: SimTime,
+    },
+    /// The packet will never arrive, for this reason.
     Drop(DropReason),
 }
 
 /// Aggregate counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NetStats {
+    /// Packets offered to [`Net::transmit`] / [`Net::transmit_burst`].
     pub packets_offered: u64,
+    /// Packets that will arrive at their destination.
     pub packets_delivered: u64,
+    /// Wire bytes of all delivered packets.
     pub bytes_delivered: u64,
+    /// Drops from random loss (Bernoulli pipe or bursty-loss chains).
     pub drops_loss: u64,
+    /// Drops from full link queues.
     pub drops_queue: u64,
+    /// Drops from administratively/fault-plane downed paths.
     pub drops_down: u64,
 }
 
 /// The simulated cluster network.
 #[derive(Debug, Clone)]
 pub struct Net {
+    /// Topology and loss configuration.
     pub cfg: NetCfg,
     /// `links[host][iface]` = (uplink to switch, downlink from switch).
     links: Vec<Vec<(Link, Link)>>,
+    /// Network-wide counters.
     pub stats: NetStats,
     /// Flight recorder for link-level drop events; observation only, never
     /// consulted for any verdict.
     pub tracer: Option<trace::Tracer>,
+    /// Installed fault-injection plan and its per-rule runtime state (see
+    /// [`crate::fault`]). Empty by default — and an empty plan costs one
+    /// branch per packet and draws nothing from the RNG.
+    fault: FaultState,
 }
 
 impl Net {
+    /// Build the cluster: `hosts × ifaces` link pairs, all idle and up.
     pub fn new(cfg: NetCfg) -> Self {
         let links = (0..cfg.hosts)
             .map(|_| {
@@ -95,7 +116,20 @@ impl Net {
                     .collect()
             })
             .collect();
-        Net { cfg, links, stats: NetStats::default(), tracer: None }
+        Net { cfg, links, stats: NetStats::default(), tracer: None, fault: FaultState::default() }
+    }
+
+    /// Install a fault-injection plan, replacing any previous one and
+    /// resetting all rule state. Installing an empty (or all-no-op) plan is
+    /// exactly equivalent to never calling this at all — verdicts, delivery
+    /// instants, and the RNG stream are untouched.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault.install(plan);
+    }
+
+    /// The active (post-pruning) fault plan.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        self.fault.plan()
     }
 
     fn trace_drop(
@@ -172,6 +206,27 @@ impl Net {
             "networks are independent: cannot route {src} -> {dst}"
         );
 
+        // Fault plane, stage 1: scheduled flap windows (no RNG) and bursty
+        // Gilbert–Elliott chains (fixed two draws per matching rule). The
+        // evaluation order here — flap, chains, Bernoulli, links, jitter —
+        // is part of the determinism contract and must stay identical to
+        // `transmit_burst`'s per-packet loop.
+        let faulted = self.fault.active();
+        if faulted {
+            if self.fault.flap_blocks(&self.tracer, now, src, dst) {
+                Self::trace_drop(&self.tracer, now, src, dst, wire_bytes, DropReason::LinkDown, 0);
+                return self.record_drop(LinkDrop::LinkDown);
+            }
+            if self.fault.bursty_drop(&self.tracer, now, src, dst, rng) {
+                self.stats.drops_loss += 1;
+                if self.tracer.is_some() {
+                    let backlog = self.links[src.host as usize][src.iface as usize].0.backlog_ns(now);
+                    Self::trace_drop(&self.tracer, now, src, dst, wire_bytes, DropReason::Loss, backlog);
+                }
+                return Verdict::Drop(DropReason::Loss);
+            }
+        }
+
         // Dummynet pipe: one Bernoulli trial per packet per path. Loss is
         // decided here, before any link is touched — the link layer can only
         // report congestion or down (see [`LinkDrop`]).
@@ -184,10 +239,17 @@ impl Net {
             return Verdict::Drop(DropReason::Loss);
         }
 
+        // Fault plane, stage 2: time-windowed bandwidth degradation (no RNG).
+        let bps = if faulted {
+            self.fault.degraded_bps(&self.tracer, now, src, dst, self.cfg.link.bandwidth_bps)
+        } else {
+            self.cfg.link.bandwidth_bps
+        };
+
         // Uplink: src host -> switch.
         let up = &mut self.links[src.host as usize][src.iface as usize].0;
         let backlog = if self.tracer.is_some() { up.backlog_ns(now) } else { 0 };
-        let at_switch = match up.transmit(now, wire_bytes) {
+        let at_switch = match up.transmit_at_rate(now, wire_bytes, bps) {
             Ok(t) => t,
             Err(r) => {
                 Self::trace_drop(&self.tracer, now, src, dst, wire_bytes, r.into(), backlog);
@@ -199,8 +261,11 @@ impl Net {
         let start = at_switch + self.cfg.switch_latency;
         let down = &mut self.links[dst.host as usize][dst.iface as usize].1;
         let backlog = if self.tracer.is_some() { down.backlog_ns(start) } else { 0 };
-        match down.transmit(start, wire_bytes) {
+        match down.transmit_at_rate(start, wire_bytes, bps) {
             Ok(t) => {
+                // Fault plane, stage 3: delay jitter on the delivered instant
+                // (one draw per matching rule; only survivors draw).
+                let t = if faulted { self.fault.jitter_arrival(t, src, dst, rng) } else { t };
                 self.stats.packets_delivered += 1;
                 self.stats.bytes_delivered += wire_bytes as u64;
                 Verdict::Deliver { at: t }
@@ -276,9 +341,31 @@ impl Net {
         let mut down_drops = 0u64;
         let mut out = Vec::with_capacity(n);
         // The links are borrowed out of `self.links` for the whole train;
-        // the tracer is a disjoint field, so hooks stay borrow-compatible.
+        // the tracer and fault state are disjoint fields, so hooks stay
+        // borrow-compatible.
         let tracer = &self.tracer;
+        let fault = &mut self.fault;
+        let faulted = fault.active();
         for &wb in wire_bytes {
+            // Identical per-packet fault sequence to `transmit`: flap, GE
+            // chains, Bernoulli, (degraded) links, jitter — same RNG draws
+            // in the same order, so burst-equivalence holds under any plan.
+            if faulted {
+                if fault.flap_blocks(tracer, now, src, dst) {
+                    down_drops += 1;
+                    Self::trace_drop(tracer, now, src, dst, wb, DropReason::LinkDown, 0);
+                    out.push(Verdict::Drop(DropReason::LinkDown));
+                    continue;
+                }
+                if fault.bursty_drop(tracer, now, src, dst, rng) {
+                    loss += 1;
+                    if tracer.is_some() {
+                        Self::trace_drop(tracer, now, src, dst, wb, DropReason::Loss, up.backlog_ns(now));
+                    }
+                    out.push(Verdict::Drop(DropReason::Loss));
+                    continue;
+                }
+            }
             if self.cfg.loss_prob > 0.0 && rng.gen_bool(self.cfg.loss_prob) {
                 loss += 1;
                 if tracer.is_some() {
@@ -287,12 +374,18 @@ impl Net {
                 out.push(Verdict::Drop(DropReason::Loss));
                 continue;
             }
+            let bps = if faulted {
+                fault.degraded_bps(tracer, now, src, dst, self.cfg.link.bandwidth_bps)
+            } else {
+                self.cfg.link.bandwidth_bps
+            };
             let backlog = if tracer.is_some() { up.backlog_ns(now) } else { 0 };
-            let v = up.transmit(now, wb).and_then(|at_switch| {
-                down.transmit(at_switch + self.cfg.switch_latency, wb)
+            let v = up.transmit_at_rate(now, wb, bps).and_then(|at_switch| {
+                down.transmit_at_rate(at_switch + self.cfg.switch_latency, wb, bps)
             });
             out.push(match v {
                 Ok(at) => {
+                    let at = if faulted { fault.jitter_arrival(at, src, dst, rng) } else { at };
                     delivered += 1;
                     bytes += wb as u64;
                     Verdict::Deliver { at }

@@ -124,4 +124,54 @@ proptest! {
         use rand::Rng;
         prop_assert_eq!(burst_rng.gen::<u64>(), ref_rng.gen::<u64>());
     }
+
+    /// Burst-path equivalence holds under an installed fault plan too: the
+    /// per-packet fault sequence (flap → Gilbert–Elliott → Bernoulli →
+    /// degraded links → jitter) draws from the RNG in the same order on
+    /// both paths, and all per-rule state (chain phase, jitter reorder
+    /// window) advances identically.
+    #[test]
+    fn burst_matches_per_packet_under_fault_plan(
+        sizes in prop::collection::vec(40u32..1500, 1..40),
+        loss_pm in 0u32..100,
+        p_gb in 0.0f64..0.2,
+        p_bg in 0.05f64..1.0,
+        loss_bad in 0.1f64..1.0,
+        flap_from in 0u64..800_000,
+        flap_len in 0u64..600_000,
+        jitter_ns in 0u64..40_000,
+        bound in 0u32..6,
+        factor in 0.2f64..1.0,
+        t in 0u64..1_000_000,
+        seed in 0u64..32,
+    ) {
+        use netsim::{BurstLossRule, DegradeRule, FaultPlan, FlapRule, JitterRule, Scope};
+        let mut cfg = NetCfg::paper_cluster(loss_pm as f64 / 1000.0);
+        cfg.link = LinkCfg { queue_cap_bytes: 20_000, ..LinkCfg::default() };
+        let plan = FaultPlan {
+            burst_loss: vec![BurstLossRule { scope: Scope::ALL, p_gb, p_bg, loss_good: 0.0, loss_bad }],
+            flaps: vec![FlapRule { scope: Scope::on_iface(0), from_ns: flap_from, until_ns: flap_from + flap_len }],
+            jitter: vec![JitterRule { scope: Scope::ALL, max_jitter_ns: jitter_ns, reorder_bound: bound }],
+            degrade: vec![DegradeRule { scope: Scope::ALL, from_ns: 200_000, until_ns: 900_000, factor }],
+        };
+        let mut ref_net = Net::new(cfg);
+        ref_net.set_fault_plan(plan.clone());
+        let mut burst_net = Net::new(cfg);
+        burst_net.set_fault_plan(plan);
+        let mut ref_rng = derive_rng(13, seed);
+        let mut burst_rng = ref_rng.clone();
+        let now = SimTime::from_nanos(t);
+        let (src, dst) = (IfAddr::new(0, 0), IfAddr::new(1, 0));
+
+        let expected: Vec<Verdict> = sizes
+            .iter()
+            .map(|&sz| ref_net.transmit(now, src, dst, sz, &mut ref_rng))
+            .collect();
+        let got = burst_net.transmit_burst(now, src, dst, &sizes, &mut burst_rng);
+
+        prop_assert_eq!(&got, &expected);
+        prop_assert_eq!(burst_net.stats, ref_net.stats);
+        use rand::Rng;
+        prop_assert_eq!(burst_rng.gen::<u64>(), ref_rng.gen::<u64>());
+    }
 }

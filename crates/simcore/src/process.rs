@@ -8,7 +8,7 @@
 //! result, bit for bit — while letting workloads be written as
 //! straight-line code instead of hand-rolled state machines.
 //!
-//! Handoff protocol: each process carries a [`ProcCtl`] holding a one-byte
+//! Handoff protocol: each process carries a `ProcCtl` holding a one-byte
 //! *run token* (`AtomicU8`). Exactly one thread owns the token at any
 //! instant; passing it is a single atomic store plus one `Thread::unpark` of
 //! the unique peer — `notify_one` by construction, since each direction has

@@ -9,8 +9,8 @@
 //!
 //! # Queue structure
 //!
-//! The queue front is a hashed timer wheel: [`WHEEL_SLOTS`] buckets of
-//! [`WHEEL_GRAIN_NS`] nanoseconds each, covering a [`WHEEL_HORIZON_NS`]
+//! The queue front is a hashed timer wheel: `WHEEL_SLOTS` buckets of
+//! `WHEEL_GRAIN_NS` nanoseconds each, covering a `WHEEL_HORIZON_NS`
 //! look-ahead window. Timers inside the horizon — packet deliveries, CPU
 //! charges, delayed ACKs at LAN scale — insert in O(1); timers beyond it
 //! (RTOs, heartbeats, watchdogs) fall back to a binary heap of small `Copy`
@@ -20,7 +20,7 @@
 //! of the first non-empty bucket versus the heap top.
 //!
 //! Event payloads live in a slab of reusable slots, with the closure stored
-//! *inline* in the slot when it fits ([`INLINE_WORDS`] words) — the
+//! *inline* in the slot when it fits (`INLINE_WORDS` words) — the
 //! dominant short-horizon timers allocate nothing at all; oversized
 //! closures degrade to one boxed allocation. [`TimerId`] is a
 //! (slot, generation) pair, so `cancel` is O(1): it drops the closure,
@@ -549,7 +549,7 @@ impl<W> Ctx<W> {
     /// Mark a process runnable. Wakeups are drained FIFO by the driver before
     /// the next timed event fires. Duplicate wakes of an already-pending
     /// process coalesce; wakes aimed at a process parked in a charge sleep
-    /// are provably spurious (see [`Ctx::sleeping`]) and are dropped unless
+    /// are provably spurious (see the `sleeping` bitmap) and are dropped unless
     /// the reference discipline is active.
     pub fn wake(&mut self, p: ProcId) {
         if !self.reference && self.sleeping.get(p.0).copied().unwrap_or(false) {

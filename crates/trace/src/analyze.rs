@@ -227,6 +227,9 @@ pub struct Stall {
     pub fast_recovery_ns: u64,
     pub mpi_unexpected: u64,
     pub mpi_matched_posted: u64,
+    /// Fault-plane state transitions (GE chain flips, flap/degrade edges)
+    /// observed in the capture.
+    pub fault_edges: u64,
 }
 
 /// The "where did the bytes stall" roll-up for one capture (= one cell).
@@ -261,6 +264,7 @@ pub fn stall(events: &[JVal]) -> Stall {
             }
             "rto_fire" => st.rto_fires += 1,
             "fast_rtx" => st.fast_rtx += 1,
+            "fault" => st.fault_edges += 1,
             "mpi_match" => {
                 if ev.get("posted") == Some(&JVal::Bool(true)) {
                     st.mpi_matched_posted += 1;
@@ -279,6 +283,88 @@ pub fn stall(events: &[JVal]) -> Stall {
     st.rto_recovery_ns = rec.rto.total_ns;
     st.fast_recovery_ns = rec.fast.total_ns;
     st
+}
+
+/// One closed fault window: the span between a fault rule's "on" edge and
+/// its matching "off" edge, plus what went wrong inside it.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultWindow {
+    /// Fault family: "ge" (bad-state visit), "flap" (link down), "degrade"
+    /// (bandwidth window).
+    pub kind: String,
+    /// Rule index within its family (the plan's vec position).
+    pub rule: u64,
+    pub from_ns: u64,
+    pub until_ns: u64,
+    /// Packet drops (any reason) whose offer time fell inside the window.
+    pub drops: u64,
+    /// Retransmission-timer expiries inside the window.
+    pub rto_fires: u64,
+}
+
+/// Pair the capture's fault edges into windows and correlate: how many
+/// drops and RTO expiries landed inside each. Fault edges are emitted
+/// lazily at packet-offer time, so a window's `from_ns` is the first packet
+/// that *saw* the state, not the scripted boundary — exactly the span that
+/// could have affected traffic. A window still open when the capture ends
+/// is closed at the last event's timestamp.
+pub fn fault_windows(events: &[JVal]) -> Vec<FaultWindow> {
+    let mut open: BTreeMap<(&str, u64), u64> = BTreeMap::new();
+    let mut windows: Vec<FaultWindow> = Vec::new();
+    let mut drops: Vec<u64> = Vec::new();
+    let mut rtos: Vec<u64> = Vec::new();
+    let mut t_max = 0u64;
+    for ev in events {
+        let t = u(ev, "t");
+        t_max = t_max.max(t);
+        match s(ev, "ev") {
+            "fault" => {
+                let (family, on) = match s(ev, "kind") {
+                    "ge_bad" => ("ge", true),
+                    "ge_good" => ("ge", false),
+                    "flap_down" => ("flap", true),
+                    "flap_up" => ("flap", false),
+                    "degrade_on" => ("degrade", true),
+                    "degrade_off" => ("degrade", false),
+                    _ => continue,
+                };
+                let rule = u(ev, "rule");
+                if on {
+                    open.entry((family, rule)).or_insert(t);
+                } else if let Some(from) = open.remove(&(family, rule)) {
+                    windows.push(FaultWindow {
+                        kind: family.to_string(),
+                        rule,
+                        from_ns: from,
+                        until_ns: t,
+                        ..FaultWindow::default()
+                    });
+                }
+            }
+            "pkt" => {
+                if s(ev, "verdict") != "deliver" {
+                    drops.push(t);
+                }
+            }
+            "rto_fire" => rtos.push(t),
+            _ => {}
+        }
+    }
+    for ((family, rule), from) in open {
+        windows.push(FaultWindow {
+            kind: family.to_string(),
+            rule,
+            from_ns: from,
+            until_ns: t_max,
+            ..FaultWindow::default()
+        });
+    }
+    windows.sort_by_key(|w| (w.from_ns, w.kind.clone(), w.rule));
+    for w in &mut windows {
+        w.drops = drops.iter().filter(|&&t| w.from_ns <= t && t <= w.until_ns).count() as u64;
+        w.rto_fires = rtos.iter().filter(|&&t| w.from_ns <= t && t <= w.until_ns).count() as u64;
+    }
+    windows
 }
 
 #[cfg(test)]
@@ -345,6 +431,32 @@ mod tests {
         assert_eq!(curves[0].max, 20000);
         assert_eq!(curves[0].last, 2920);
         assert_eq!(curves[0].collapses, 2);
+    }
+
+    #[test]
+    fn fault_windows_pair_edges_and_correlate() {
+        let events = evs(concat!(
+            // Flap window [100, 900]: two drops and one RTO inside.
+            "{\"t\":100,\"ev\":\"fault\",\"kind\":\"flap_down\",\"rule\":0,\"host\":-1,\"iface\":0}\n",
+            "{\"t\":200,\"ev\":\"pkt\",\"src\":0,\"dst\":1,\"proto\":\"sctp\",\"kind\":\"data\",\"verdict\":\"down\",\"tsn\":1,\"ntsn\":1}\n",
+            "{\"t\":300,\"ev\":\"pkt\",\"src\":0,\"dst\":1,\"proto\":\"sctp\",\"kind\":\"data\",\"verdict\":\"down\",\"tsn\":2,\"ntsn\":1}\n",
+            "{\"t\":800,\"ev\":\"rto_fire\",\"proto\":\"sctp\",\"host\":0,\"peer\":1,\"backoff\":0,\"marked\":1}\n",
+            "{\"t\":900,\"ev\":\"fault\",\"kind\":\"flap_up\",\"rule\":0,\"host\":-1,\"iface\":0}\n",
+            // Drop outside every window.
+            "{\"t\":1000,\"ev\":\"pkt\",\"src\":0,\"dst\":1,\"proto\":\"sctp\",\"kind\":\"data\",\"verdict\":\"loss\",\"tsn\":3,\"ntsn\":1}\n",
+            // GE bad-state visit left open: closes at capture end (1500).
+            "{\"t\":1200,\"ev\":\"fault\",\"kind\":\"ge_bad\",\"rule\":1,\"host\":-1,\"iface\":-1}\n",
+            "{\"t\":1500,\"ev\":\"pkt\",\"src\":0,\"dst\":1,\"proto\":\"sctp\",\"kind\":\"data\",\"verdict\":\"loss\",\"tsn\":4,\"ntsn\":1}\n",
+        ));
+        let ws = fault_windows(&events);
+        assert_eq!(ws.len(), 2);
+        assert_eq!((ws[0].kind.as_str(), ws[0].from_ns, ws[0].until_ns), ("flap", 100, 900));
+        assert_eq!((ws[0].drops, ws[0].rto_fires), (2, 1));
+        assert_eq!((ws[1].kind.as_str(), ws[1].from_ns, ws[1].until_ns), ("ge", 1200, 1500));
+        assert_eq!((ws[1].drops, ws[1].rto_fires), (1, 0));
+        let st = stall(&events);
+        assert_eq!(st.fault_edges, 3);
+        assert_eq!(st.drops_down, 2);
     }
 
     #[test]

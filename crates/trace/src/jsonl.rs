@@ -86,6 +86,13 @@ pub fn render_record(out: &mut String, rec: &Rec) {
                 m.rank, m.src, m.tag, m.cxt, m.len, m.kind, m.posted
             );
         }
+        Event::Fault(f) => {
+            let _ = write!(
+                out,
+                "{{\"t\":{t},\"q\":{q},\"ev\":\"fault\",\"kind\":\"{}\",\"rule\":{},\"host\":{},\"iface\":{}}}",
+                f.kind.as_str(), f.rule, f.host, f.iface
+            );
+        }
     }
 }
 
@@ -137,6 +144,7 @@ mod tests {
             Rec { t_ns: 8, seq: 8, ev: Event::HolEnd(HolEndEv { host: 2, peer: 1, stream: 4, dur_ns: 123, released: 3 }) },
             Rec { t_ns: 9, seq: 9, ev: Event::MpiPost(MpiPostEv { rank: 0, src: -1, tag: 5, cxt: 1, matched: true }) },
             Rec { t_ns: 10, seq: 10, ev: Event::MpiMatch(MpiMatchEv { rank: 0, src: 3, tag: 5, cxt: 1, len: 30720, kind: "eager", posted: false }) },
+            Rec { t_ns: 11, seq: 11, ev: Event::Fault(FaultEv { kind: FaultKind::FlapDown, rule: 0, host: -1, iface: 0 }) },
         ];
         let mut text = String::new();
         for r in &recs {
@@ -149,6 +157,8 @@ mod tests {
         assert_eq!(vals[0].get("tsn").unwrap().as_u64(), Some(42));
         assert_eq!(vals[7].get("dur").unwrap().as_u64(), Some(123));
         assert_eq!(vals[9].get("posted"), Some(&crate::json::JVal::Bool(false)));
+        assert_eq!(vals[10].get("kind").unwrap().as_str(), Some("flap_down"));
+        assert_eq!(vals[10].get("host").unwrap().as_i64(), Some(-1));
         // The frame never leaks into the JSONL sink (it lives in the pcapng).
         assert!(vals[0].get("frame").is_none());
     }

@@ -235,6 +235,52 @@ pub struct MpiMatchEv {
     pub posted: bool,
 }
 
+/// What a fault-plane transition did (see `netsim::fault`). Each variant is
+/// one edge of a scripted or stochastic fault model; edges are emitted at
+/// the first packet offer that observes the new state, so a window with no
+/// traffic inside it produces no events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Gilbert–Elliott chain entered the bad (bursty-loss) state.
+    GeBad,
+    /// Gilbert–Elliott chain returned to the good state.
+    GeGood,
+    /// A scheduled link flap window opened (path drops everything).
+    FlapDown,
+    /// A scheduled link flap window closed (path carries traffic again).
+    FlapUp,
+    /// A bandwidth-degradation window opened.
+    DegradeOn,
+    /// A bandwidth-degradation window closed.
+    DegradeOff,
+}
+
+impl FaultKind {
+    /// Stable short name used by the JSONL sink and the analyzer.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultKind::GeBad => "ge_bad",
+            FaultKind::GeGood => "ge_good",
+            FaultKind::FlapDown => "flap_down",
+            FaultKind::FlapUp => "flap_up",
+            FaultKind::DegradeOn => "degrade_on",
+            FaultKind::DegradeOff => "degrade_off",
+        }
+    }
+}
+
+/// A fault-plane state transition (emitted by `netsim` when a fault rule
+/// changes state). `rule` is the rule's index within its kind's list in the
+/// `FaultPlan`; `host`/`iface` are -1 when the rule's scope covers all
+/// hosts/interfaces.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultEv {
+    pub kind: FaultKind,
+    pub rule: u32,
+    pub host: i32,
+    pub iface: i32,
+}
+
 #[derive(Debug, Clone, Copy)]
 pub struct LinkDropEv {
     pub src_host: u16,
@@ -259,6 +305,7 @@ pub enum Event {
     HolEnd(HolEndEv),
     MpiPost(MpiPostEv),
     MpiMatch(MpiMatchEv),
+    Fault(FaultEv),
 }
 
 /// One recorded event with its virtual-clock timestamp and a capture-order

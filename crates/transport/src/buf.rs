@@ -21,6 +21,7 @@ pub struct ByteQueue {
 }
 
 impl ByteQueue {
+    /// An empty queue whose first byte will carry sequence `start_seq`.
     pub fn new(start_seq: u64) -> Self {
         ByteQueue { chunks: VecDeque::new(), head_seq: start_seq, len: 0 }
     }
@@ -43,6 +44,7 @@ impl ByteQueue {
         self.len
     }
 
+    /// True when no bytes are queued.
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.len == 0

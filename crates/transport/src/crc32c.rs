@@ -38,10 +38,12 @@ impl Default for Crc32c {
 }
 
 impl Crc32c {
+    /// A fresh (all-ones) CRC state.
     pub fn new() -> Self {
         Crc32c(0xFFFF_FFFF)
     }
 
+    /// Fold `data` into the running CRC.
     pub fn update(&mut self, data: &[u8]) {
         let mut crc = self.0;
         for &b in data {
@@ -50,6 +52,7 @@ impl Crc32c {
         self.0 = crc;
     }
 
+    /// The final (inverted) CRC32c value.
     pub fn finalize(self) -> u32 {
         !self.0
     }

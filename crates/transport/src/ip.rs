@@ -30,7 +30,9 @@ pub const IP_HEADER: u32 = 20;
 /// A protocol payload inside an IP packet.
 #[derive(Debug)]
 pub enum Proto {
+    /// A TCP segment.
     Tcp(tcp::TcpSegment),
+    /// An SCTP packet (common header + bundled chunks).
     Sctp(sctp::SctpPacket),
 }
 
@@ -46,8 +48,11 @@ impl Proto {
 /// An IP packet in flight.
 #[derive(Debug)]
 pub struct Packet {
+    /// Sending interface.
     pub src: IfAddr,
+    /// Receiving interface (same network index as `src`).
     pub dst: IfAddr,
+    /// Protocol payload.
     pub body: Proto,
 }
 
@@ -155,6 +160,16 @@ pub fn send_train(w: &mut World, ctx: &mut Wx, pkts: Vec<Packet>) {
             Verdict::Drop(_) => None, // the network recorded the drop
         })
         .collect();
+    // A fault boundary splits the train: delay jitter can hand later train
+    // members *earlier* arrival instants, and the fused walk below requires
+    // monotone arrivals. Degrading to one event per survivor is exactly what
+    // per-packet `send` would have scheduled (same order, same seq draws).
+    if train.iter().zip(train.iter().skip(1)).any(|(a, b)| b.0 < a.0) {
+        for (at, pkt) in train {
+            ctx.schedule_at(at, move |w: &mut World, ctx: &mut Wx| deliver(w, ctx, pkt));
+        }
+        return;
+    }
     match train.len() {
         0 => {}
         1 => {

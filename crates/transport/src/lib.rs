@@ -27,6 +27,8 @@
 //! invariant after every SACK; `SCTP_TS_TRACE=1` traces the send gate of
 //! one association.
 
+#![warn(missing_docs)]
+
 pub mod buf;
 pub mod crc32c;
 pub mod ip;
@@ -44,13 +46,17 @@ pub type Wx = Ctx<World>;
 
 /// Per-host protocol state.
 pub struct Host {
+    /// The host's TCP stack.
     pub tcp: tcp::TcpHost,
+    /// The host's SCTP stack.
     pub sctp: sctp::SctpHost,
 }
 
 /// The complete simulated system below the middleware: network + stacks.
 pub struct World {
+    /// The simulated cluster network.
     pub net: Net,
+    /// One protocol stack per host, indexed by host id.
     pub hosts: Vec<Host>,
 }
 

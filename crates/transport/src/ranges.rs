@@ -13,14 +13,17 @@ pub struct RangeSet {
 }
 
 impl RangeSet {
+    /// An empty set.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Remove every range.
     pub fn clear(&mut self) {
         self.map.clear();
     }
 
+    /// True when no ranges are held.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
     }

@@ -11,8 +11,11 @@ use simcore::Dur;
 /// Estimator parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct RtoCfg {
+    /// RTO before the first RTT sample (RFC 6298: 1 s; era stacks: 3 s).
     pub initial: Dur,
+    /// Lower clamp on the computed RTO.
     pub min: Dur,
+    /// Upper clamp on the computed RTO.
     pub max: Dur,
     /// RTO values are rounded up to a multiple of this (0 = exact timers).
     pub granularity: Dur,
@@ -57,6 +60,7 @@ pub struct RtoEstimator {
 }
 
 impl RtoEstimator {
+    /// A fresh estimator with no RTT samples yet.
     pub fn new(cfg: RtoCfg) -> Self {
         RtoEstimator { cfg, srtt: None, rttvar: Dur::ZERO, rto: cfg.initial, backoff_shift: 0 }
     }

@@ -14,19 +14,25 @@ use super::wire::DataChunk;
 /// Handle to an SCTP endpoint (socket) on a host.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EpId {
+    /// Host the endpoint lives on.
     pub host: u16,
+    /// Endpoint slot within the host.
     pub idx: u32,
 }
 
 /// Handle to an association within an endpoint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct AssocId {
+    /// Host the association lives on.
     pub host: u16,
+    /// Owning endpoint slot.
     pub ep: u32,
+    /// Association slot within the endpoint.
     pub idx: u32,
 }
 
 impl AssocId {
+    /// The endpoint this association belongs to.
     pub fn endpoint(self) -> EpId {
         EpId { host: self.host, idx: self.ep }
     }
@@ -138,13 +144,21 @@ impl SctpCfg {
 /// Association lifecycle states (RFC 4960 §4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AssocState {
+    /// INIT sent, waiting for INIT-ACK.
     CookieWait,
+    /// COOKIE-ECHO sent, waiting for COOKIE-ACK.
     CookieEchoed,
+    /// Four-way handshake complete; data flows.
     Established,
+    /// Local close requested; draining the send queue first.
     ShutdownPending,
+    /// SHUTDOWN sent, waiting for SHUTDOWN-ACK.
     ShutdownSent,
+    /// Peer's SHUTDOWN received; draining before SHUTDOWN-ACK.
     ShutdownReceived,
+    /// SHUTDOWN-ACK sent, waiting for SHUTDOWN-COMPLETE.
     ShutdownAckSent,
+    /// Fully closed (orderly).
     Closed,
     /// Failed (ABORT or too many retransmissions).
     Aborted,
@@ -187,16 +201,27 @@ pub(crate) struct SentChunk {
 /// error counts per path (§4.1.1 of the paper).
 #[derive(Debug)]
 pub struct PathState {
+    /// Interface/network index this path runs over.
     pub iface: u8,
+    /// Congestion window, bytes.
     pub cwnd: u64,
+    /// Slow-start threshold, bytes.
     pub ssthresh: u64,
+    /// Bytes acked toward the next congestion-avoidance cwnd increment.
     pub partial_bytes_acked: u64,
+    /// Bytes outstanding on this path.
     pub flight: u64,
+    /// Per-path RTO estimator.
     pub rto: RtoEstimator,
+    /// Consecutive unanswered retransmissions/heartbeats.
     pub error_count: u32,
+    /// False once `error_count` exceeds `path_max_retrans` (failover).
     pub active: bool,
+    /// Nonce of the outstanding heartbeat, if any.
     pub hb_nonce: Option<u64>,
+    /// Heartbeat generation counter (stale ACK rejection).
     pub hb_gen: u64,
+    /// Last instant this path carried data (heartbeat scheduling).
     pub last_used: SimTime,
 }
 
@@ -232,31 +257,54 @@ pub(crate) struct InStream {
 /// A message delivered to the application by `sctp_recvmsg`.
 #[derive(Debug)]
 pub struct RecvMsg {
+    /// Association the message arrived on.
     pub assoc: AssocId,
+    /// Stream id.
     pub stream: u16,
+    /// Stream sequence number.
     pub ssn: u32,
+    /// Payload protocol identifier (opaque to SCTP).
     pub ppid: u32,
+    /// Message payload, one `Bytes` per fragment.
     pub data: Vec<Bytes>,
+    /// Total payload length.
     pub len: u32,
 }
 
 /// Association counters.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct AssocStats {
+    /// Packets sent.
     pub packets_out: u64,
+    /// Packets received.
     pub packets_in: u64,
+    /// DATA chunks sent (including retransmissions).
     pub data_chunks_out: u64,
+    /// DATA chunks received.
     pub data_chunks_in: u64,
+    /// Payload bytes sent.
     pub bytes_out: u64,
+    /// Payload bytes received.
     pub bytes_in: u64,
+    /// DATA chunks retransmitted (any cause).
     pub retransmits: u64,
+    /// DATA chunks retransmitted via fast retransmit.
     pub fast_retransmits: u64,
+    /// T3-rtx expirations.
     pub timeouts: u64,
+    /// Duplicate TSNs received.
     pub dup_tsns_in: u64,
+    /// SACKs sent.
     pub sacks_out: u64,
+    /// SACKs received.
     pub sacks_in: u64,
+    /// Messages handed to the application.
     pub msgs_delivered: u64,
+    /// Primary-path switches after path failure.
     pub failovers: u64,
+    /// Instant of the first failover, ns (0 = never) — the failover
+    /// experiments' detection-latency measurement.
+    pub first_failover_ns: u64,
 }
 
 pub(crate) struct Assoc {
@@ -448,6 +496,7 @@ pub(crate) struct Endpoint {
 
 /// All SCTP state on one host.
 pub struct SctpHost {
+    /// Host-wide SCTP tuning (shared by every association).
     pub cfg: SctpCfg,
     pub(crate) eps: Vec<Endpoint>,
     pub(crate) by_port: HashMap<u16, u32>,
@@ -456,6 +505,7 @@ pub struct SctpHost {
 }
 
 impl SctpHost {
+    /// A host-wide SCTP stack with no endpoints yet.
     pub fn new(cfg: SctpCfg) -> Self {
         SctpHost { cfg, eps: Vec::new(), by_port: HashMap::new(), secret: None }
     }
@@ -480,6 +530,11 @@ impl SctpHost {
                 t.sacks_in += s.sacks_in;
                 t.msgs_delivered += s.msgs_delivered;
                 t.failovers += s.failovers;
+                if s.first_failover_ns != 0
+                    && (t.first_failover_ns == 0 || s.first_failover_ns < t.first_failover_ns)
+                {
+                    t.first_failover_ns = s.first_failover_ns;
+                }
             }
         }
         t

@@ -747,6 +747,9 @@ fn on_t3(w: &mut World, ctx: &mut Wx, a: AssocId, gen: u64) {
                 {
                     ak.primary = np as u8;
                     ak.stats.failovers += 1;
+                    if ak.stats.first_failover_ns == 0 {
+                        ak.stats.first_failover_ns = ctx.now().as_nanos();
+                    }
                 }
             }
         }
@@ -859,6 +862,9 @@ fn on_heartbeat(w: &mut World, ctx: &mut Wx, a: AssocId, path: u8, gen: u64) {
                 if ak.primary != np as u8 {
                     ak.primary = np as u8;
                     ak.stats.failovers += 1;
+                    if ak.stats.first_failover_ns == 0 {
+                        ak.stats.first_failover_ns = ctx.now().as_nanos();
+                    }
                 }
             }
         }

@@ -14,7 +14,9 @@ use simcore::SimTime;
 /// A DATA chunk: one fragment of one user message on one stream.
 #[derive(Debug, Clone)]
 pub struct DataChunk {
+    /// Transmission sequence number.
     pub tsn: u64,
+    /// Stream the fragment belongs to.
     pub stream: u16,
     /// Stream sequence number (u32: the real u16 wraps, we don't).
     pub ssn: u32,
@@ -27,6 +29,7 @@ pub struct DataChunk {
     /// Payload protocol identifier — passed through opaquely (the paper
     /// §2.3 suggests mapping MPI contexts onto it).
     pub ppid: u32,
+    /// Fragment payload.
     pub data: Bytes,
 }
 
@@ -35,18 +38,27 @@ pub struct DataChunk {
 /// initiator proves reachability (§3.5.2 of the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Cookie {
+    /// Initiator's host.
     pub peer_host: u16,
+    /// Initiator's port.
     pub peer_port: u16,
+    /// Listener's port.
     pub local_port: u16,
     /// Tag the initiator chose (we send packets to it with this tag).
     pub peer_tag: u64,
     /// Tag we chose for ourselves.
     pub local_tag: u64,
+    /// Initiator's advertised receive window.
     pub peer_rwnd: u64,
+    /// Initiator's initial TSN.
     pub peer_init_tsn: u64,
+    /// Listener's initial TSN.
     pub my_init_tsn: u64,
+    /// Negotiated outbound stream count.
     pub out_streams: u16,
+    /// Negotiated inbound stream count.
     pub in_streams: u16,
+    /// Issue instant (staleness check).
     pub created_at: SimTime,
     /// MAC over all fields under the listener's secret.
     pub mac: u64,
@@ -77,12 +89,14 @@ impl Cookie {
         h
     }
 
+    /// Sign the cookie under `secret`, filling `mac`.
     pub fn sign(mut self, secret: u64) -> Cookie {
         self.mac = 0;
         self.mac = self.compute_mac(secret);
         self
     }
 
+    /// Check `mac` against `secret`.
     pub fn verify(&self, secret: u64) -> bool {
         let mut c = *self;
         c.mac = 0;
@@ -93,7 +107,9 @@ impl Cookie {
 /// An SCTP chunk.
 #[derive(Debug, Clone)]
 pub enum Chunk {
+    /// A DATA chunk (one message fragment).
     Data(DataChunk),
+    /// Selective acknowledgment.
     Sack {
         /// Cumulative TSN ack.
         cum_tsn: u64,
@@ -105,38 +121,65 @@ pub enum Chunk {
         /// Count of duplicate TSNs seen since the last SACK.
         dup_count: u32,
     },
+    /// Association initiation (first handshake leg).
     Init {
+        /// Tag the peer must echo in every packet to us.
         init_tag: u64,
+        /// Our advertised receive window.
         a_rwnd: u64,
+        /// Outbound streams we request.
         out_streams: u16,
+        /// Inbound streams we accept.
         in_streams: u16,
+        /// Our initial TSN.
         init_tsn: u64,
     },
+    /// Listener's reply to INIT (second handshake leg).
     InitAck {
+        /// Tag the initiator must echo back to the listener.
         init_tag: u64,
+        /// Listener's advertised receive window.
         a_rwnd: u64,
+        /// Outbound streams granted.
         out_streams: u16,
+        /// Inbound streams granted.
         in_streams: u16,
+        /// Listener's initial TSN.
         init_tsn: u64,
+        /// Signed state cookie (no listener state allocated yet).
         cookie: Cookie,
     },
+    /// Initiator echoes the cookie (third handshake leg).
     CookieEcho {
+        /// The cookie from INIT-ACK, returned verbatim.
         cookie: Cookie,
     },
+    /// Listener confirms the cookie (fourth handshake leg).
     CookieAck,
+    /// Path liveness probe.
     Heartbeat {
+        /// Path index being probed.
         path: u8,
+        /// Random nonce echoed by the ACK.
         nonce: u64,
     },
+    /// Heartbeat reply.
     HeartbeatAck {
+        /// Path index probed.
         path: u8,
+        /// Nonce from the heartbeat.
         nonce: u64,
     },
+    /// Orderly shutdown request.
     Shutdown {
+        /// Sender's cumulative TSN ack.
         cum_tsn: u64,
     },
+    /// Shutdown acknowledgment.
     ShutdownAck,
+    /// Final leg of orderly shutdown.
     ShutdownComplete,
+    /// Unrecoverable error; association torn down.
     Abort,
 }
 
@@ -167,14 +210,18 @@ pub const COMMON_HEADER: u32 = 12;
 /// An SCTP packet: common header + bundled chunks.
 #[derive(Debug)]
 pub struct SctpPacket {
+    /// Sending port.
     pub src_port: u16,
+    /// Receiving port.
     pub dst_port: u16,
     /// Verification tag: must equal the receiver's local tag (except INIT).
     pub vtag: u64,
+    /// Bundled chunks, control before data.
     pub chunks: Vec<Chunk>,
 }
 
 impl SctpPacket {
+    /// Wire size: common header plus every bundled chunk.
     pub fn wire_len(&self) -> u32 {
         COMMON_HEADER + self.chunks.iter().map(|c| c.wire_len()).sum::<u32>()
     }

@@ -37,7 +37,9 @@ pub(crate) use engine::input;
 /// Handle to a TCP socket on a given host.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SockId {
+    /// Host the socket lives on.
     pub host: u16,
+    /// Index into that host's socket table.
     pub idx: u32,
 }
 
@@ -93,18 +95,29 @@ impl Default for TcpCfg {
     }
 }
 
-/// TCP connection states (RFC 793 subset; LISTEN lives in [`Listener`]).
+/// TCP connection states (RFC 793 subset; LISTEN lives in the engine's
+/// internal `Listener` table).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TcpState {
+    /// Active open: SYN sent, waiting for SYN|ACK.
     SynSent,
+    /// Passive open: SYN received, SYN|ACK sent.
     SynRcvd,
+    /// Three-way handshake complete; data flows.
     Established,
+    /// Our FIN sent, not yet acknowledged.
     FinWait1,
+    /// Our FIN acknowledged, waiting for the peer's FIN.
     FinWait2,
+    /// Peer's FIN received while we still have data to send.
     CloseWait,
+    /// Simultaneous close: both FINs in flight.
     Closing,
+    /// Passive close: our FIN sent after the peer's, awaiting its ACK.
     LastAck,
+    /// Both FINs acknowledged; lingering to absorb stray segments.
     TimeWait,
+    /// Connection fully torn down.
     Closed,
 }
 
@@ -115,12 +128,17 @@ macro_rules! bitflags_lite {
         #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
         pub struct $name($t);
         impl $name {
-            $(pub const $f: $name = $name($v);)*
+            $(#[doc = concat!("The `", stringify!($f), "` flag bit.")]
+            pub const $f: $name = $name($v);)*
+            /// No flags set.
             pub const EMPTY: $name = $name(0);
+            /// True when every bit of `o` is set in `self`.
             #[inline]
             pub fn contains(self, o: $name) -> bool { self.0 & o.0 == o.0 }
+            /// True when `self` and `o` share at least one bit.
             #[inline]
             pub fn intersects(self, o: $name) -> bool { self.0 & o.0 != 0 }
+            /// The bitwise OR of both flag sets.
             #[inline]
             pub fn union(self, o: $name) -> $name { $name(self.0 | o.0) }
         }
@@ -146,10 +164,15 @@ bitflags_lite! {
 /// everything the paper measures).
 #[derive(Debug)]
 pub struct TcpSegment {
+    /// Sending port.
     pub src_port: u16,
+    /// Receiving port.
     pub dst_port: u16,
+    /// Control flags (SYN/ACK/FIN/RST).
     pub flags: Flags,
+    /// Sequence number of the first payload byte.
     pub seq: u64,
+    /// Cumulative acknowledgment (next byte expected), valid when ACK set.
     pub ack: u64,
     /// Advertised receive window (bytes).
     pub wnd: u64,
@@ -158,7 +181,9 @@ pub struct TcpSegment {
     pub sack: Vec<(u64, u64)>,
     /// Zero-window persist probe: elicits an immediate pure ACK.
     pub probe: bool,
+    /// Zero-copy payload slices, in order.
     pub payload: Vec<Bytes>,
+    /// Total payload bytes across all slices.
     pub payload_len: u32,
 }
 
@@ -192,13 +217,21 @@ impl TcpSegment {
 /// Per-socket counters (aggregated for EXPERIMENTS diagnostics).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SockStats {
+    /// Segments transmitted (including retransmissions).
     pub segs_out: u64,
+    /// Segments received.
     pub segs_in: u64,
+    /// Payload bytes transmitted (including retransmissions).
     pub bytes_out: u64,
+    /// Payload bytes received.
     pub bytes_in: u64,
+    /// Retransmitted segments, any cause.
     pub retransmits: u64,
+    /// Retransmissions triggered by duplicate ACKs / SACK, not timeout.
     pub fast_retransmits: u64,
+    /// Retransmission-timer expiries.
     pub timeouts: u64,
+    /// Duplicate ACKs received.
     pub dup_acks_in: u64,
 }
 
@@ -354,6 +387,7 @@ pub(crate) struct Listener {
 
 /// All TCP state on one host.
 pub struct TcpHost {
+    /// Host-wide TCP tuning (shared by every socket).
     pub cfg: TcpCfg,
     pub(crate) socks: Vec<TcpSock>,
     pub(crate) listeners: HashMap<u16, Listener>,
@@ -363,6 +397,7 @@ pub struct TcpHost {
 }
 
 impl TcpHost {
+    /// A host with no sockets or listeners yet.
     pub fn new(cfg: TcpCfg) -> Self {
         TcpHost {
             cfg,

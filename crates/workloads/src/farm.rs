@@ -137,12 +137,21 @@ pub fn run_inline(mpi: &mut Mpi, cfg: FarmCfg) {
     }
 }
 
-/// Farm result including transport-level failover count (experiment A3).
+/// Farm result including transport-level failover metrics (experiments A3
+/// and E-faults).
 #[derive(Debug, Clone, Copy)]
 pub struct FaultFarmResult {
+    /// Total run time in seconds.
     pub secs: f64,
+    /// Tasks completed by the workers (sanity: must equal `num_tasks`).
     pub tasks_done: u32,
+    /// Primary-path switches performed by SCTP across all associations.
     pub failovers: u64,
+    /// Instant of the earliest failover anywhere, ns (0 = none). Against a
+    /// scripted flap start this gives the fault-detection latency.
+    pub first_failover_ns: u64,
+    /// Simulator events fired (self-metering, see `bench-harness`).
+    pub events: u64,
 }
 
 /// Run the farm, optionally killing network 0 (every host's primary path)
@@ -163,7 +172,17 @@ pub fn run_with_fault(mpi_cfg: MpiCfg, cfg: FarmCfg, kill_at_batch: Option<u32>)
         secs: report.secs(),
         tasks_done: done_count.load(std::sync::atomic::Ordering::Relaxed),
         failovers: report.sctp.failovers,
+        first_failover_ns: report.sctp.first_failover_ns,
+        events: report.events,
     }
+}
+
+/// Run the farm under a *scripted* fault plan: the damage (link flaps,
+/// bursty loss, jitter, degradation) comes from `mpi_cfg.fault_plan`
+/// rather than from the application tearing a network down mid-run, so
+/// two runs with the same plan and seed are byte-identical.
+pub fn run_with_plan(mpi_cfg: MpiCfg, cfg: FarmCfg) -> FaultFarmResult {
+    run_with_fault(mpi_cfg, cfg, None)
 }
 
 fn manager(mpi: &mut Mpi, cfg: FarmCfg, kill_at_batch: Option<u32>) {
