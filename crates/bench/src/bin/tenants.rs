@@ -1,0 +1,44 @@
+//! **E-scale** — many-tenant fabric sharing on the sharded engine: T
+//! staggered flows (up to 1024 tenants) share S server downlinks
+//! round-robin. The tail of the completion distribution — p99 vs p50 —
+//! is the multi-tenant interference signal.
+//!
+//! `SHARDS=<n>` partitions the nodes across n worker threads; output is
+//! bit-identical at any value (`SIM_CHECK=1` cross-checks against the
+//! sequential discipline).
+//!
+//! Usage: `[SHARDS=n] tenants [--quick]`
+
+use bench_harness::{render_table, save_json, tenants_metered, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let (rows, bench) = tenants_metered(scale);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.tenants.to_string(),
+                r.servers.to_string(),
+                format!("{}K", r.block_kb),
+                format!("{:.2}", r.completion_p50_ms),
+                format!("{:.2}", r.completion_p99_ms),
+                format!("{:.1}", r.goodput_mbps),
+                r.drops_queue.to_string(),
+                r.timeouts.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "E-scale: many-tenant sharing, T flows over S servers",
+            &["tenants", "servers", "block", "p50 ms", "p99 ms", "goodput Mb/s", "qdrops", "RTOs"],
+            &table,
+        )
+    );
+    println!("expected: the p99/p50 gap widens with tenant count (queue-share interference)");
+    save_json(&scale.tag("tenants"), &rows);
+    bench.save();
+    eprintln!("{}", bench.summary());
+}

@@ -18,6 +18,7 @@ use mpi_core::{ContextMap, MpiCfg, RaceFix, TransportSel};
 use workloads::farm::{self, FarmCfg};
 use workloads::nas::{self, Class, Kernel};
 use workloads::pingpong::{self, PingPongCfg};
+use workloads::scale::{run_scale, ScaleCfg, ScaleResult};
 
 pub mod json;
 pub mod runner;
@@ -691,6 +692,197 @@ pub fn flap_timeline_metered(scale: Scale) -> (Vec<FlapRow>, BenchReport) {
 }
 
 // ---------------------------------------------------------------------------
+// E-scale — incast fan-in and many-tenant fabrics on the sharded engine
+// ---------------------------------------------------------------------------
+
+/// One row of the incast figure: N synchronized senders into one victim.
+#[derive(Debug, Clone)]
+pub struct IncastRow {
+    pub senders: u32,
+    pub block_kb: u64,
+    /// Aggregate goodput over the run, Mb/s (1 Gb/s downlink is the ceiling).
+    pub goodput_mbps: f64,
+    /// Completion instant of the last flow, ms.
+    pub last_done_ms: f64,
+    /// Tail drops at the victim downlink — the collapse signal.
+    pub drops_queue: u64,
+    pub timeouts: u64,
+    pub retrans: u64,
+    pub fast_rtx: u64,
+}
+
+impl_to_json!(IncastRow {
+    senders,
+    block_kb,
+    goodput_mbps,
+    last_done_ms,
+    drops_queue,
+    timeouts,
+    retrans,
+    fast_rtx,
+});
+
+/// One row of the many-tenant figure.
+#[derive(Debug, Clone)]
+pub struct TenantRow {
+    pub tenants: u32,
+    pub servers: u32,
+    pub block_kb: u64,
+    pub completion_p50_ms: f64,
+    pub completion_p99_ms: f64,
+    pub goodput_mbps: f64,
+    pub drops_queue: u64,
+    pub timeouts: u64,
+}
+
+impl_to_json!(TenantRow {
+    tenants,
+    servers,
+    block_kb,
+    completion_p50_ms,
+    completion_p99_ms,
+    goodput_mbps,
+    drops_queue,
+    timeouts,
+});
+
+/// Wrap one `run_scale` invocation as a harness cell, parking the full
+/// [`ScaleResult`] in `slot` (the row builders need counters the runner's
+/// `Measured` can't carry). `value` = aggregate goodput, `aux` = queue
+/// drops — both partition-invariant, so `SIM_CHECK=1` (which forces the
+/// reference run onto one shard) cross-checks the sharded engine against
+/// the sequential discipline bit for bit.
+fn scale_cell<'a>(
+    label: String,
+    cfg: ScaleCfg,
+    shards: usize,
+    payload_bytes: u64,
+    expect_flows: u32,
+    slot: &'a std::sync::Mutex<Option<ScaleResult>>,
+) -> Cell<'a> {
+    Cell::new(label, move || {
+        let r = run_scale(cfg.clone(), shards);
+        assert_eq!(r.completed, expect_flows, "every flow must complete");
+        let mut m = Measured::new(r.goodput_mbps(payload_bytes), r.end_ns as f64 / 1e9, r.events)
+            .with_burst_meters(0, 0, r.wheel_hits, r.heap_falls)
+            .with_shard_meters(r.shards as u64, r.epochs, r.cross_shard_pkts, r.lookahead_ns);
+        m.aux = r.drops_queue;
+        *slot.lock().unwrap() = Some(r);
+        m
+    })
+}
+
+/// Percentile (nearest-rank) over per-flow completion instants, ms.
+fn completion_pct_ms(done_ns: &[u64], pct: f64) -> f64 {
+    let mut v: Vec<u64> = done_ns.to_vec();
+    v.sort_unstable();
+    if v.is_empty() {
+        return 0.0;
+    }
+    let ix = ((pct / 100.0 * v.len() as f64).ceil() as usize).clamp(1, v.len()) - 1;
+    v[ix] as f64 / 1e6
+}
+
+/// The incast sweep: synchronized N→1 fan-in at 1 Gb/s, N up to 1024.
+/// Worker count comes from the `SHARDS` env var (default sequential);
+/// results are bit-identical at any value.
+pub fn incast_metered(scale: Scale) -> (Vec<IncastRow>, BenchReport) {
+    use std::sync::Mutex;
+    let shards = runner::shards() as usize;
+    let (sweep, block): (Vec<u32>, u64) = match scale {
+        Scale::Paper => (vec![64, 256, 1024], 256 * 1024),
+        Scale::Quick => (vec![64, 256, 1024], 16 * 1024),
+    };
+    let slots: Vec<Mutex<Option<ScaleResult>>> = sweep.iter().map(|_| Mutex::new(None)).collect();
+    let cells: Vec<Cell<'_>> = sweep
+        .iter()
+        .zip(&slots)
+        .map(|(&n, slot)| {
+            scale_cell(
+                format!("senders={n} block={block} shards={shards}"),
+                ScaleCfg::incast(n, block, SEED_BASE),
+                shards,
+                n as u64 * block,
+                n,
+                slot,
+            )
+        })
+        .collect();
+    let (_, report) = runner::run_cells("incast", scale, cells);
+    let rows = sweep
+        .iter()
+        .zip(&slots)
+        .map(|(&n, slot)| {
+            let r = slot.lock().unwrap().take().expect("cell not run");
+            IncastRow {
+                senders: n,
+                block_kb: block / 1024,
+                goodput_mbps: r.goodput_mbps(n as u64 * block),
+                last_done_ms: r.last_done_ns as f64 / 1e6,
+                drops_queue: r.drops_queue,
+                timeouts: r.timeouts,
+                retrans: r.retrans,
+                fast_rtx: r.fast_rtx,
+            }
+        })
+        .collect();
+    (rows, report)
+}
+
+pub fn incast(scale: Scale) -> Vec<IncastRow> {
+    incast_metered(scale).0
+}
+
+/// The many-tenant sweep: T staggered flows share S receivers round-robin.
+pub fn tenants_metered(scale: Scale) -> (Vec<TenantRow>, BenchReport) {
+    use std::sync::Mutex;
+    let shards = runner::shards() as usize;
+    let (sweep, servers, block): (Vec<u32>, u32, u64) = match scale {
+        Scale::Paper => (vec![256, 1024], 32, 128 * 1024),
+        Scale::Quick => (vec![64, 256], 8, 16 * 1024),
+    };
+    let stagger = simcore::Dur::from_micros(50);
+    let slots: Vec<Mutex<Option<ScaleResult>>> = sweep.iter().map(|_| Mutex::new(None)).collect();
+    let cells: Vec<Cell<'_>> = sweep
+        .iter()
+        .zip(&slots)
+        .map(|(&t, slot)| {
+            scale_cell(
+                format!("tenants={t} servers={servers} block={block} shards={shards}"),
+                ScaleCfg::tenants(t, servers, block, stagger, SEED_BASE),
+                shards,
+                t as u64 * block,
+                t,
+                slot,
+            )
+        })
+        .collect();
+    let (_, report) = runner::run_cells("tenants", scale, cells);
+    let rows = sweep
+        .iter()
+        .zip(&slots)
+        .map(|(&t, slot)| {
+            let r = slot.lock().unwrap().take().expect("cell not run");
+            TenantRow {
+                tenants: t,
+                servers,
+                block_kb: block / 1024,
+                completion_p50_ms: completion_pct_ms(&r.flow_done_ns, 50.0),
+                completion_p99_ms: completion_pct_ms(&r.flow_done_ns, 99.0),
+                goodput_mbps: r.goodput_mbps(t as u64 * block),
+                drops_queue: r.drops_queue,
+                timeouts: r.timeouts,
+            }
+        })
+        .collect();
+    (rows, report)
+}
+
+pub fn tenants(scale: Scale) -> Vec<TenantRow> {
+    tenants_metered(scale).0
+}
+
+// ---------------------------------------------------------------------------
 // A2 — Option A vs Option B (long-message race fixes, §3.4)
 // ---------------------------------------------------------------------------
 
@@ -809,6 +1001,15 @@ mod tests {
     fn human_sizes() {
         assert_eq!(human_size(30 * 1024), "30K");
         assert_eq!(human_size(100), "100");
+    }
+
+    #[test]
+    fn completion_percentiles() {
+        let v = [4_000_000u64, 1_000_000, 3_000_000, 2_000_000];
+        assert_eq!(completion_pct_ms(&v, 50.0), 2.0);
+        assert_eq!(completion_pct_ms(&v, 99.0), 4.0);
+        assert_eq!(completion_pct_ms(&v, 100.0), 4.0);
+        assert_eq!(completion_pct_ms(&[], 50.0), 0.0);
     }
 
     #[test]

@@ -54,6 +54,17 @@ pub struct Measured {
     pub wheel_hits: u64,
     /// Timers beyond the wheel horizon (heap fallback; ditto).
     pub heap_falls: u64,
+    /// Worker shards the cell's simulation ran on (1 = sequential; ditto —
+    /// the partition must not change semantic outputs, so it is not
+    /// compared).
+    pub shards: u64,
+    /// Conservative epochs the sharded engine synchronized through (ditto).
+    pub epochs_total: u64,
+    /// Messages that crossed a shard boundary (partition-dependent; ditto).
+    pub cross_shard_pkts: u64,
+    /// Conservative lookahead the run executed under, in ns (0 when the
+    /// cell did not use the sharded engine).
+    pub lookahead_ns: u64,
 }
 
 impl Measured {
@@ -69,6 +80,10 @@ impl Measured {
             pkts_fused: 0,
             wheel_hits: 0,
             heap_falls: 0,
+            shards: 1,
+            epochs_total: 0,
+            cross_shard_pkts: 0,
+            lookahead_ns: 0,
         }
     }
 
@@ -91,6 +106,21 @@ impl Measured {
         self.pkts_fused = pkts_fused;
         self.wheel_hits = wheel_hits;
         self.heap_falls = heap_falls;
+        self
+    }
+
+    /// Attach the sharded-engine meters.
+    pub fn with_shard_meters(
+        mut self,
+        shards: u64,
+        epochs_total: u64,
+        cross_shard_pkts: u64,
+        lookahead_ns: u64,
+    ) -> Measured {
+        self.shards = shards;
+        self.epochs_total = epochs_total;
+        self.cross_shard_pkts = cross_shard_pkts;
+        self.lookahead_ns = lookahead_ns;
         self
     }
 }
@@ -132,6 +162,14 @@ pub struct CellMeter {
     pub wheel_hits: u64,
     /// Timers beyond the wheel horizon (heap fallback).
     pub heap_falls: u64,
+    /// Worker shards the cell's simulation ran on (1 = sequential).
+    pub shards: u64,
+    /// Conservative epochs the sharded engine synchronized through.
+    pub epochs_total: u64,
+    /// Messages that crossed a shard boundary.
+    pub cross_shard_pkts: u64,
+    /// Conservative lookahead the run executed under, in ns.
+    pub lookahead_ns: u64,
 }
 
 impl_to_json!(CellMeter {
@@ -146,7 +184,11 @@ impl_to_json!(CellMeter {
     bursts_total,
     pkts_per_burst_avg,
     wheel_hits,
-    heap_falls
+    heap_falls,
+    shards,
+    epochs_total,
+    cross_shard_pkts,
+    lookahead_ns
 });
 
 /// Roll-up of one figure's harness run.
@@ -239,6 +281,18 @@ fn threads_from_env(var: Option<&str>) -> Option<usize> {
 /// wakeup discipline.
 pub fn sim_check() -> bool {
     std::env::var("SIM_CHECK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Worker shards for the sharded-engine experiments: `SHARDS` env override,
+/// default 1 (sequential). Results are bit-identical at any value; only
+/// wall-clock changes.
+pub fn shards() -> u32 {
+    shards_from_env(std::env::var("SHARDS").ok().as_deref())
+}
+
+/// Parse a `SHARDS` override; unset, unparsable, or zero means sequential.
+fn shards_from_env(var: Option<&str>) -> u32 {
+    var.and_then(|v| v.parse::<u32>().ok()).map(|n| n.max(1)).unwrap_or(1)
 }
 
 /// Panics unless the reference-discipline and fast-discipline runs of one
@@ -334,6 +388,10 @@ pub fn run_cells_with_plan(
                     },
                     wheel_hits: m.wheel_hits,
                     heap_falls: m.heap_falls,
+                    shards: m.shards,
+                    epochs_total: m.epochs_total,
+                    cross_shard_pkts: m.cross_shard_pkts,
+                    lookahead_ns: m.lookahead_ns,
                 };
                 *slots[i].lock().unwrap() = Some((m, meter));
             });
@@ -403,6 +461,15 @@ mod tests {
     }
 
     #[test]
+    fn shards_override_parsing_defaults_to_sequential() {
+        assert_eq!(shards_from_env(None), 1);
+        assert_eq!(shards_from_env(Some("")), 1);
+        assert_eq!(shards_from_env(Some("many")), 1);
+        assert_eq!(shards_from_env(Some("0")), 1);
+        assert_eq!(shards_from_env(Some("4")), 4);
+    }
+
+    #[test]
     fn bench_report_renders_schema() {
         let r = BenchReport {
             fig: "fig0".into(),
@@ -424,6 +491,10 @@ mod tests {
                 pkts_per_burst_avg: 2.5,
                 wheel_hits: 9,
                 heap_falls: 1,
+                shards: 4,
+                epochs_total: 12,
+                cross_shard_pkts: 7,
+                lookahead_ns: 22_000,
             }],
         };
         let s = r.to_json().render();
@@ -441,6 +512,10 @@ mod tests {
             "\"pkts_per_burst_avg\"",
             "\"wheel_hits\"",
             "\"heap_falls\"",
+            "\"shards\"",
+            "\"epochs_total\"",
+            "\"cross_shard_pkts\"",
+            "\"lookahead_ns\"",
         ] {
             assert!(s.contains(key), "missing {key} in {s}");
         }

@@ -19,6 +19,7 @@ pub mod fxhash;
 pub mod process;
 pub mod rng;
 pub mod sched;
+pub mod shard;
 pub mod time;
 
 pub use process::{
@@ -26,4 +27,8 @@ pub use process::{
 };
 pub use rng::{derive_rng, stream_id};
 pub use sched::{Ctx, TimerId};
+pub use shard::{
+    effective_shards, local_ix, run_sharded, shard_of, Inbound, Mailbox, ShardCfg, ShardOutcome,
+    ShardSim, ShardWorld,
+};
 pub use time::{transmission_time, Dur, SimTime};

@@ -167,9 +167,24 @@ pub const WHEEL_HORIZON_NS: u64 = (WHEEL_SLOTS as u64) << WHEEL_SHIFT;
 /// Exposed for the scheduler equivalence proptests: granularity in ns.
 pub const WHEEL_GRAIN_NS: u64 = 1 << WHEEL_SHIFT;
 
+/// Second-level wheel granularity (2^21 ns ≈ 2.1 ms). Coarse timers — RTO
+/// (hundreds of ms), heartbeats, farm compute sleeps — land here instead
+/// of falling to the heap.
+const WHEEL2_SHIFT: u32 = 21;
+/// Look-ahead of the second-level wheel (≈ 8.6 s). Only timers beyond
+/// *this* still fall to the heap.
+pub const WHEEL2_HORIZON_NS: u64 = (WHEEL_SLOTS as u64) << WHEEL2_SHIFT;
+/// Second-level granularity in ns, exposed for the equivalence proptests.
+pub const WHEEL2_GRAIN_NS: u64 = 1 << WHEEL2_SHIFT;
+
 #[inline]
 fn bucket_of(at: SimTime) -> usize {
     ((at.as_nanos() >> WHEEL_SHIFT) as usize) & (WHEEL_SLOTS - 1)
+}
+
+#[inline]
+fn bucket2_of(at: SimTime) -> usize {
+    ((at.as_nanos() >> WHEEL2_SHIFT) as usize) & (WHEEL_SLOTS - 1)
 }
 
 /// Ordering key of one queued event. `Copy`, so stale (cancelled) keys cost
@@ -203,6 +218,13 @@ pub struct Ctx<W> {
     occ: [u64; WHEEL_WORDS],
     /// Entries currently in the wheel, stale keys included.
     wheel_len: usize,
+    /// Second-level wheel: same slot count at a 256× coarser grain, so
+    /// multi-second timers stay O(1) instead of falling to the heap.
+    wheel2: Box<[Vec<Key>; WHEEL_SLOTS]>,
+    /// Occupancy bitmap over `wheel2`.
+    occ2: [u64; WHEEL_WORDS],
+    /// Entries currently in the second-level wheel, stale keys included.
+    wheel2_len: usize,
     heap: BinaryHeap<Reverse<Key>>,
     /// Stale keys currently in the heap; bounded by compaction.
     heap_dead: usize,
@@ -258,6 +280,9 @@ impl<W> Ctx<W> {
             wheel: Box::new(std::array::from_fn(|_| Vec::new())),
             occ: [0; WHEEL_WORDS],
             wheel_len: 0,
+            wheel2: Box::new(std::array::from_fn(|_| Vec::new())),
+            occ2: [0; WHEEL_WORDS],
+            wheel2_len: 0,
             heap: BinaryHeap::new(),
             heap_dead: 0,
             low: (SimTime::MAX, u64::MAX),
@@ -427,7 +452,13 @@ impl<W> Ctx<W> {
         // wrapped-to-start entry unrepresentable.
         let near = (at.as_nanos() >> WHEEL_SHIFT) - (self.now.as_nanos() >> WHEEL_SHIFT)
             < WHEEL_SLOTS as u64;
-        let (idx, gen) = self.alloc_slot(ev, !near);
+        // Same gate at the coarse grain: RTOs, heartbeats and compute sleeps
+        // (milliseconds to seconds out) land in the second wheel instead of
+        // the heap; only timers past ~8.6 s still fall.
+        let far = !near
+            && (at.as_nanos() >> WHEEL2_SHIFT) - (self.now.as_nanos() >> WHEEL2_SHIFT)
+                < WHEEL_SLOTS as u64;
+        let (idx, gen) = self.alloc_slot(ev, !(near || far));
         let key = Key { at, seq, idx, gen };
         if (at, seq) < self.low {
             self.low = (at, seq);
@@ -439,6 +470,14 @@ impl<W> Ctx<W> {
             }
             self.wheel[b].push(key);
             self.wheel_len += 1;
+            self.wheel_hits += 1;
+        } else if far {
+            let b = bucket2_of(at);
+            if self.wheel2[b].is_empty() {
+                self.occ2[b / 64] |= 1 << (b % 64);
+            }
+            self.wheel2[b].push(key);
+            self.wheel2_len += 1;
             self.wheel_hits += 1;
         } else {
             self.heap.push(Reverse(key));
@@ -688,13 +727,19 @@ impl<W> Ctx<W> {
         self.wake_pending.clear();
     }
 
-    /// Visit occupied buckets circularly from `start`, calling `f` until it
-    /// returns `true` (stop) or a full revolution completes.
-    fn for_each_occupied_from(&self, start: usize, mut f: impl FnMut(usize) -> bool) {
+    /// Visit occupied buckets of `occ` circularly from `start`, calling `f`
+    /// until it returns `true` (stop) or a full revolution completes.
+    /// Associated (not a method) so callers can pass either level's bitmap
+    /// while the closure borrows that level's buckets.
+    fn for_each_occupied_from(
+        occ: &[u64; WHEEL_WORDS],
+        start: usize,
+        mut f: impl FnMut(usize) -> bool,
+    ) {
         let sw = start / 64;
         let sb = start % 64;
         // First (partial) word: bits at or after the start bucket.
-        let mut word = self.occ[sw] & (!0u64 << sb);
+        let mut word = occ[sw] & (!0u64 << sb);
         let mut wi = sw;
         for step in 0..=WHEEL_WORDS {
             while word != 0 {
@@ -714,7 +759,7 @@ impl<W> Ctx<W> {
                 return;
             }
             wi = (wi + 1) % WHEEL_WORDS;
-            word = self.occ[wi];
+            word = occ[wi];
             if step + 1 == WHEEL_WORDS && wi == sw {
                 // Wrapped back to the start word: only bits before the start
                 // bucket remain unvisited.
@@ -726,12 +771,17 @@ impl<W> Ctx<W> {
         }
     }
 
-    /// Sweep stale keys out of bucket `b`; returns (position, key) of the
-    /// bucket's (time, seq)-minimum, or `None` if it swept empty.
+    /// Sweep stale keys out of bucket `b` of the chosen level; returns
+    /// (position, key) of the bucket's (time, seq)-minimum, or `None` if it
+    /// swept empty.
     #[inline]
-    fn sweep_bucket_min(&mut self, b: usize) -> Option<(usize, Key)> {
+    fn sweep_bucket_min(&mut self, b: usize, level2: bool) -> Option<(usize, Key)> {
         let slots = &self.slots;
-        let v = &mut self.wheel[b];
+        let (v, len, occ) = if level2 {
+            (&mut self.wheel2[b], &mut self.wheel2_len, &mut self.occ2)
+        } else {
+            (&mut self.wheel[b], &mut self.wheel_len, &mut self.occ)
+        };
         let mut i = 0;
         let mut cleaned = 0;
         while i < v.len() {
@@ -756,27 +806,37 @@ impl<W> Ctx<W> {
             }
             Some((pos, key))
         };
-        self.wheel_len -= cleaned;
+        *len -= cleaned;
         if min.is_none() {
-            self.occ[b / 64] &= !(1 << (b % 64));
+            occ[b / 64] &= !(1 << (b % 64));
         }
         min
     }
 
-    /// Earliest wheel entry: first non-empty bucket circularly from `now`,
-    /// stale keys swept out as encountered. Returns (bucket, position, key).
-    fn wheel_min_clean(&mut self) -> Option<(usize, usize, Key)> {
-        let mut start = bucket_of(self.now);
-        while self.wheel_len > 0 {
+    /// Earliest entry of one wheel level: first non-empty bucket circularly
+    /// from `now`, stale keys swept out as encountered. Returns (bucket,
+    /// position, key).
+    fn wheel_min_clean(&mut self, level2: bool) -> Option<(usize, usize, Key)> {
+        let (mut start, horizon) = if level2 {
+            (bucket2_of(self.now), WHEEL2_HORIZON_NS)
+        } else {
+            (bucket_of(self.now), WHEEL_HORIZON_NS)
+        };
+        loop {
+            let len = if level2 { self.wheel2_len } else { self.wheel_len };
+            if len == 0 {
+                return None;
+            }
+            let occ = if level2 { &self.occ2 } else { &self.occ };
             let mut found = None;
-            self.for_each_occupied_from(start, |b| {
+            Self::for_each_occupied_from(occ, start, |b| {
                 found = Some(b);
                 true
             });
             let b = found?;
-            if let Some((pos, key)) = self.sweep_bucket_min(b) {
+            if let Some((pos, key)) = self.sweep_bucket_min(b, level2) {
                 debug_assert!(
-                    key.at.as_nanos() - self.now.as_nanos() < WHEEL_HORIZON_NS,
+                    key.at.as_nanos() - self.now.as_nanos() < horizon,
                     "live wheel entry beyond the horizon: the insert gate is broken"
                 );
                 return Some((b, pos, key));
@@ -787,7 +847,6 @@ impl<W> Ctx<W> {
             // empty, so no bucket is visited out of circular time order.
             start = (b + 1) & (WHEEL_SLOTS - 1);
         }
-        None
     }
 
     /// Earliest live heap key, popping stale tops.
@@ -808,27 +867,39 @@ impl<W> Ctx<W> {
     /// check, and the pop — the driver loop needs no separate
     /// [`Ctx::next_event_time`] peek per event.
     fn pop_next(&mut self, bound: SimTime) -> Popped<W> {
-        let wheel_min = self.wheel_min_clean();
+        let w1 = self.wheel_min_clean(false);
+        let w2 = self.wheel_min_clean(true);
         let heap_min = self.heap_min_clean();
-        // Pick the (time, seq) minimum without removing it yet: a key past
-        // `bound` must stay queued.
-        let (key, wheel_pos) = match (wheel_min, heap_min) {
-            (None, None) => return Popped::Empty,
-            (Some((b, pos, wk)), hk) if hk.is_none_or(|hk| (wk.at, wk.seq) <= (hk.at, hk.seq)) => {
-                (wk, Some((b, pos)))
+        // Pick the (time, seq) minimum of the three structures without
+        // removing it yet: a key past `bound` must stay queued. Keys are
+        // unique in (at, seq), so strict `<` suffices.
+        let mut best: Option<(Key, Option<(bool, usize, usize)>)> =
+            w1.map(|(b, pos, k)| (k, Some((false, b, pos))));
+        if let Some((b, pos, k)) = w2 {
+            if best.as_ref().is_none_or(|(bk, _)| (k.at, k.seq) < (bk.at, bk.seq)) {
+                best = Some((k, Some((true, b, pos))));
             }
-            (_, Some(hk)) => (hk, None),
-            (_, None) => unreachable!("wheel arm above covers Some/None"),
-        };
+        }
+        if let Some(k) = heap_min {
+            if best.as_ref().is_none_or(|(bk, _)| (k.at, k.seq) < (bk.at, bk.seq)) {
+                best = Some((k, None));
+            }
+        }
+        let Some((key, loc)) = best else { return Popped::Empty };
         if key.at > bound {
             return Popped::PastBound;
         }
-        match wheel_pos {
-            Some((b, pos)) => {
-                self.wheel[b].swap_remove(pos);
-                self.wheel_len -= 1;
-                if self.wheel[b].is_empty() {
-                    self.occ[b / 64] &= !(1 << (b % 64));
+        match loc {
+            Some((level2, b, pos)) => {
+                let (wheel, len, occ) = if level2 {
+                    (&mut self.wheel2, &mut self.wheel2_len, &mut self.occ2)
+                } else {
+                    (&mut self.wheel, &mut self.wheel_len, &mut self.occ)
+                };
+                wheel[b].swap_remove(pos);
+                *len -= 1;
+                if wheel[b].is_empty() {
+                    occ[b / 64] &= !(1 << (b % 64));
                 }
             }
             None => {
@@ -879,7 +950,7 @@ impl<W> Ctx<W> {
         let mut best: Option<(SimTime, u64)> = None;
         if self.wheel_len > 0 {
             let start = bucket_of(self.now);
-            self.for_each_occupied_from(start, |b| {
+            Self::for_each_occupied_from(&self.occ, start, |b| {
                 best = self.wheel[b].iter().map(|k| (k.at, k.seq)).min();
                 best.is_some()
             });
@@ -893,6 +964,25 @@ impl<W> Ctx<W> {
                 ),
                 "wheel key beyond the horizon: the insert gate is broken"
             );
+        }
+        if self.wheel2_len > 0 {
+            let start = bucket2_of(self.now);
+            let mut best2: Option<(SimTime, u64)> = None;
+            Self::for_each_occupied_from(&self.occ2, start, |b| {
+                best2 = self.wheel2[b].iter().map(|k| (k.at, k.seq)).min();
+                best2.is_some()
+            });
+            debug_assert!(
+                best2.is_none_or(
+                    |(at, _)| at.as_nanos() < self.now.as_nanos().saturating_add(WHEEL2_HORIZON_NS)
+                ),
+                "second-level wheel key beyond the horizon: the insert gate is broken"
+            );
+            if let Some(k2) = best2 {
+                if best.is_none_or(|b| k2 < b) {
+                    best = Some(k2);
+                }
+            }
         }
         if let Some(Reverse(k)) = self.heap.peek() {
             let hk = (k.at, k.seq);
@@ -959,17 +1049,17 @@ mod tests {
 
     #[test]
     fn near_and_far_timers_interleave_in_order() {
-        // Mix wheel-resident (µs) and heap-resident (s) timers; the pop
-        // order must be globally (time, seq) sorted across both backends.
+        // Mix timers across all three backends (L1 wheel, L2 wheel, heap);
+        // the pop order must be globally (time, seq) sorted.
         let mut c = ctx();
         let mut w = Vec::new();
         let delays = [
-            (3_000_000_000u64, 5u32), // heap
-            (10_000, 0),              // wheel
-            (1_000_000_000, 3),       // heap
-            (20_000, 1),              // wheel
-            (40_000_000, 2),          // just past the wheel horizon (heap)
-            (2_000_000_000, 4),       // heap
+            (20_000_000_000u64, 5u32), // past the L2 horizon (heap)
+            (10_000, 0),               // L1 wheel
+            (1_000_000_000, 3),        // L2 wheel
+            (20_000, 1),               // L1 wheel
+            (40_000_000, 2),           // just past the L1 horizon (L2 wheel)
+            (2_000_000_000, 4),        // L2 wheel
         ];
         for &(d, tag) in &delays {
             c.schedule_in(Dur::from_nanos(d), move |w: &mut Vec<u32>, _| w.push(tag));
@@ -981,10 +1071,10 @@ mod tests {
     #[test]
     fn near_horizon_timer_from_unaligned_now_does_not_wrap() {
         // Regression: with `now` not grain-aligned, a delay just under the
-        // horizon lies a full revolution of buckets ahead. It must fall back
-        // to the heap, not wrap into the scan-start bucket — which fired it
-        // before earlier timers in later buckets (and tripped the "time went
-        // backwards" debug assertion).
+        // horizon lies a full revolution of buckets ahead. It must fall to
+        // the next level down (today the L2 wheel), not wrap into the
+        // scan-start bucket — which fired it before earlier timers in later
+        // buckets (and tripped the "time went backwards" debug assertion).
         let mut c = ctx();
         let mut w = Vec::new();
         c.schedule_at(SimTime::from_nanos(100), |w: &mut Vec<u32>, _| w.push(0));
@@ -1230,6 +1320,60 @@ mod tests {
         assert_eq!(w, vec![0, 1, 2]);
         assert_eq!(c.events_fired(), 3, "each fused packet counts as one event");
         assert_eq!(c.now(), SimTime::from_nanos(300));
+    }
+
+    #[test]
+    fn coarse_timers_land_in_the_second_wheel_not_the_heap() {
+        // The satellite claim: RTO-scale timers (hundreds of ms) and
+        // compute-farm sleeps (up to seconds) must no longer fall to the
+        // heap. Only the 20 s outlier may.
+        let mut c = ctx();
+        let mut w = Vec::new();
+        for (i, ms) in [200u64, 250, 1_000, 5_000].into_iter().enumerate() {
+            c.schedule_in(Dur::from_millis(ms), move |w: &mut Vec<u32>, _| w.push(i as u32));
+        }
+        assert_eq!(c.heap_falls(), 0, "coarse timers must stay on a wheel");
+        assert_eq!(c.wheel2_len, 4);
+        assert_eq!(c.wheel_hits(), 4);
+        c.schedule_in(Dur::from_secs(20), |w: &mut Vec<u32>, _| w.push(9));
+        assert_eq!(c.heap_falls(), 1, "past the L2 horizon the heap still catches");
+        drain(&mut w, &mut c);
+        assert_eq!(w, vec![0, 1, 2, 3, 9]);
+        assert_eq!(c.wheel2_len, 0);
+    }
+
+    #[test]
+    fn second_wheel_cancel_leaves_tombstones_swept_by_the_pop_scan() {
+        let mut c = ctx();
+        let mut w = Vec::new();
+        for i in 0..64u64 {
+            let id = c.schedule_in(Dur::from_millis(100 + i * 10), |_: &mut Vec<u32>, _| {});
+            c.cancel(id);
+        }
+        c.schedule_in(Dur::from_secs(2), |w: &mut Vec<u32>, _| w.push(1));
+        assert_eq!(c.wheel2_len, 65, "stale L2 keys linger until swept");
+        drain(&mut w, &mut c);
+        assert_eq!(w, vec![1]);
+        assert_eq!(c.wheel2_len, 0, "pop scan sweeps stale L2 keys");
+    }
+
+    #[test]
+    fn next_event_key_sees_second_wheel_entries() {
+        let mut c = ctx();
+        let mut w = Vec::new();
+        c.schedule_at(SimTime::from_nanos(100), |w: &mut Vec<u32>, _| w.push(0));
+        drain(&mut w, &mut c);
+        c.schedule_in(Dur::from_millis(200), |_: &mut Vec<u32>, _| {});
+        assert_eq!(
+            c.next_event_time(),
+            Some(SimTime::from_nanos(100) + Dur::from_millis(200))
+        );
+        // An L1-resident timer in front of it must win the probe.
+        c.schedule_in(Dur::from_micros(5), |_: &mut Vec<u32>, _| {});
+        assert_eq!(
+            c.next_event_time(),
+            Some(SimTime::from_nanos(100) + Dur::from_micros(5))
+        );
     }
 
     #[test]

@@ -117,14 +117,16 @@ enum Cancel {
 }
 
 fn timer_op() -> impl Strategy<Value = (u64, Cancel)> {
-    use simcore::sched::{WHEEL_GRAIN_NS, WHEEL_HORIZON_NS};
+    use simcore::sched::{WHEEL2_GRAIN_NS, WHEEL2_HORIZON_NS, WHEEL_GRAIN_NS, WHEEL_HORIZON_NS};
     let delay = prop_oneof![
-        // Same-bucket and same-instant collisions inside the wheel.
+        // Same-bucket and same-instant collisions inside the L1 wheel.
         (0u64..48).prop_map(|x| x * (WHEEL_GRAIN_NS / 2)),
-        // Anywhere inside the horizon.
+        // Anywhere inside the L1 horizon.
         0u64..WHEEL_HORIZON_NS,
-        // Straddling the boundary and far beyond it (heap fallback).
+        // Straddling the L1 boundary and beyond it (second-level wheel).
         (WHEEL_HORIZON_NS - 2 * WHEEL_GRAIN_NS)..(4 * WHEEL_HORIZON_NS),
+        // Straddling the L2 boundary and far beyond it (heap fallback).
+        (WHEEL2_HORIZON_NS - 2 * WHEEL2_GRAIN_NS)..(2 * WHEEL2_HORIZON_NS),
     ];
     let cancel = prop_oneof![
         Just(Cancel::Keep),
@@ -205,7 +207,7 @@ proptest! {
                 }
             });
             // Outlive every timer and canceller.
-            env.sleep(Dur::from_nanos(5 * simcore::sched::WHEEL_HORIZON_NS));
+            env.sleep(Dur::from_nanos(3 * simcore::sched::WHEEL2_HORIZON_NS));
         });
         let out = rt.run();
         prop_assert_eq!(out.world.fired, expected);

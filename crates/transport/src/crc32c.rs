@@ -6,6 +6,16 @@
 //! against published vectors — because the security discussion (§3.5.2) and
 //! the cookie mechanism rely on it, and because the `crc_enabled` ablation
 //! charges its true per-byte CPU cost.
+//!
+//! Two backends share one state machine:
+//!
+//! * a byte-at-a-time software table (portable, the reference);
+//! * the SSE4.2 `crc32` instruction on x86-64, detected at runtime and
+//!   folding eight bytes per cycle-ish on the aligned middle of the buffer.
+//!
+//! Both compute the identical reflected-polynomial CRC, so the backend is
+//! invisible to callers; the equivalence test sweeps lengths and alignments
+//! to hold them to that.
 
 /// Reflected CRC32c polynomial.
 const POLY: u32 = 0x82F6_3B78;
@@ -27,6 +37,73 @@ const TABLE: [u32; 256] = {
     table
 };
 
+/// Fold `data` into `crc` one byte at a time (the portable reference).
+#[inline]
+fn update_soft(mut crc: u32, data: &[u8]) -> u32 {
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc
+}
+
+/// Fold `data` into `crc` with the SSE4.2 `crc32` instruction: byte ops up
+/// to 8-byte alignment, quadword ops over the aligned middle, byte ops on
+/// the tail.
+///
+/// # Safety
+/// The caller must have verified `sse4.2` support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse4.2")]
+unsafe fn update_hw(mut crc: u32, data: &[u8]) -> u32 {
+    use std::arch::x86_64::{_mm_crc32_u64, _mm_crc32_u8};
+    let (head, mids, tail) = data.align_to::<u64>();
+    for &b in head {
+        crc = _mm_crc32_u8(crc, b);
+    }
+    let mut acc = crc as u64;
+    for &q in mids {
+        // `align_to` yields native-endian u64 reads of consecutive bytes;
+        // the instruction consumes them in exactly that (little-endian
+        // byte-stream) order.
+        acc = _mm_crc32_u64(acc, q);
+    }
+    crc = acc as u32;
+    for &b in tail {
+        crc = _mm_crc32_u8(crc, b);
+    }
+    crc
+}
+
+/// Whether the hardware path is available on this machine, decided once.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn hw_available() -> bool {
+    use std::sync::atomic::{AtomicU8, Ordering};
+    static STATE: AtomicU8 = AtomicU8::new(0); // 0 unknown, 1 yes, 2 no
+    match STATE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => {
+            let yes = std::arch::is_x86_feature_detected!("sse4.2");
+            STATE.store(if yes { 1 } else { 2 }, Ordering::Relaxed);
+            yes
+        }
+    }
+}
+
+/// Dispatch one update through the fastest correct backend.
+#[inline]
+fn update_dispatch(crc: u32, data: &[u8]) -> u32 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if hw_available() {
+            // Safety: gated on the runtime sse4.2 probe above.
+            return unsafe { update_hw(crc, data) };
+        }
+    }
+    update_soft(crc, data)
+}
+
 /// Incrementally updatable CRC32c.
 #[derive(Debug, Clone, Copy)]
 pub struct Crc32c(u32);
@@ -45,11 +122,7 @@ impl Crc32c {
 
     /// Fold `data` into the running CRC.
     pub fn update(&mut self, data: &[u8]) {
-        let mut crc = self.0;
-        for &b in data {
-            crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
-        }
-        self.0 = crc;
+        self.0 = update_dispatch(self.0, data);
     }
 
     /// The final (inverted) CRC32c value.
@@ -94,5 +167,48 @@ mod tests {
         let orig = crc32c(&data);
         data[57] ^= 0x10;
         assert_ne!(crc32c(&data), orig);
+    }
+
+    #[test]
+    fn hardware_and_software_backends_agree() {
+        // Sweep lengths across every head/mid/tail split the dispatcher can
+        // produce, at every alignment within a quadword, over data with no
+        // structure the CRC could be insensitive to. On machines without
+        // SSE4.2 both sides take the table path and the test is vacuous —
+        // the CI x86-64 runners are the ones holding the claim.
+        let mut backing = vec![0u8; 256 + 16];
+        let mut x: u32 = 0x1234_5678;
+        for b in backing.iter_mut() {
+            // xorshift: cheap, deterministic, full-byte entropy.
+            x ^= x << 13;
+            x ^= x >> 17;
+            x ^= x << 5;
+            *b = x as u8;
+        }
+        for align in 0..8 {
+            for len in 0..=256 {
+                let data = &backing[align..align + len];
+                let hw = crc32c(data);
+                let sw = !update_soft(0xFFFF_FFFF, data);
+                assert_eq!(
+                    hw, sw,
+                    "backend divergence at align={align} len={len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_split_points_agree_across_backends() {
+        // Incremental updates restart the head/mid/tail decomposition at
+        // every call; the running state must still be byte-stream exact.
+        let data: Vec<u8> = (0u16..200).map(|i| (i * 31 + 7) as u8).collect();
+        let oneshot = !update_soft(0xFFFF_FFFF, &data);
+        for split in [0, 1, 3, 7, 8, 9, 63, 100, 199, 200] {
+            let mut c = Crc32c::new();
+            c.update(&data[..split]);
+            c.update(&data[split..]);
+            assert_eq!(c.finalize(), oneshot, "split at {split}");
+        }
     }
 }

@@ -12,6 +12,7 @@
 pub mod farm;
 pub mod nas;
 pub mod pingpong;
+pub mod scale;
 
 use bytes::Bytes;
 
