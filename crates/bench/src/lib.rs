@@ -20,6 +20,7 @@ use workloads::nas::{self, Class, Kernel};
 use workloads::pingpong::{self, PingPongCfg};
 use workloads::scale::{run_scale, ScaleCfg, ScaleResult};
 
+pub mod alloc_meter;
 pub mod json;
 pub mod runner;
 

@@ -170,6 +170,13 @@ pub struct CellMeter {
     pub cross_shard_pkts: u64,
     /// Conservative lookahead the run executed under, in ns.
     pub lookahead_ns: u64,
+    /// Heap allocations during the metered run (`ALLOC_METER=1`; 0 when the
+    /// counting allocator is off). Process-global, so attributable to this
+    /// cell only at `BENCH_THREADS=1`.
+    pub allocs_total: u64,
+    /// Allocations per simulator event (the memory-plane trajectory this
+    /// pass drives down; 0.0 when metering is off).
+    pub allocs_per_event: f64,
 }
 
 impl_to_json!(CellMeter {
@@ -188,7 +195,9 @@ impl_to_json!(CellMeter {
     shards,
     epochs_total,
     cross_shard_pkts,
-    lookahead_ns
+    lookahead_ns,
+    allocs_total,
+    allocs_per_event
 });
 
 /// Roll-up of one figure's harness run.
@@ -337,6 +346,10 @@ pub fn run_cells_with_plan(
     let n = cells.len();
     let threads = pool_threads().min(n.max(1));
     let check = sim_check();
+    if crate::alloc_meter::env_enabled() {
+        crate::alloc_meter::enable(true);
+    }
+    let metering_allocs = crate::alloc_meter::enabled();
     let start = Instant::now();
     let slots: Vec<Mutex<Option<(Measured, CellMeter)>>> =
         (0..n).map(|_| Mutex::new(None)).collect();
@@ -364,9 +377,12 @@ pub fn run_cells_with_plan(
                     simcore::set_reference_discipline(false);
                     r
                 });
+                let a0 = metering_allocs.then(crate::alloc_meter::allocs);
                 let t0 = Instant::now();
                 let m = (cell.run)();
                 let wall = t0.elapsed().as_secs_f64();
+                let allocs_total =
+                    a0.map_or(0, |a| crate::alloc_meter::allocs().saturating_sub(a));
                 trace::set_run_label(None);
                 if let Some(r) = &reference {
                     assert_disciplines_agree(&cell.label, r, &m);
@@ -392,6 +408,8 @@ pub fn run_cells_with_plan(
                     epochs_total: m.epochs_total,
                     cross_shard_pkts: m.cross_shard_pkts,
                     lookahead_ns: m.lookahead_ns,
+                    allocs_total,
+                    allocs_per_event: allocs_total as f64 / (m.events.max(1)) as f64,
                 };
                 *slots[i].lock().unwrap() = Some((m, meter));
             });
@@ -495,6 +513,8 @@ mod tests {
                 epochs_total: 12,
                 cross_shard_pkts: 7,
                 lookahead_ns: 22_000,
+                allocs_total: 123,
+                allocs_per_event: 12.3,
             }],
         };
         let s = r.to_json().render();
@@ -516,6 +536,8 @@ mod tests {
             "\"epochs_total\"",
             "\"cross_shard_pkts\"",
             "\"lookahead_ns\"",
+            "\"allocs_total\"",
+            "\"allocs_per_event\"",
         ] {
             assert!(s.contains(key), "missing {key} in {s}");
         }

@@ -255,11 +255,14 @@ impl SctpRpi {
         let mut progressed = false;
         // Reads first: sctp_recvmsg until EAGAIN (no select, §3.3).
         loop {
-            let Some(msg) = sctp::recvmsg(w, ctx, self.ep) else { break };
+            let Some(mut msg) = sctp::recvmsg(w, ctx, self.ep) else { break };
             meter.charge(cost.syscall + cost.sctp_per_msg + cost.sctp_bytes(msg.len as usize));
             progressed = true;
             let peer = self.peer_of_assoc(msg.assoc);
-            self.handle_message(ctx, core, peer, msg.stream, msg.data, msg.len as usize);
+            self.handle_message(ctx, core, peer, msg.stream, &mut msg.data, msg.len as usize);
+            // The chunk list came from the transport's pool (reassembly);
+            // its contents were consumed above, so retire the carrier.
+            w.pool.put_bytes_vec(msg.data);
         }
         // Writes: every peer, every stream — a blocked stream does not
         // block the others (§3.2). Peers with nothing queued are skipped.
@@ -306,7 +309,7 @@ impl SctpRpi {
             }
             while let Some(front) = self.wq[peer as usize][sid as usize].front() {
                 let len: usize = front.chunks.iter().map(|c| c.len()).sum();
-                match sctp::sendmsg_v(w, ctx, a, sid, front.ppid, front.chunks.clone()) {
+                match sctp::sendmsg_v(w, ctx, a, sid, front.ppid, &front.chunks) {
                     Ok(()) => {
                         meter.charge(cost.syscall + cost.sctp_per_msg + cost.sctp_bytes(len));
                         progressed = true;
@@ -340,7 +343,7 @@ impl SctpRpi {
         core: &mut Core,
         peer: u16,
         sid: u16,
-        data: Vec<Bytes>,
+        data: &mut Vec<Bytes>,
         len: usize,
     ) {
         let st = &mut self.rd[peer as usize][sid as usize];
@@ -350,7 +353,7 @@ impl SctpRpi {
             debug_assert!(len <= st.remaining, "piece overruns announced body");
             st.remaining -= len;
             let finished = st.remaining == 0;
-            for c in data {
+            for c in data.drain(..) {
                 core.body_chunk(sink, c);
             }
             if finished {
@@ -397,7 +400,7 @@ impl SctpRpi {
                     // Short body rides in this same message after the
                     // envelope.
                     let mut got = 0usize;
-                    for c in data.into_iter().skip(1) {
+                    for c in data.drain(..).skip(1) {
                         got += c.len();
                         core.body_chunk(sink, c);
                     }

@@ -44,6 +44,9 @@ pub(crate) struct TcpRpi {
     /// The mesh is fixed after `init`, so the select() descriptor count the
     /// cost model charges per pass is a constant, not a per-pass scan.
     nlive: usize,
+    /// Reused receive scratch: every readiness pass reads into this one
+    /// list instead of allocating a fresh `Vec<Bytes>` per `recv` call.
+    rd_scratch: Vec<Bytes>,
 }
 
 /// Listen port for the RPI mesh.
@@ -92,7 +95,7 @@ impl TcpRpi {
         let rd = (0..n).map(|_| ReadState::Env { buf: Vec::with_capacity(ENV_SIZE) }).collect();
         let wq = (0..n).map(|_| VecDeque::new()).collect();
         let nlive = socks.iter().flatten().count();
-        TcpRpi { me, socks, rd, wq, wq_items: 0, nlive }
+        TcpRpi { me, socks, rd, wq, wq_items: 0, nlive, rd_scratch: Vec::new() }
     }
 
     /// Queue an envelope (+ body) to `peer`.
@@ -154,8 +157,7 @@ impl TcpRpi {
         let s = self.socks[peer as usize].unwrap();
         let mut progressed = false;
         while let Some(front) = self.wq[peer as usize].front_mut() {
-            let slices: Vec<Bytes> = front.chunks.iter().cloned().collect();
-            let accepted = tcp::send(w, ctx, s, &slices);
+            let accepted = tcp::send(w, ctx, s, front.chunks.iter());
             if accepted == 0 {
                 break; // EAGAIN
             }
@@ -189,17 +191,17 @@ impl TcpRpi {
                 ReadState::Env { buf } => ENV_SIZE - buf.len(),
                 ReadState::Body { remaining, .. } => (*remaining).min(220 * 1024),
             };
-            let chunks = tcp::recv(w, ctx, s, want);
-            if chunks.is_empty() {
+            tcp::recv_into(w, ctx, s, want, &mut self.rd_scratch);
+            if self.rd_scratch.is_empty() {
                 break; // EAGAIN
             }
-            let got: usize = chunks.iter().map(|c| c.len()).sum();
+            let got: usize = self.rd_scratch.iter().map(|c| c.len()).sum();
             meter.charge(cost.syscall + cost.tcp_rx_bytes(got));
             progressed = true;
             match &mut self.rd[peer as usize] {
                 ReadState::Env { buf } => {
-                    for c in &chunks {
-                        buf.extend_from_slice(c);
+                    for c in self.rd_scratch.drain(..) {
+                        buf.extend_from_slice(&c);
                     }
                     if buf.len() == ENV_SIZE {
                         let env = Envelope::from_bytes(buf);
@@ -211,7 +213,7 @@ impl TcpRpi {
                     let total = *total;
                     *remaining -= got;
                     let finished = *remaining == 0;
-                    for c in chunks {
+                    for c in self.rd_scratch.drain(..) {
                         core.body_chunk(sink, c);
                     }
                     if finished {

@@ -305,6 +305,23 @@ impl Net {
         wire_bytes: &[u32],
         rng: &mut SmallRng,
     ) -> Vec<Verdict> {
+        let mut out = Vec::with_capacity(wire_bytes.len());
+        self.transmit_burst_into(now, src, dst, wire_bytes, rng, &mut out);
+        out
+    }
+
+    /// [`transmit_burst`](Self::transmit_burst) appending verdicts into a
+    /// caller-provided (usually pooled) buffer — one verdict per offered
+    /// packet, in offer order.
+    pub fn transmit_burst_into(
+        &mut self,
+        now: SimTime,
+        src: IfAddr,
+        dst: IfAddr,
+        wire_bytes: &[u32],
+        rng: &mut SmallRng,
+        out: &mut Vec<Verdict>,
+    ) {
         self.check_addr(src);
         self.check_addr(dst);
         let n = wire_bytes.len();
@@ -315,7 +332,8 @@ impl Net {
             self.stats.packets_delivered += n as u64;
             self.stats.bytes_delivered += wire_bytes.iter().map(|&b| b as u64).sum::<u64>();
             let at = now + self.cfg.loopback_delay;
-            return vec![Verdict::Deliver { at }; n];
+            out.extend(std::iter::repeat(Verdict::Deliver { at }).take(n));
+            return;
         }
 
         assert_eq!(
@@ -339,7 +357,7 @@ impl Net {
         let mut loss = 0u64;
         let mut queue = 0u64;
         let mut down_drops = 0u64;
-        let mut out = Vec::with_capacity(n);
+        out.reserve(n);
         // The links are borrowed out of `self.links` for the whole train;
         // the tracer and fault state are disjoint fields, so hooks stay
         // borrow-compatible.
@@ -405,7 +423,6 @@ impl Net {
         self.stats.drops_loss += loss;
         self.stats.drops_queue += queue;
         self.stats.drops_down += down_drops;
-        out
     }
 
     /// Administratively set one interface (both directions) up or down —

@@ -45,6 +45,11 @@ pub struct ShardNetCfg {
     /// Fault plan, instantiated per source node (GE chains, flap windows,
     /// jitter state all advance on the owning shard).
     pub fault_plan: Option<FaultPlan>,
+    /// Smallest wire size (bytes) the model ever offers to a NIC. Its
+    /// full-rate serialization time is a latency every packet pays on the
+    /// uplink, so it legally widens the lookahead bound. Zero (the default)
+    /// claims nothing and keeps the bound at `prop + switch`.
+    pub min_wire_bytes: u32,
 }
 
 impl Default for ShardNetCfg {
@@ -55,18 +60,24 @@ impl Default for ShardNetCfg {
             switch_latency: Dur::from_micros(2),
             loss_prob: 0.0,
             fault_plan: None,
+            min_wire_bytes: 0,
         }
     }
 }
 
 impl ShardNetCfg {
     /// The conservative lookahead bound: no packet sent at `t` can reach
-    /// another node's downlink input before `t + prop + switch`.
+    /// another node's downlink input before
+    /// `t + ser(min_wire_bytes) + prop + switch`. The serialization term
+    /// uses the configured line rate; fault-plane degradation only slows
+    /// links down, and jitter only delays, so the bound survives every
+    /// fault rule.
     ///
     /// Panics when that bound is zero — a zero-latency path admits no
     /// conservative window, so the sharded engine rejects the topology.
     pub fn lookahead(&self) -> Dur {
-        let l = self.link.prop_delay + self.switch_latency;
+        let ser = simcore::transmission_time(self.min_wire_bytes as u64, self.link.bandwidth_bps);
+        let l = ser + self.link.prop_delay + self.switch_latency;
         assert!(
             l > Dur::ZERO,
             "zero-latency links are not shardable: prop_delay + switch_latency must be positive"
@@ -204,6 +215,14 @@ mod tests {
     fn lookahead_is_prop_plus_switch() {
         let c = cfg(4);
         assert_eq!(c.lookahead(), Dur::from_micros(22));
+    }
+
+    #[test]
+    fn min_wire_serialization_widens_lookahead() {
+        // 64 bytes at 1 Gb/s serialize in 512 ns; every packet pays at
+        // least that on the uplink, so the conservative bound grows by it.
+        let c = ShardNetCfg { min_wire_bytes: 64, ..cfg(4) };
+        assert_eq!(c.lookahead(), Dur::from_micros(22) + Dur::from_nanos(512));
     }
 
     #[test]

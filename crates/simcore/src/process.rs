@@ -267,6 +267,10 @@ pub struct ProcEnv<W> {
     id: ProcId,
     shared: Arc<Shared<W>>,
     ctl: Arc<ProcCtl>,
+    /// Completion flag reused by every timed [`sleep`](Self::sleep) this
+    /// process performs (at most one is in flight at a time), so a sleep
+    /// costs an `Arc` clone instead of an allocation.
+    sleep_done: Arc<AtomicBool>,
 }
 
 impl<W: Send + 'static> ProcEnv<W> {
@@ -391,8 +395,9 @@ impl<W: Send + 'static> ProcEnv<W> {
         {
             return;
         }
-        let done = Arc::new(AtomicBool::new(false));
-        let done2 = Arc::clone(&done);
+        let done = &self.sleep_done;
+        done.store(false, Ordering::Release);
+        let done2 = Arc::clone(done);
         let id = self.id;
         self.with(move |_, ctx| {
             ctx.begin_sleep(id);
@@ -521,7 +526,12 @@ impl<W: Send + 'static> Runtime<W> {
         for (i, (name, main)) in self.mains.drain(..).enumerate() {
             let ctl = Arc::clone(&shared.ctls[i]);
             let shared2 = Arc::clone(&shared);
-            let env = ProcEnv { id: ProcId(i), shared: Arc::clone(&shared), ctl: Arc::clone(&ctl) };
+            let env = ProcEnv {
+                id: ProcId(i),
+                shared: Arc::clone(&shared),
+                ctl: Arc::clone(&ctl),
+                sleep_done: Arc::new(AtomicBool::new(false)),
+            };
             let handle = std::thread::Builder::new()
                 .name(format!("sim-{name}"))
                 .spawn(move || {

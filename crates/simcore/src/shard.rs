@@ -31,11 +31,15 @@
 //!   per-node streams ([`crate::derive_rng`]), never from a shard-global
 //!   RNG whose consumption order would depend on the partition.
 //!
-//! Epochs are aligned to the fixed grid `k·L`, and the barrier skips ahead:
-//! when every shard's next event lies beyond the current epoch, the epoch
-//! counter jumps straight to `floor(global_min / L)` instead of spinning
-//! through empty windows. An idle second therefore costs one barrier round,
-//! not `1 s / L` of them.
+//! Epochs are *adaptive*: each barrier round agrees on the global minimum
+//! next-event time `gmin` and executes the window `[gmin, gmin + L)` — a
+//! full lookahead anchored at the work, rather than the fixed grid cell
+//! `[k·L, (k+1)·L)` that merely contains it (which wastes half of `L` per
+//! round on average and spins through empty cells). An idle second costs
+//! one barrier round, and a burst spanning `1.5·L` costs two rounds, not
+//! three. The window sequence is a pure function of the traffic — `gmin`
+//! is agreed at the barrier — so epoch counts, merge batching, and results
+//! stay bit-identical at every shard count.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -497,6 +501,10 @@ fn worker<W: ShardWorld>(
     let mut cross = 0u64;
     let mut epochs = 0u64;
     let mut hit_deadline = false;
+    // End of the last executed window. Floors the next window so the end
+    // times strictly increase even if a shard publishes a stale (already
+    // executed) conservative lower bound.
+    let mut prev_end = 0u64;
 
     // Initial events (and initial sends, flushed before anything runs —
     // nothing has executed yet, so they are exempt from the epoch bound).
@@ -520,12 +528,19 @@ fn worker<W: ShardWorld>(
             break;
         }
 
-        // Skip-ahead: jump straight to the epoch holding the global
-        // minimum. The grid `k·L` is fixed, so the landing epoch — and
-        // therefore which barrier each message merges at — is the same at
-        // every shard count.
-        let epoch = gmin / l_ns;
-        let e_end_ns = (epoch + 1).saturating_mul(l_ns);
+        // Adaptive window: anchor the epoch at the global minimum and run a
+        // full lookahead past it, `[gmin, gmin + L)`, instead of snapping to
+        // the fixed grid cell `[k·L, (k+1)·L)` that merely *contains* `gmin`
+        // (which on average wastes half of `L` per barrier). Safe: every
+        // pending event fires at `t ≥ gmin`, so any send it makes arrives at
+        // `t + L ≥ gmin + L = e_end`. Deterministic: `gmin` is the global
+        // minimum agreed at the barrier — a property of the traffic, not of
+        // the partition — so every shard count derives the same window
+        // sequence. `prev_end` floors the anchor so a stale conservative
+        // bound from an empty shard cannot stall or shrink the window.
+        let gmin_eff = gmin.max(prev_end);
+        let e_end_ns = gmin_eff.saturating_add(l_ns);
+        prev_end = e_end_ns;
         sim.mail.epoch_end = SimTime::from_nanos(e_end_ns);
         ctx.set_deadline(SimTime::from_nanos((e_end_ns - 1).min(deadline_ns)));
         loop {
@@ -716,6 +731,37 @@ mod tests {
         );
         assert_eq!(out.worlds[0].got + out.worlds[1].got, 2);
         assert!(out.epochs <= 4, "expected skip-ahead, got {} epochs", out.epochs);
+    }
+
+    #[test]
+    fn adaptive_window_straddles_the_grid() {
+        // Two arrivals 0.2·L apart but straddling a grid boundary (0.9·L
+        // and 1.1·L). The fixed grid would spend one epoch per cell; the
+        // adaptive window [0.9·L, 1.9·L) executes both in a single round —
+        // at every shard count.
+        struct Pair {
+            got: u64,
+        }
+        impl ShardWorld for Pair {
+            type Msg = ();
+            fn init(sim: &mut ShardSim<Self>, _ctx: &mut Ctx<ShardSim<Self>>) {
+                if sim.shard() == 0 {
+                    // 0.9·L and 1.1·L for L = 22 µs.
+                    sim.send(0, 1, SimTime::ZERO + Dur::from_nanos(19_800), ());
+                    sim.send(0, 1, SimTime::ZERO + Dur::from_nanos(24_200), ());
+                }
+            }
+            fn deliver(sim: &mut ShardSim<Self>, _ctx: &mut Ctx<ShardSim<Self>>, _m: Inbound<()>) {
+                sim.world.got += 1;
+            }
+        }
+        for shards in [1usize, 2] {
+            let worlds = (0..shards).map(|_| Pair { got: 0 }).collect();
+            let out = run_sharded(ShardCfg::new(shards, Dur::from_micros(22), 3), worlds);
+            let got: u64 = out.worlds.iter().map(|w| w.got).sum();
+            assert_eq!(got, 2);
+            assert_eq!(out.epochs, 1, "adaptive window should cover both arrivals");
+        }
     }
 
     #[test]

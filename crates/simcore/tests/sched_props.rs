@@ -213,3 +213,63 @@ proptest! {
         prop_assert_eq!(out.world.fired, expected);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Batched rearm vs the open-coded cancel + schedule it replaces
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// `reschedule_in(Some(id), d, f)` is observably identical to the
+    /// two-call `cancel_counted(id); schedule_in(d, f)` pattern it batches:
+    /// same live-fire sequence, same `events` total (ghosts included), same
+    /// final simulated time — over arbitrary rearm storms, including rearms
+    /// that land after the target already fired (stale-id no-ops).
+    #[test]
+    fn batched_rearm_matches_cancel_then_schedule(
+        plan in prop::collection::vec((1u64..5_000, 1u64..5_000), 1..24)
+    ) {
+        #[derive(Default)]
+        struct W {
+            fired: Vec<u64>,
+            pending: Option<simcore::TimerId>,
+        }
+        fn target_fire(w: &mut W, ctx: &mut simcore::Ctx<W>) {
+            w.fired.push(ctx.now().as_nanos());
+            w.pending = None;
+        }
+        fn run(plan: &[(u64, u64)], batched: bool) -> (Vec<u64>, u64, u64) {
+            let plan = plan.to_vec();
+            let mut rt = Runtime::new(W::default(), 7);
+            rt.spawn("driver", move |env: ProcEnv<W>| {
+                env.with(|w, ctx| {
+                    w.pending = Some(ctx.schedule_in(Dur::from_nanos(500), target_fire));
+                    // Rearm events at cumulative offsets; each retires the
+                    // pending target (if still live) and arms a fresh one.
+                    let mut t = 0u64;
+                    for &(gap, delay) in &plan {
+                        t += gap;
+                        ctx.schedule_in(Dur::from_nanos(t), move |w: &mut W, ctx| {
+                            let prev = w.pending.take();
+                            let id = if batched {
+                                ctx.reschedule_in(prev, Dur::from_nanos(delay), target_fire)
+                            } else {
+                                if let Some(p) = prev {
+                                    ctx.cancel_counted(p);
+                                }
+                                ctx.schedule_in(Dur::from_nanos(delay), target_fire)
+                            };
+                            w.pending = Some(id);
+                        });
+                    }
+                });
+                // Outlive the last possible rearm target.
+                env.sleep(Dur::from_nanos(plan.iter().map(|&(g, _)| g).sum::<u64>() + 10_000));
+            });
+            let out = rt.run();
+            (out.world.fired, out.events, out.sim_time.as_nanos())
+        }
+        let a = run(&plan, true);
+        let b = run(&plan, false);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -79,8 +79,16 @@ impl ByteQueue {
     /// Cheap handles to the bytes in `[seq, seq + want)`, clamped to what is
     /// buffered. Used to (re)build segment payloads.
     pub fn slice(&self, seq: u64, want: usize) -> Vec<Bytes> {
-        assert!(seq >= self.head_seq, "slice below retained window");
         let mut out = Vec::new();
+        self.slice_into(seq, want, &mut out);
+        out
+    }
+
+    /// [`slice`](Self::slice) appended into a caller-provided (usually
+    /// pooled) list, so the per-segment emit path reuses one buffer instead
+    /// of allocating a fresh `Vec` per packet.
+    pub fn slice_into(&self, seq: u64, want: usize, out: &mut Vec<Bytes>) {
+        assert!(seq >= self.head_seq, "slice below retained window");
         let mut skip = (seq - self.head_seq) as usize;
         let mut want = want.min((self.end_seq() - seq) as usize);
         for c in &self.chunks {
@@ -96,7 +104,6 @@ impl ByteQueue {
             want -= take;
             skip = 0;
         }
-        out
     }
 }
 

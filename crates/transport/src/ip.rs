@@ -128,11 +128,12 @@ fn deliver(w: &mut World, ctx: &mut Wx, pkt: Packet) {
 /// Exactly equivalent to `pkts.len()` sequential [`send`] calls: same RNG
 /// draw order, same verdicts, same per-packet delivery instants, same
 /// (time, seq) fire positions, same `events_fired` count.
-pub fn send_train(w: &mut World, ctx: &mut Wx, pkts: Vec<Packet>) {
+pub fn send_train(w: &mut World, ctx: &mut Wx, mut pkts: Vec<Packet>) {
     if pkts.len() < 2 || ctx.is_reference() {
-        for pkt in pkts {
+        for pkt in pkts.drain(..) {
             send(w, ctx, pkt);
         }
+        w.pool.put_packet_vec(pkts);
         return;
     }
     let (src, dst) = (pkts[0].src, pkts[0].dst);
@@ -140,41 +141,47 @@ pub fn send_train(w: &mut World, ctx: &mut Wx, pkts: Vec<Packet>) {
         pkts.iter().all(|p| p.src == src && p.dst == dst),
         "a train must not cross a peer boundary"
     );
-    let sizes: Vec<u32> = pkts.iter().map(|p| IP_HEADER + p.body.wire_len()).collect();
+    let mut sizes = w.pool.take_size_vec();
+    sizes.extend(pkts.iter().map(|p| IP_HEADER + p.body.wire_len()));
     let caps: Option<Vec<PktCapture>> = if ctx.tracing() {
         Some(pkts.iter().map(|p| capture(ctx, p).expect("tracer present")).collect())
     } else {
         None
     };
-    let verdicts = w.net.transmit_burst(ctx.now(), src, dst, &sizes, &mut ctx.rng);
+    let mut verdicts = w.pool.take_verdict_vec();
+    w.net.transmit_burst_into(ctx.now(), src, dst, &sizes, &mut ctx.rng, &mut verdicts);
     if let Some(caps) = caps {
         for ((cap, &v), &size) in caps.into_iter().zip(&verdicts).zip(&sizes) {
             emit_pkt(ctx, src, dst, size, v, cap);
         }
     }
-    let mut train: VecDeque<(SimTime, Packet)> = pkts
-        .into_iter()
-        .zip(verdicts)
-        .filter_map(|(pkt, v)| match v {
-            Verdict::Deliver { at } => Some((at, pkt)),
-            Verdict::Drop(_) => None, // the network recorded the drop
-        })
-        .collect();
+    let mut train = w.pool.take_train();
+    for (pkt, v) in pkts.drain(..).zip(verdicts.iter()) {
+        match *v {
+            Verdict::Deliver { at } => train.push_back((at, pkt)),
+            Verdict::Drop(_) => {} // the network recorded the drop
+        }
+    }
+    w.pool.put_size_vec(sizes);
+    w.pool.put_verdict_vec(verdicts);
+    w.pool.put_packet_vec(pkts);
     // A fault boundary splits the train: delay jitter can hand later train
     // members *earlier* arrival instants, and the fused walk below requires
     // monotone arrivals. Degrading to one event per survivor is exactly what
     // per-packet `send` would have scheduled (same order, same seq draws).
     if train.iter().zip(train.iter().skip(1)).any(|(a, b)| b.0 < a.0) {
-        for (at, pkt) in train {
+        for (at, pkt) in train.drain(..) {
             ctx.schedule_at(at, move |w: &mut World, ctx: &mut Wx| deliver(w, ctx, pkt));
         }
+        w.pool.put_train(train);
         return;
     }
     match train.len() {
-        0 => {}
-        1 => {
-            let (at, pkt) = train.pop_front().unwrap();
-            ctx.schedule_at(at, move |w: &mut World, ctx: &mut Wx| deliver(w, ctx, pkt));
+        0 | 1 => {
+            if let Some((at, pkt)) = train.pop_front() {
+                ctx.schedule_at(at, move |w: &mut World, ctx: &mut Wx| deliver(w, ctx, pkt));
+            }
+            w.pool.put_train(train);
         }
         k => {
             ctx.note_burst(k as u64);
@@ -199,7 +206,7 @@ fn deliver_train(w: &mut World, ctx: &mut Wx, mut train: VecDeque<(SimTime, Pack
     while let Some((_, pkt)) = train.pop_front() {
         deliver(w, ctx, pkt);
         seq += 1;
-        let Some(&(next_at, _)) = train.front() else { return };
+        let Some(&(next_at, _)) = train.front() else { break };
         if !ctx.try_advance_to(next_at, seq) {
             // A wake or an earlier-ordered event intervenes: the rest of the
             // train becomes a real event in its reserved fire position.
@@ -209,4 +216,5 @@ fn deliver_train(w: &mut World, ctx: &mut Wx, mut train: VecDeque<(SimTime, Pack
             return;
         }
     }
+    w.pool.put_train(train);
 }

@@ -32,6 +32,7 @@
 pub mod buf;
 pub mod crc32c;
 pub mod ip;
+pub mod pool;
 pub mod ranges;
 pub mod rto;
 pub mod sctp;
@@ -58,6 +59,8 @@ pub struct World {
     pub net: Net,
     /// One protocol stack per host, indexed by host id.
     pub hosts: Vec<Host>,
+    /// Recycled packet-plane buffers (see [`pool`]).
+    pub pool: pool::Pools,
 }
 
 impl World {
@@ -69,7 +72,7 @@ impl World {
                 sctp: sctp::SctpHost::new(sctp_cfg.clone()),
             })
             .collect();
-        World { net: Net::new(net_cfg), hosts }
+        World { net: Net::new(net_cfg), hosts, pool: pool::Pools::default() }
     }
 
     /// Convenience: default configs at a given loss rate (the paper's

@@ -68,11 +68,13 @@ impl RangeSet {
 
     /// Remove everything below `cut` (a cumulative ack).
     pub fn remove_below(&mut self, cut: u64) {
-        let below: Vec<u64> = self.map.range(..cut).map(|(&s, _)| s).collect();
-        for s in below {
-            let e = self.map.remove(&s).unwrap();
+        // Ranges are disjoint and sorted, so only the last range starting
+        // below `cut` can straddle it — pop from the front until then.
+        while let Some((&s, &e)) = self.map.range(..cut).next() {
+            self.map.remove(&s);
             if e > cut {
                 self.map.insert(cut, e);
+                break;
             }
         }
     }
@@ -131,8 +133,15 @@ impl RangeSet {
     /// holes a newly arrived byte range actually fills.
     pub fn holes_within(&self, start: u64, end: u64) -> Vec<(u64, u64)> {
         let mut holes = Vec::new();
+        self.holes_within_into(start, end, &mut holes);
+        holes
+    }
+
+    /// [`holes_within`](Self::holes_within) appended into a caller-provided
+    /// (usually pooled) list.
+    pub fn holes_within_into(&self, start: u64, end: u64, holes: &mut Vec<(u64, u64)>) {
         if start >= end {
-            return holes;
+            return;
         }
         let mut cursor = start;
         // A predecessor range may cover the beginning.
@@ -153,7 +162,6 @@ impl RangeSet {
         if cursor < end {
             holes.push((cursor, end));
         }
-        holes
     }
 }
 

@@ -333,15 +333,16 @@ pub(crate) struct Assoc {
     /// `sent`, so earliest-unacked lookups skip the acked prefix and are
     /// amortized O(1) (`acked` never reverts to false).
     pub unacked_floor: u64,
-    /// Capacity hint for the next SACK's gap-block vector (previous SACK's
-    /// block count) — avoids regrowing the Vec while walking `rcv_have`.
-    pub sack_gap_hint: usize,
     pub peer_rwnd: u64,
     /// Consecutive unanswered timeouts/heartbeats across the whole
     /// association; reset by any acknowledged progress (RFC 4960 §8.1).
     pub assoc_errors: u32,
     pub t3_gen: u64,
     pub t3_armed: bool,
+    /// Live T3-rtx timer, if one is scheduled. Rearms go through
+    /// `Ctx::reschedule_in` so the superseded timer is ghost-cancelled (one
+    /// wheel tombstone) instead of firing later as a checked no-op.
+    pub t3_timer: Option<simcore::TimerId>,
     pub in_fast_recovery: bool,
     pub fast_recovery_exit: u64,
     /// RTT probe (tsn, never retransmitted) per Karn.
@@ -357,6 +358,8 @@ pub(crate) struct Assoc {
     pub dup_since_sack: u32,
     pub sack_gen: u64,
     pub sack_armed: bool,
+    /// Live delayed-SACK timer, ghost-cancelled when a SACK preempts it.
+    pub sack_timer: Option<simcore::TimerId>,
     pub last_advertised_rwnd: u64,
 
     // ---- handshake / lifecycle ----
@@ -400,11 +403,11 @@ impl Assoc {
             outstanding_bytes: 0,
             rtx_queue: BTreeSet::new(),
             unacked_floor: init_tsn,
-            sack_gap_hint: 0,
             peer_rwnd: cfg.rcvbuf,
             assoc_errors: 0,
             t3_gen: 0,
             t3_armed: false,
+            t3_timer: None,
             in_fast_recovery: false,
             fast_recovery_exit: 0,
             rtt_probe: None,
@@ -417,6 +420,7 @@ impl Assoc {
             dup_since_sack: 0,
             sack_gen: 0,
             sack_armed: false,
+            sack_timer: None,
             last_advertised_rwnd: cfg.rcvbuf,
             init_retries: 0,
             init_gen: 0,

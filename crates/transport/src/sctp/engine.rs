@@ -39,6 +39,13 @@ fn assoc_ref(w: &World, a: AssocId) -> &Assoc {
     &w.hosts[a.host as usize].sctp.eps[a.ep as usize].assocs[a.idx as usize]
 }
 
+/// Split borrow: the association *and* the world's buffer pools, so hot
+/// paths can recycle buffers while mutating association state.
+fn assoc_pool_mut(w: &mut World, a: AssocId) -> (&mut Assoc, &mut crate::pool::Pools) {
+    let World { hosts, pool, .. } = w;
+    (&mut hosts[a.host as usize].sctp.eps[a.ep as usize].assocs[a.idx as usize], pool)
+}
+
 fn host_secret(w: &mut World, ctx: &mut Wx, host: u16) -> u64 {
     let sh = &mut w.hosts[host as usize].sctp;
     *sh.secret.get_or_insert_with(|| ctx.rng.gen())
@@ -169,20 +176,21 @@ pub fn sendmsg(
     ppid: u32,
     data: Bytes,
 ) -> Result<(), SendErr> {
-    sendmsg_v(w, ctx, a, stream, ppid, vec![data])
+    sendmsg_v(w, ctx, a, stream, ppid, std::slice::from_ref(&data))
 }
 
 /// Like [`sendmsg`] but the message body is a list of chunks (zero-copy for
 /// callers that frame an envelope in front of a payload). Fragment
 /// boundaries respect both the PMTU chunk limit and the input chunk
-/// boundaries.
+/// boundaries. Borrows the chunk list so a caller retrying after
+/// `WouldBlock` never clones it.
 pub fn sendmsg_v(
     w: &mut World,
     ctx: &mut Wx,
     a: AssocId,
     stream: u16,
     ppid: u32,
-    data: Vec<Bytes>,
+    data: &[Bytes],
 ) -> Result<(), SendErr> {
     let cfg = cfg_of(w, a.host);
     {
@@ -217,7 +225,7 @@ pub fn sendmsg_v(
         } else {
             let mut remaining = len;
             for chunk in data {
-                let total = chunk.len();
+                let total: usize = chunk.len();
                 let mut off = 0;
                 while off < total {
                     let take = max.min(total - off);
@@ -371,19 +379,26 @@ fn send_packet(w: &mut World, ctx: &mut Wx, a: AssocId, path: u8, vtag: u64, chu
     }
 }
 
-/// Build a SACK chunk from receiver state.
-fn make_sack(ak: &mut Assoc, rcvbuf: u64, max_gaps: usize) -> Chunk {
-    // Size the gap-block vec from the previous SACK: under steady loss the
-    // block count is stable, so this avoids regrowing the vec every SACK.
-    let mut gaps: Vec<(u64, u64)> = Vec::with_capacity(ak.sack_gap_hint.min(max_gaps));
+/// Build a SACK chunk from receiver state. The gap-block list comes from
+/// the world's pool (the receiver of the SACK retires it).
+fn make_sack(
+    ctx: &mut Wx,
+    ak: &mut Assoc,
+    pool: &mut crate::pool::Pools,
+    rcvbuf: u64,
+    max_gaps: usize,
+) -> Chunk {
+    let mut gaps = pool.take_gap_vec();
     gaps.extend(ak.rcv_have.iter().take(max_gaps));
-    ak.sack_gap_hint = gaps.len();
     ak.sack_pending_pkts = 0;
     ak.sack_immediate = false;
     let dups = ak.dup_since_sack;
     ak.dup_since_sack = 0;
     ak.sack_gen += 1; // cancels pending sack timer
     ak.sack_armed = false;
+    if let Some(id) = ak.sack_timer.take() {
+        ctx.cancel_counted(id);
+    }
     ak.last_advertised_rwnd = ak.a_rwnd(rcvbuf);
     ak.stats.sacks_out += 1;
     Chunk::Sack { cum_tsn: ak.cum_tsn, a_rwnd: ak.last_advertised_rwnd, gaps, dup_count: dups }
@@ -392,11 +407,13 @@ fn make_sack(ak: &mut Assoc, rcvbuf: u64, max_gaps: usize) -> Chunk {
 fn send_sack_now(w: &mut World, ctx: &mut Wx, a: AssocId) {
     let cfg = cfg_of(w, a.host);
     let (sack, path, vtag) = {
-        let ak = assoc_mut(w, a);
+        let (ak, pool) = assoc_pool_mut(w, a);
         let path = ak.last_data_path();
-        (make_sack(ak, cfg.rcvbuf, cfg.max_gap_blocks), path, ak.peer_tag)
+        (make_sack(ctx, ak, pool, cfg.rcvbuf, cfg.max_gap_blocks), path, ak.peer_tag)
     };
-    send_packet(w, ctx, a, path, vtag, vec![sack]);
+    let mut chunks = w.pool.take_chunk_vec();
+    chunks.push(sack);
+    send_packet(w, ctx, a, path, vtag, chunks);
 }
 
 impl Assoc {
@@ -425,7 +442,7 @@ impl Assoc {
 /// (time, seq) tie between them is possible and fire order is unchanged.
 fn try_send(w: &mut World, ctx: &mut Wx, a: AssocId) {
     let crc = cfg_of(w, a.host).crc_enabled;
-    let mut train: Vec<Packet> = Vec::new();
+    let mut train = w.pool.take_packet_vec();
     let mut train_path = 0u8;
     try_send_inner(w, ctx, a, crc, &mut train, &mut train_path);
     ip::send_train(w, ctx, train);
@@ -447,11 +464,11 @@ fn try_send_inner(
         if burst >= cfg.max_burst {
             return;
         }
-        let mut packet: Vec<Chunk> = Vec::new();
+        let mut packet = w.pool.take_chunk_vec();
         let path;
         let vtag;
         {
-            let ak = assoc_mut(w, a);
+            let (ak, pool) = assoc_pool_mut(w, a);
             if !matches!(
                 ak.state,
                 AssocState::Established | AssocState::ShutdownPending | AssocState::ShutdownReceived
@@ -471,7 +488,7 @@ fn try_send_inner(
                 path = rtx_path;
                 if want_sack {
                     budget -= make_sack_placeholder_len(ak);
-                    let sack = make_sack(ak, cfg.rcvbuf, cfg.max_gap_blocks);
+                    let sack = make_sack(ctx, ak, pool, cfg.rcvbuf, cfg.max_gap_blocks);
                     packet.push(sack);
                 }
                 let now = ctx.now();
@@ -555,7 +572,7 @@ fn try_send_inner(
                 }
                 if want_sack {
                     budget -= make_sack_placeholder_len(ak);
-                    let sack = make_sack(ak, cfg.rcvbuf, cfg.max_gap_blocks);
+                    let sack = make_sack(ctx, ak, pool, cfg.rcvbuf, cfg.max_gap_blocks);
                     packet.push(sack);
                 }
                 let now = ctx.now();
@@ -633,6 +650,7 @@ fn try_send_inner(
         }
         let has_data = packet.iter().any(|c| matches!(c, Chunk::Data(_)));
         if packet.is_empty() {
+            w.pool.put_chunk_vec(packet);
             return;
         }
         if crc {
@@ -640,7 +658,8 @@ fn try_send_inner(
             send_packet(w, ctx, a, path, vtag, packet);
         } else {
             if !train.is_empty() && *train_path != path {
-                ip::send_train(w, ctx, std::mem::take(train));
+                let flush = std::mem::replace(train, w.pool.take_packet_vec());
+                ip::send_train(w, ctx, flush);
             }
             let pkt = build_packet(w, ctx, a, path, vtag, packet);
             *train_path = path;
@@ -692,6 +711,7 @@ fn arm_t3(w: &mut World, ctx: &mut Wx, a: AssocId) {
     ak.t3_gen += 1;
     ak.t3_armed = true;
     let gen = ak.t3_gen;
+    let old = ak.t3_timer.take();
     let path = earliest_outstanding_path(ak);
     let d = ak.paths[path as usize].rto.current();
     if ctx.tracing() {
@@ -705,7 +725,8 @@ fn arm_t3(w: &mut World, ctx: &mut Wx, a: AssocId) {
             rttvar_ns: rto.rttvar().as_nanos() as i64,
         }));
     }
-    ctx.schedule_in(d, move |w: &mut World, ctx: &mut Wx| on_t3(w, ctx, a, gen));
+    let id = ctx.reschedule_in(old, d, move |w: &mut World, ctx: &mut Wx| on_t3(w, ctx, a, gen));
+    assoc_mut(w, a).t3_timer = Some(id);
 }
 
 fn on_t3(w: &mut World, ctx: &mut Wx, a: AssocId, gen: u64) {
@@ -808,7 +829,8 @@ fn arm_sack_timer(w: &mut World, ctx: &mut Wx, a: AssocId) {
     ak.sack_gen += 1;
     ak.sack_armed = true;
     let gen = ak.sack_gen;
-    ctx.schedule_in(cfg.sack_delay, move |w: &mut World, ctx: &mut Wx| {
+    let old = ak.sack_timer.take();
+    let id = ctx.reschedule_in(old, cfg.sack_delay, move |w: &mut World, ctx: &mut Wx| {
         let ak = assoc_mut(w, a);
         if ak.sack_gen != gen || !ak.sack_armed {
             return;
@@ -818,6 +840,7 @@ fn arm_sack_timer(w: &mut World, ctx: &mut Wx, a: AssocId) {
             send_sack_now(w, ctx, a);
         }
     });
+    assoc_mut(w, a).sack_timer = Some(id);
 }
 
 fn arm_heartbeat(w: &mut World, ctx: &mut Wx, a: AssocId, path: u8) {
@@ -1094,8 +1117,8 @@ fn handle_cookie_echo(w: &mut World, ctx: &mut Wx, e: EpId, src: IfAddr, src_por
     let idx = ep.assocs.len() as u32;
     ep.assocs.push(ak);
     ep.by_peer.insert((src.host, src_port), idx);
-    let wake = std::mem::take(&mut ep.readers);
-    ctx.wake_all(&wake);
+    ctx.wake_all(&ep.readers);
+    ep.readers.clear();
     let a = AssocId { host: e.host, ep: e.idx, idx };
     let (vtag, path) = {
         let ak = assoc_ref(w, a);
@@ -1128,8 +1151,9 @@ fn handle_cookie_ack(w: &mut World, ctx: &mut Wx, a: AssocId) {
     }
     // Wake connect() pollers and flush any data queued before establishment.
     let e = a.endpoint();
-    let wake = std::mem::take(&mut ep_mut(w, e).writers);
-    ctx.wake_all(&wake);
+    let ep = ep_mut(w, e);
+    ctx.wake_all(&ep.writers);
+    ep.writers.clear();
     for p in 0..cfg.num_paths {
         arm_heartbeat(w, ctx, a, p);
     }
@@ -1141,9 +1165,10 @@ fn fail_assoc(w: &mut World, ctx: &mut Wx, a: AssocId) {
     assoc_mut(w, a).state = AssocState::Aborted;
     let e = a.endpoint();
     let ep = ep_mut(w, e);
-    let mut wake = std::mem::take(&mut ep.readers);
-    wake.append(&mut ep.writers);
-    ctx.wake_all(&wake);
+    ctx.wake_all(&ep.readers);
+    ctx.wake_all(&ep.writers);
+    ep.readers.clear();
+    ep.writers.clear();
 }
 
 // ---------------------------------------------------------------------------
@@ -1195,7 +1220,8 @@ pub fn input(w: &mut World, ctx: &mut Wx, src: IfAddr, dst: IfAddr, pkt: SctpPac
     assoc_mut(w, a).stats.packets_in += 1;
 
     let mut saw_data = false;
-    for chunk in pkt.chunks {
+    let mut chunks = pkt.chunks;
+    for chunk in chunks.drain(..) {
         match chunk {
             Chunk::Init { .. } | Chunk::CookieEcho { .. } => {}
             Chunk::InitAck { init_tag, a_rwnd, init_tsn, cookie, .. } => {
@@ -1208,6 +1234,7 @@ pub fn input(w: &mut World, ctx: &mut Wx, src: IfAddr, dst: IfAddr, pkt: SctpPac
             }
             Chunk::Sack { cum_tsn, a_rwnd, gaps, .. } => {
                 process_sack(w, ctx, a, cum_tsn, a_rwnd, &gaps);
+                w.pool.put_gap_vec(gaps);
             }
             Chunk::Heartbeat { path, nonce } => {
                 let (vtag, reply_path) = {
@@ -1243,6 +1270,7 @@ pub fn input(w: &mut World, ctx: &mut Wx, src: IfAddr, dst: IfAddr, pkt: SctpPac
             Chunk::Abort => fail_assoc(w, ctx, a),
         }
     }
+    w.pool.put_chunk_vec(chunks);
 
     if saw_data {
         decide_sack(w, ctx, a);
@@ -1255,13 +1283,14 @@ pub fn input(w: &mut World, ctx: &mut Wx, src: IfAddr, dst: IfAddr, pkt: SctpPac
 
 fn handle_data(w: &mut World, ctx: &mut Wx, a: AssocId, _src: IfAddr, d: DataChunk) {
     let cfg = cfg_of(w, a.host);
-    let mut delivered: Vec<RecvMsg> = Vec::new();
+    let mut delivered = w.pool.take_msg_vec();
     {
-        let ak = assoc_mut(w, a);
+        let (ak, pool) = assoc_pool_mut(w, a);
         if !matches!(
             ak.state,
             AssocState::Established | AssocState::ShutdownPending | AssocState::ShutdownSent
         ) {
+            pool.put_msg_vec(delivered);
             return;
         }
         ak.last_traffic = ctx.now();
@@ -1270,6 +1299,7 @@ fn handle_data(w: &mut World, ctx: &mut Wx, a: AssocId, _src: IfAddr, d: DataChu
             ak.stats.dup_tsns_in += 1;
             ak.dup_since_sack += 1;
             ak.sack_immediate = true;
+            pool.put_msg_vec(delivered);
             return;
         }
         // A chunk that fills a gap below the highest TSN seen must be
@@ -1291,6 +1321,7 @@ fn handle_data(w: &mut World, ctx: &mut Wx, a: AssocId, _src: IfAddr, d: DataChu
             // No receive window: silently drop (the sender's rwnd tracking
             // or its probe logic will retry).
             ak.sack_immediate = true;
+            pool.put_msg_vec(delivered);
             return;
         }
         ak.rcv_have.insert_point(d.tsn);
@@ -1311,7 +1342,7 @@ fn handle_data(w: &mut World, ctx: &mut Wx, a: AssocId, _src: IfAddr, d: DataChu
         st.frags.insert(d.tsn, d);
         // Assemble complete fragment runs; gate ordered messages on SSN.
         loop {
-            let Some((ssn, ppid, unordered, data, mlen)) = try_assemble(st) else { break };
+            let Some((ssn, ppid, unordered, data, mlen)) = try_assemble(st, pool) else { break };
             if unordered {
                 delivered.push(RecvMsg { assoc: aid, stream: sid, ssn, ppid, data, len: mlen });
             } else if ssn == st.next_ssn {
@@ -1355,17 +1386,23 @@ fn handle_data(w: &mut World, ctx: &mut Wx, a: AssocId, _src: IfAddr, d: DataChu
     if !delivered.is_empty() {
         let e = a.endpoint();
         let ep = ep_mut(w, e);
-        for m in delivered {
+        for m in delivered.drain(..) {
             ep.deliver_q.push_back(m);
         }
-        let wake = std::mem::take(&mut ep.readers);
-        ctx.wake_all(&wake);
+        ctx.wake_all(&ep.readers);
+        ep.readers.clear();
     }
+    w.pool.put_msg_vec(delivered);
 }
 
 /// Try to assemble one complete message from a stream's fragment map.
 /// Fragments of a message occupy consecutive TSNs bracketed by B/E bits.
-fn try_assemble(st: &mut InStream) -> Option<(u32, u32, bool, Vec<Bytes>, u32)> {
+/// The chunk list comes from the pool; the middleware retires it after
+/// consuming the message.
+fn try_assemble(
+    st: &mut InStream,
+    pool: &mut crate::pool::Pools,
+) -> Option<(u32, u32, bool, Vec<Bytes>, u32)> {
     let mut run_start: Option<u64> = None;
     let mut prev_tsn: Option<u64> = None;
     let mut complete: Option<(u64, u64)> = None;
@@ -1385,7 +1422,7 @@ fn try_assemble(st: &mut InStream) -> Option<(u32, u32, bool, Vec<Bytes>, u32)> 
         prev_tsn = Some(tsn);
     }
     let (s, e) = complete?;
-    let mut data = Vec::with_capacity((e - s + 1) as usize);
+    let mut data = pool.take_bytes_vec();
     let mut len = 0u32;
     let (mut ssn, mut ppid, mut unordered) = (0u32, 0u32, false);
     for tsn in s..=e {
@@ -1471,10 +1508,11 @@ fn process_sack(w: &mut World, ctx: &mut Wx, a: AssocId, cum: u64, a_rwnd: u64, 
     let mut do_fast_rtx = false;
     let wake_writers;
     {
-        let ak = assoc_mut(w, a);
+        let (ak, pool) = assoc_pool_mut(w, a);
         ak.stats.sacks_in += 1;
         let n_paths = ak.paths.len();
-        let mut newly_acked = vec![0u64; n_paths];
+        let mut newly_acked = pool.take_u64_vec();
+        newly_acked.resize(n_paths, 0);
         let mut cum_advanced = false;
 
         // Cumulative ack: split the acked prefix off in one O(log n)
@@ -1645,18 +1683,22 @@ fn process_sack(w: &mut World, ctx: &mut Wx, a: AssocId, cum: u64, a_rwnd: u64, 
         if ak.outstanding_bytes == 0 {
             ak.t3_gen += 1;
             ak.t3_armed = false;
+            if let Some(id) = ak.t3_timer.take() {
+                ctx.cancel_counted(id);
+            }
         } else if cum_advanced {
             ak.t3_armed = false; // re-armed fresh below
         }
 
         // Send space freed → wake endpoint writers.
         wake_writers = newly_acked.iter().any(|&x| x > 0);
+        pool.put_u64_vec(newly_acked);
         check_flight(ak, "process_sack", now);
     }
     if wake_writers {
         let ep = ep_mut(w, a.endpoint());
-        let wake = std::mem::take(&mut ep.writers);
-        ctx.wake_all(&wake);
+        ctx.wake_all(&ep.writers);
+        ep.writers.clear();
     }
     if do_fast_rtx {
         fast_retransmit_burst(w, ctx, a);
@@ -1733,9 +1775,10 @@ fn fast_retransmit_burst(w: &mut World, ctx: &mut Wx, a: AssocId) {
 /// Wake every process blocked on this endpoint (state changes).
 fn wake_endpoint(w: &mut World, ctx: &mut Wx, e: EpId) {
     let ep = ep_mut(w, e);
-    let mut wake = std::mem::take(&mut ep.readers);
-    wake.append(&mut ep.writers);
-    ctx.wake_all(&wake);
+    ctx.wake_all(&ep.readers);
+    ctx.wake_all(&ep.writers);
+    ep.readers.clear();
+    ep.writers.clear();
 }
 
 fn maybe_progress_shutdown(w: &mut World, ctx: &mut Wx, a: AssocId) {

@@ -10,7 +10,7 @@ use crate::ip::{self, Packet, Proto};
 use crate::{World, Wx};
 
 use super::{
-    sock, sock_mut, Flags, SockId, TcpCfg, TcpSegment, TcpSock, TcpState,
+    sock, sock_mut, sock_pool_mut, Flags, SockId, TcpCfg, TcpSegment, TcpSock, TcpState,
 };
 
 // ---------------------------------------------------------------------------
@@ -47,8 +47,8 @@ fn adv_wnd(sk: &TcpSock, cfg: &TcpCfg) -> u64 {
 }
 
 /// SACK blocks to attach: most recent ranges first, capped by option space.
-fn sack_blocks(sk: &TcpSock, cfg: &TcpCfg) -> Vec<(u64, u64)> {
-    let mut blocks = Vec::new();
+/// Appends into `blocks` (pooled by the caller).
+fn sack_blocks_into(sk: &TcpSock, cfg: &TcpCfg, blocks: &mut Vec<(u64, u64)>) {
     for &start in &sk.sack_recent {
         if blocks.len() >= cfg.max_sack_blocks {
             break;
@@ -60,7 +60,6 @@ fn sack_blocks(sk: &TcpSock, cfg: &TcpCfg) -> Vec<(u64, u64)> {
             }
         }
     }
-    blocks
 }
 
 /// Build one segment's wire packet; updates stats and delayed-ACK state.
@@ -75,9 +74,16 @@ fn build_segment(
     probe: bool,
 ) -> Packet {
     let cfg = cfg_of(w, s);
-    let sk = sock_mut(w, s);
+    let (sk, pool) = sock_pool_mut(w, s);
     let payload_len = total_len(&payload) as u32;
     let wnd = adv_wnd(sk, &cfg);
+    let sack = if flags.contains(Flags::SYN) {
+        Vec::new()
+    } else {
+        let mut b = pool.take_gap_vec();
+        sack_blocks_into(sk, &cfg, &mut b);
+        b
+    };
     let seg = TcpSegment {
         src_port: sk.local.1,
         dst_port: sk.remote.1,
@@ -85,7 +91,7 @@ fn build_segment(
         seq,
         ack: sk.rcv_nxt,
         wnd,
-        sack: if flags.contains(Flags::SYN) { Vec::new() } else { sack_blocks(sk, &cfg) },
+        sack,
         probe,
         payload,
         payload_len,
@@ -95,6 +101,9 @@ fn build_segment(
     sk.delack_pending = 0;
     sk.delack_gen += 1; // implicitly cancels any pending delack timer
     sk.delack_armed = false;
+    if let Some(id) = sk.delack_timer.take() {
+        ctx.cancel_counted(id);
+    }
     sk.stats.segs_out += 1;
     sk.stats.bytes_out += payload_len as u64;
     sk.last_send = ctx.now();
@@ -170,6 +179,7 @@ fn arm_rto(w: &mut World, ctx: &mut Wx, s: SockId) {
     sk.rto_armed = true;
     let gen = sk.rto_gen;
     let d = sk.rto.current();
+    let old = sk.rto_timer.take();
     if ctx.tracing() {
         ctx.trace_emit(trace::Event::RtoArm(trace::RtoArmEv {
             proto: trace::Proto8::Tcp,
@@ -180,12 +190,16 @@ fn arm_rto(w: &mut World, ctx: &mut Wx, s: SockId) {
             rttvar_ns: sk.rto.rttvar().as_nanos() as i64,
         }));
     }
-    ctx.schedule_in(d, move |w: &mut World, ctx: &mut Wx| on_rto(w, ctx, s, gen));
+    let id = ctx.reschedule_in(old, d, move |w: &mut World, ctx: &mut Wx| on_rto(w, ctx, s, gen));
+    sock_mut(w, s).rto_timer = Some(id);
 }
 
-fn disarm_rto(sk: &mut TcpSock) {
+fn disarm_rto(ctx: &mut Wx, sk: &mut TcpSock) {
     sk.rto_gen += 1;
     sk.rto_armed = false;
+    if let Some(id) = sk.rto_timer.take() {
+        ctx.cancel_counted(id);
+    }
 }
 
 fn on_rto(w: &mut World, ctx: &mut Wx, s: SockId, gen: u64) {
@@ -201,8 +215,8 @@ fn on_rto(w: &mut World, ctx: &mut Wx, s: SockId, gen: u64) {
                 sk.syn_retries += 1;
                 if sk.syn_retries > cfg.max_syn_retries {
                     sk.state = TcpState::Closed;
-                    let ws = std::mem::take(&mut sk.writers);
-                    ctx.wake_all(&ws);
+                    ctx.wake_all(&sk.writers);
+                    sk.writers.clear();
                     return;
                 }
                 sk.rto.backoff();
@@ -270,7 +284,8 @@ fn arm_delack(w: &mut World, ctx: &mut Wx, s: SockId) {
     sk.delack_gen += 1;
     sk.delack_armed = true;
     let gen = sk.delack_gen;
-    ctx.schedule_in(cfg.delack, move |w: &mut World, ctx: &mut Wx| {
+    let old = sk.delack_timer.take();
+    let id = ctx.reschedule_in(old, cfg.delack, move |w: &mut World, ctx: &mut Wx| {
         let sk = sock_mut(w, s);
         if sk.delack_gen != gen || !sk.delack_armed {
             return;
@@ -280,6 +295,7 @@ fn arm_delack(w: &mut World, ctx: &mut Wx, s: SockId) {
             send_ack_now(w, ctx, s);
         }
     });
+    sock_mut(w, s).delack_timer = Some(id);
 }
 
 fn arm_persist(w: &mut World, ctx: &mut Wx, s: SockId) {
@@ -295,7 +311,10 @@ fn arm_persist(w: &mut World, ctx: &mut Wx, s: SockId) {
         .current()
         .saturating_mul(1u64 << sk.persist_shift.min(6))
         .min(Dur::from_secs(60));
-    ctx.schedule_in(d, move |w: &mut World, ctx: &mut Wx| on_persist(w, ctx, s, gen));
+    let old = sk.persist_timer.take();
+    let id =
+        ctx.reschedule_in(old, d, move |w: &mut World, ctx: &mut Wx| on_persist(w, ctx, s, gen));
+    sock_mut(w, s).persist_timer = Some(id);
 }
 
 fn on_persist(w: &mut World, ctx: &mut Wx, s: SockId, gen: u64) {
@@ -328,7 +347,7 @@ fn on_persist(w: &mut World, ctx: &mut Wx, s: SockId, gen: u64) {
 fn retransmit_seg(w: &mut World, ctx: &mut Wx, s: SockId, seq: u64, max_len: usize) {
     let cfg = cfg_of(w, s);
     let (payload, fin_now) = {
-        let sk = sock_mut(w, s);
+        let (sk, pool) = sock_pool_mut(w, s);
         sk.rtt_probe = None;
         sk.stats.retransmits += 1;
         let data_end = sk.snd.end_seq();
@@ -337,7 +356,8 @@ fn retransmit_seg(w: &mut World, ctx: &mut Wx, s: SockId, seq: u64, max_len: usi
             (Vec::new(), sk.fin_sent)
         } else {
             let len = (cfg.mss as usize).min(max_len).min((data_end - seq) as usize);
-            let p = sk.snd.slice(seq, len);
+            let mut p = pool.take_bytes_vec();
+            sk.snd.slice_into(seq, len, &mut p);
             let covers_end = seq + len as u64 == data_end;
             (p, covers_end && sk.fin_sent)
         }
@@ -356,9 +376,9 @@ pub(crate) fn output(w: &mut World, ctx: &mut Wx, s: SockId) {
     let mss = cfg.mss as u64;
     let now = ctx.now();
     let mut need_persist = false;
-    let mut segs: Vec<(u64, Vec<Bytes>, bool)> = Vec::new();
+    let mut segs = w.pool.take_seg_vec();
     {
-        let sk = sock_mut(w, s);
+        let (sk, pool) = sock_pool_mut(w, s);
         if !matches!(
             sk.state,
             TcpState::Established | TcpState::CloseWait | TcpState::FinWait1 | TcpState::Closing | TcpState::LastAck
@@ -402,7 +422,13 @@ pub(crate) fn output(w: &mut World, ctx: &mut Wx, s: SockId) {
                 }
             }
             let seq = sk.snd_nxt;
-            let payload = if len > 0 { sk.snd.slice(seq, len as usize) } else { Vec::new() };
+            let payload = if len > 0 {
+                let mut p = pool.take_bytes_vec();
+                sk.snd.slice_into(seq, len as usize, &mut p);
+                p
+            } else {
+                Vec::new()
+            };
             sk.snd_nxt += len;
             // Bundle FIN onto the segment that exhausts the send queue.
             let mut fin_now = false;
@@ -435,11 +461,13 @@ pub(crate) fn output(w: &mut World, ctx: &mut Wx, s: SockId) {
     // emission (see `ip::send_train`); the RTO armed below is seconds out
     // while train arrivals are queue-bounded, so its seq position cannot
     // produce a (time, seq) tie either way.
-    let mut train = Vec::with_capacity(segs.len());
-    for (seq, payload, fin) in segs {
+    let mut train = w.pool.take_packet_vec();
+    train.reserve(segs.len());
+    for (seq, payload, fin) in segs.drain(..) {
         let flags = if fin { Flags::FIN } else { Flags::EMPTY };
         train.push(build_segment(w, ctx, s, flags, seq, payload, false));
     }
+    w.pool.put_seg_vec(segs);
     ip::send_train(w, ctx, train);
     {
         let sk = sock_mut(w, s);
@@ -496,9 +524,10 @@ fn sock_input(w: &mut World, ctx: &mut Wx, s: SockId, seg: TcpSegment) {
     if seg.flags.contains(Flags::RST) {
         let sk = sock_mut(w, s);
         sk.state = TcpState::Closed;
-        let mut wake = std::mem::take(&mut sk.readers);
-        wake.append(&mut sk.writers);
-        ctx.wake_all(&wake);
+        ctx.wake_all(&sk.readers);
+        ctx.wake_all(&sk.writers);
+        sk.readers.clear();
+        sk.writers.clear();
         return;
     }
 
@@ -517,9 +546,9 @@ fn sock_input(w: &mut World, ctx: &mut Wx, s: SockId, seg: TcpSegment) {
                         let now = ctx.now();
                         sk.rto.sample(now.since(t0));
                     }
-                    disarm_rto(sk);
-                    let ws = std::mem::take(&mut sk.writers);
-                    ctx.wake_all(&ws);
+                    disarm_rto(ctx, sk);
+                    ctx.wake_all(&sk.writers);
+                    sk.writers.clear();
                 }
                 send_ack_now(w, ctx, s);
             }
@@ -531,7 +560,7 @@ fn sock_input(w: &mut World, ctx: &mut Wx, s: SockId, seg: TcpSegment) {
                     sk.snd_una = 1;
                     sk.peer_wnd = seg.wnd;
                     sk.state = TcpState::Established;
-                    disarm_rto(sk);
+                    disarm_rto(ctx, sk);
                     sk.local.1
                 };
                 if let Some(l) = w.hosts[s.host as usize].tcp.listeners.get_mut(&port) {
@@ -564,8 +593,13 @@ fn established_input(w: &mut World, ctx: &mut Wx, s: SockId, seg: TcpSegment) {
     }
     let mut ack_now = seg.probe;
     if seg.payload_len > 0 || seg.flags.contains(Flags::FIN) {
-        ack_now |= process_data(w, ctx, s, seg);
+        ack_now |= process_data(w, ctx, s, &seg);
     }
+    // The payload slices the reassembly store needed were cloned (cheap
+    // refcounted handles); retire the segment's carrier buffers.
+    let TcpSegment { payload, sack, .. } = seg;
+    w.pool.put_bytes_vec(payload);
+    w.pool.put_gap_vec(sack);
     if ack_now {
         send_ack_now(w, ctx, s);
     } else {
@@ -584,7 +618,7 @@ fn process_ack(w: &mut World, ctx: &mut Wx, s: SockId, seg: &TcpSegment) {
     let cfg = cfg_of(w, s);
     let mss = cfg.mss as u64;
     let now = ctx.now();
-    let mut wake_writers = Vec::new();
+    let mut wake_writers = w.pool.take_proc_vec();
     let mut new_ack = false;
     {
         let sk = sock_mut(w, s);
@@ -647,9 +681,9 @@ fn process_ack(w: &mut World, ctx: &mut Wx, s: SockId, seg: &TcpSegment) {
                 // re-armed below (fresh timer)
                 sk.rto_armed = false;
             } else {
-                disarm_rto(sk);
+                disarm_rto(ctx, sk);
             }
-            wake_writers = std::mem::take(&mut sk.writers);
+            std::mem::swap(&mut wake_writers, &mut sk.writers);
 
             // FIN acknowledged?
             if sk.fin_sent && seg.ack == sk.snd.end_seq() + 1 {
@@ -660,7 +694,7 @@ fn process_ack(w: &mut World, ctx: &mut Wx, s: SockId, seg: &TcpSegment) {
                     other => other,
                 };
                 if sk.state == TcpState::Closed || sk.state == TcpState::TimeWait {
-                    disarm_rto(sk);
+                    disarm_rto(ctx, sk);
                 }
             }
         } else if seg.ack == sk.snd_una {
@@ -705,9 +739,13 @@ fn process_ack(w: &mut World, ctx: &mut Wx, s: SockId, seg: &TcpSegment) {
             // Cancel persist probing.
             sk.persist_gen += 1;
             sk.persist_armed = false;
+            if let Some(id) = sk.persist_timer.take() {
+                ctx.cancel_counted(id);
+            }
         }
     }
     ctx.wake_all(&wake_writers);
+    w.pool.put_proc_vec(wake_writers);
 
     // SACK-scoreboard hole repair: when the scoreboard proves a hole at
     // snd_una (data above it was received) and we are either in fast
@@ -770,12 +808,12 @@ fn process_ack(w: &mut World, ctx: &mut Wx, s: SockId, seg: &TcpSegment) {
 }
 
 /// Buffer arriving payload; returns true if an immediate ACK is required.
-fn process_data(w: &mut World, ctx: &mut Wx, s: SockId, seg: TcpSegment) -> bool {
+fn process_data(w: &mut World, ctx: &mut Wx, s: SockId, seg: &TcpSegment) -> bool {
     let cfg = cfg_of(w, s);
     let mut ack_now = false;
-    let mut wake_readers = Vec::new();
+    let mut wake_readers = w.pool.take_proc_vec();
     {
-        let sk = sock_mut(w, s);
+        let (sk, pool) = sock_pool_mut(w, s);
         let seq = seg.seq;
         let len = seg.payload_len as u64;
         if len > 0 {
@@ -800,7 +838,8 @@ fn process_data(w: &mut World, ctx: &mut Wx, s: SockId, seg: TcpSegment) -> bool
                 // Clamp to window and insert the missing sub-ranges.
                 let lo = seq.max(sk.rcv_nxt);
                 let hi = end.min(wnd_edge);
-                let holes = sk.have.holes_within(lo, hi);
+                let mut holes = pool.take_gap_vec();
+                sk.have.holes_within_into(lo, hi, &mut holes);
                 if holes.is_empty() {
                     // Nothing new (complete duplicate of buffered data).
                     ack_now = true;
@@ -837,7 +876,7 @@ fn process_data(w: &mut World, ctx: &mut Wx, s: SockId, seg: TcpSegment) -> bool
                     if drained {
                         sk.have.remove_below(sk.rcv_nxt);
                         sk.sack_recent.retain(|&r| r >= sk.rcv_nxt);
-                        wake_readers = std::mem::take(&mut sk.readers);
+                        std::mem::swap(&mut wake_readers, &mut sk.readers);
                         if had_gap {
                             // Filling a gap: ack immediately (RFC 5681).
                             ack_now = true;
@@ -846,6 +885,7 @@ fn process_data(w: &mut World, ctx: &mut Wx, s: SockId, seg: TcpSegment) -> bool
                         }
                     }
                 }
+                pool.put_gap_vec(holes);
             }
         }
 
@@ -864,12 +904,12 @@ fn process_data(w: &mut World, ctx: &mut Wx, s: SockId, seg: TcpSegment) -> bool
                     TcpState::FinWait2 => TcpState::TimeWait,
                     other => other,
                 };
-                let mut wr = std::mem::take(&mut sk.readers);
-                wake_readers.append(&mut wr);
+                wake_readers.append(&mut sk.readers);
             }
         }
     }
     ctx.wake_all(&wake_readers);
+    w.pool.put_proc_vec(wake_readers);
     ack_now
 }
 

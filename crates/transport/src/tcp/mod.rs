@@ -271,8 +271,14 @@ pub(crate) struct TcpSock {
     pub rto: RtoEstimator,
     pub rto_gen: u64,
     pub rto_armed: bool,
+    /// Live RTO timer, if one is scheduled. Rearms go through
+    /// `Ctx::reschedule_in` so the superseded timer is ghost-cancelled (one
+    /// wheel tombstone) instead of firing later as a checked no-op.
+    pub rto_timer: Option<simcore::TimerId>,
     pub persist_gen: u64,
     pub persist_armed: bool,
+    /// Live persist (zero-window probe) timer, ghost-cancelled on rearm.
+    pub persist_timer: Option<simcore::TimerId>,
     pub persist_shift: u32,
     /// RTT probe: (seq to be acked, send time); None while a retransmission
     /// poisons the sample (Karn).
@@ -305,6 +311,8 @@ pub(crate) struct TcpSock {
     pub delack_pending: u32,
     pub delack_gen: u64,
     pub delack_armed: bool,
+    /// Live delayed-ACK timer, ghost-cancelled when a segment preempts it.
+    pub delack_timer: Option<simcore::TimerId>,
 
     // --- app interface ---
     pub readers: Vec<ProcId>,
@@ -337,8 +345,10 @@ impl TcpSock {
             rto: RtoEstimator::new(cfg.rto),
             rto_gen: 0,
             rto_armed: false,
+            rto_timer: None,
             persist_gen: 0,
             persist_armed: false,
+            persist_timer: None,
             persist_shift: 0,
             rtt_probe: None,
             last_send: SimTime::ZERO,
@@ -358,6 +368,7 @@ impl TcpSock {
             delack_pending: 0,
             delack_gen: 0,
             delack_armed: false,
+            delack_timer: None,
             readers: Vec::new(),
             writers: Vec::new(),
             stats: SockStats::default(),
@@ -435,6 +446,13 @@ pub(crate) fn sock_mut(w: &mut World, s: SockId) -> &mut TcpSock {
     &mut w.hosts[s.host as usize].tcp.socks[s.idx as usize]
 }
 
+/// Split borrow: the socket *and* the world's buffer pools, so hot paths
+/// can recycle buffers while mutating socket state.
+pub(crate) fn sock_pool_mut(w: &mut World, s: SockId) -> (&mut TcpSock, &mut crate::pool::Pools) {
+    let World { hosts, pool, .. } = w;
+    (&mut hosts[s.host as usize].tcp.socks[s.idx as usize], pool)
+}
+
 pub(crate) fn sock(w: &World, s: SockId) -> &TcpSock {
     &w.hosts[s.host as usize].tcp.socks[s.idx as usize]
 }
@@ -498,8 +516,15 @@ pub fn is_failed(w: &World, s: SockId) -> bool {
 }
 
 /// Queue bytes for transmission. Returns the number of bytes accepted into
-/// the send buffer (0 = would block). Partial chunks are accepted.
-pub fn send(w: &mut World, ctx: &mut Wx, s: SockId, data: &[Bytes]) -> usize {
+/// the send buffer (0 = would block). Partial chunks are accepted. Takes
+/// any walk over the chunks (`&[Bytes]`, a `VecDeque` iterator, …) so
+/// callers retrying after a partial write never collect into a fresh list.
+pub fn send<'a>(
+    w: &mut World,
+    ctx: &mut Wx,
+    s: SockId,
+    data: impl IntoIterator<Item = &'a Bytes>,
+) -> usize {
     let sndbuf = w.hosts[s.host as usize].tcp.cfg.sndbuf;
     let sk = sock_mut(w, s);
     if !matches!(sk.state, TcpState::Established | TcpState::CloseWait) {
@@ -526,10 +551,19 @@ pub fn send(w: &mut World, ctx: &mut Wx, s: SockId, data: &[Bytes]) -> usize {
 /// Read up to `max` buffered bytes. An empty result means "would block"
 /// unless [`at_eof`] is true. May trigger a window-update ACK.
 pub fn recv(w: &mut World, ctx: &mut Wx, s: SockId, max: usize) -> Vec<Bytes> {
+    let mut out = Vec::new();
+    recv_into(w, ctx, s, max, &mut out);
+    out
+}
+
+/// [`recv`] into a caller-provided buffer (appended to), so a polling
+/// reader can reuse one scratch list across every call instead of
+/// allocating a fresh `Vec` per readiness pass.
+pub fn recv_into(w: &mut World, ctx: &mut Wx, s: SockId, max: usize, out: &mut Vec<Bytes>) {
     let rcvbuf = w.hosts[s.host as usize].tcp.cfg.rcvbuf;
     let mss = w.hosts[s.host as usize].tcp.cfg.mss as u64;
     let sk = sock_mut(w, s);
-    let mut out = Vec::new();
+    let before = out.len();
     let mut want = max;
     while want > 0 {
         match sk.in_order.front_mut() {
@@ -548,7 +582,7 @@ pub fn recv(w: &mut World, ctx: &mut Wx, s: SockId, max: usize) -> Vec<Bytes> {
             }
         }
     }
-    if !out.is_empty() {
+    if out.len() > before {
         // Window update: if our advertised window grew substantially since
         // the last segment we sent, tell the peer (it may be persist-blocked).
         let wnd = sk.rcv_wnd(rcvbuf);
@@ -556,7 +590,6 @@ pub fn recv(w: &mut World, ctx: &mut Wx, s: SockId, max: usize) -> Vec<Bytes> {
             engine::send_ack_now(w, ctx, s);
         }
     }
-    out
 }
 
 /// Bytes currently readable.

@@ -105,7 +105,11 @@ impl ScaleCfg {
         ScaleCfg {
             nodes,
             flows,
-            net: ShardNetCfg { nodes, ..ShardNetCfg::default() },
+            // Every packet this model offers is either a full `mss + hdr`
+            // data frame or an `ack_bytes` ack; the smaller of the two
+            // legally widens the engine's lookahead (its serialization is a
+            // latency every send pays).
+            net: ShardNetCfg { nodes, min_wire_bytes: 64, ..ShardNetCfg::default() },
             mss: 1448,
             hdr: 52,
             ack_bytes: 64,

@@ -124,5 +124,6 @@ fn zero_latency_topology_is_rejected() {
     let mut cfg = ScaleCfg::incast(2, 1024, 1);
     cfg.net.link.prop_delay = Dur::ZERO;
     cfg.net.switch_latency = Dur::ZERO;
+    cfg.net.min_wire_bytes = 0;
     let _ = run_scale(cfg, 2);
 }
