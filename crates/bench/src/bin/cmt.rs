@@ -1,63 +1,84 @@
 //! **A5 — Concurrent Multipath Transfer** (the paper's §2.1/§5 forward
 //! pointer to Iyengar et al.): stripe an association's data across all
-//! three of the testbed's networks. A bulk transfer should approach N×
-//! single-path throughput; the same transfer under loss shows CMT's
-//! resilience (per-path congestion state).
+//! three of the testbed's networks. A one-way bulk stream approaches N×
+//! single-path throughput; the same stream under loss shows CMT's
+//! resilience (per-path congestion state, SFR accounting, rescue probes).
+//! The strict ping-pong view, the send-buffer sweep, and a fault-plane
+//! composition (bursty loss + a primary flap) ride in the same run.
 //!
 //! Usage: `cmt [--quick]`
 
-use bench_harness::{mean_over_seeds, render_table, save_json, Scale};
-use mpi_core::MpiCfg;
-use workloads::pingpong::{run, PingPongCfg};
-
-struct Row {
-    paths: u8,
-    cmt: bool,
-    loss: f64,
-    mb_per_s: f64,
-}
-
-bench_harness::impl_to_json!(Row { paths, cmt, loss, mb_per_s });
+use bench_harness::{cmt_metered, render_table, save_json, Scale, CMT_AGG_MIN};
 
 fn main() {
     let scale = Scale::from_args();
-    let (iters, runs) = match scale {
-        Scale::Paper => (200, 3),
-        Scale::Quick => (20, 1),
+    let (results, report) = cmt_metered(scale);
+
+    let grid = |rows: &[bench_harness::CmtRow]| -> Vec<Vec<String>> {
+        rows.iter()
+            .map(|r| {
+                vec![
+                    r.paths.to_string(),
+                    r.cmt.to_string(),
+                    format!("{:.1}%", r.loss * 100.0),
+                    format!("{:.1}", r.mb_per_s),
+                    format!("{:?}", r.per_path_pkts),
+                    r.timeouts.to_string(),
+                    r.fast_rtx.to_string(),
+                    r.rescue_rtx.to_string(),
+                    r.spurious_frtx.to_string(),
+                ]
+            })
+            .collect()
     };
-    // One-way bulk: use a big-message ping-pong (dominated by the data leg).
-    let pp = PingPongCfg { size: 220 * 1024 - 64, iters };
-    let mut rows = Vec::new();
-    for (paths, cmt) in [(1u8, false), (3, false), (3, true)] {
-        for loss in [0.0, 0.01] {
-            let tput = mean_over_seeds(runs, |s| {
-                let mut m = MpiCfg::sctp(2, loss).with_seed(s);
-                m.sctp.num_paths = paths;
-                m.sctp.cmt = cmt;
-                run(m, pp).throughput
-            });
-            rows.push(Row { paths, cmt, loss, mb_per_s: tput / 1e6 });
-        }
-    }
-    let table: Vec<Vec<String>> = rows
+    let hdr = ["paths", "CMT", "loss", "MB/s", "pkts/path", "RTO", "frtx", "rescue", "spurious"];
+    print!(
+        "{}",
+        render_table("A5: CMT bulk stream (one-way, 64K eager messages)", &hdr, &grid(&results.stream))
+    );
+    print!(
+        "{}",
+        render_table("A5: CMT strict ping-pong (220K rendezvous messages)", &hdr, &grid(&results.pingpong))
+    );
+    let buf_rows: Vec<Vec<String>> = results
+        .bufs
+        .iter()
+        .map(|r| vec![format!("{}K", r.sndbuf_kb), format!("{:.1}", r.mb_per_s)])
+        .collect();
+    print!(
+        "{}",
+        render_table("send-buffer sweep (3-path CMT stream, 0% loss)", &["sndbuf", "MB/s"], &buf_rows)
+    );
+    let fault_rows: Vec<Vec<String>> = results
+        .fault
         .iter()
         .map(|r| {
             vec![
-                r.paths.to_string(),
                 r.cmt.to_string(),
-                format!("{:.0}%", r.loss * 100.0),
+                format!("{:.3}", r.secs),
                 format!("{:.1}", r.mb_per_s),
+                r.failovers.to_string(),
+                r.rescue_rtx.to_string(),
             ]
         })
         .collect();
     print!(
         "{}",
         render_table(
-            "A5: Concurrent Multipath Transfer (bulk ping-pong, MB/s)",
-            &["paths", "CMT", "loss", "MB/s"],
-            &table,
+            "fault composition: GE bursty loss (1% avg) + 20-80ms primary flap",
+            &["CMT", "secs", "MB/s", "failovers", "rescue"],
+            &fault_rows,
         )
     );
-    println!("expected: CMT over 3 paths beats single-path; multihoming without CMT does not");
-    save_json(&scale.tag("cmt"), &rows);
+    println!(
+        "expected: CMT over 3 paths aggregates >={CMT_AGG_MIN}x a single path at 0% loss \
+         and never loses to it under loss; multihoming without CMT does not aggregate"
+    );
+
+    save_json(&scale.tag("cmt"), &results.stream);
+    save_json(&scale.tag("cmt_pingpong"), &results.pingpong);
+    save_json(&scale.tag("cmt_bufs"), &results.bufs);
+    save_json(&scale.tag("cmt_fault"), &results.fault);
+    report.save();
+    eprintln!("{}", report.summary());
 }

@@ -95,12 +95,25 @@ pub fn fig8_sizes(scale: Scale) -> Vec<usize> {
     }
 }
 
+/// `Measured` path meters for one ping-pong/stream result: path count from
+/// the config (0 when the run wasn't SCTP — TCP has no path notion).
+fn path_meters(cfg: &MpiCfg, r: &pingpong::PingPongResult) -> (u64, [u64; 4], u64, u64) {
+    let paths = if matches!(cfg.transport, TransportSel::Sctp { .. }) {
+        cfg.sctp.num_paths as u64
+    } else {
+        0
+    };
+    (paths, r.sctp.per_path_pkts, r.sctp.spurious_frtx, r.sctp.rescue_rtx)
+}
+
 fn pingpong_cell(label: String, cfg: MpiCfg, pp: PingPongCfg) -> Cell<'static> {
     Cell::new(label, move || {
         let r = pingpong::run(cfg.clone(), pp);
+        let (paths, per_path, spur, rescue) = path_meters(&cfg, &r);
         Measured::new(r.throughput, r.secs, r.events)
             .with_runtime_meters(r.handoffs, r.wakes_coalesced)
             .with_burst_meters(r.bursts_total, r.pkts_fused, r.wheel_hits, r.heap_falls)
+            .with_path_meters(paths, per_path, spur, rescue)
     })
 }
 
@@ -690,6 +703,321 @@ pub fn flap_timeline_metered(scale: Scale) -> (Vec<FlapRow>, BenchReport) {
         "a singlehomed run cannot finish while its only path is down: {one:?}"
     );
     (rows, report)
+}
+
+// ---------------------------------------------------------------------------
+// A5 — Concurrent Multipath Transfer (ROADMAP item 4): stripe one
+// association's data across all three of the testbed's networks
+// ---------------------------------------------------------------------------
+
+/// One cell of the CMT figure: a (workload × path/CMT config × loss) point
+/// with the transport counters that explain it.
+#[derive(Debug, Clone)]
+pub struct CmtRow {
+    /// `"stream"` (one-way bulk, the paper-style CMT metric) or
+    /// `"pingpong"` (strict alternation — the latency-bound view).
+    pub workload: &'static str,
+    pub paths: u8,
+    pub cmt: bool,
+    pub loss: f64,
+    pub mb_per_s: f64,
+    /// Packets per path — the stripe balance (SACKs ride the primary).
+    pub per_path_pkts: Vec<u64>,
+    pub timeouts: u64,
+    pub fast_rtx: u64,
+    /// Tail losses recovered by the ~2·SRTT rescue probe instead of RTO.
+    pub rescue_rtx: u64,
+    /// Fast retransmits a later SACK proved unnecessary — SFR keeps this ~0.
+    pub spurious_frtx: u64,
+}
+
+impl_to_json!(CmtRow {
+    workload,
+    paths,
+    cmt,
+    loss,
+    mb_per_s,
+    per_path_pkts,
+    timeouts,
+    fast_rtx,
+    rescue_rtx,
+    spurious_frtx,
+});
+
+/// One cell of the send-buffer sweep: 3-path CMT bulk stream at 0 % loss.
+#[derive(Debug, Clone)]
+pub struct CmtBufRow {
+    pub sndbuf_kb: u64,
+    pub mb_per_s: f64,
+}
+
+impl_to_json!(CmtBufRow { sndbuf_kb, mb_per_s });
+
+/// One cell of the fault-composition table: the bulk stream under
+/// [`cmt_fault_plan`] with CMT on or off.
+#[derive(Debug, Clone)]
+pub struct CmtFaultRow {
+    pub cmt: bool,
+    pub secs: f64,
+    pub mb_per_s: f64,
+    pub failovers: u64,
+    pub rescue_rtx: u64,
+}
+
+impl_to_json!(CmtFaultRow { cmt, secs, mb_per_s, failovers, rescue_rtx });
+
+/// The three path configurations every CMT table compares, in output order.
+const CMT_CONFIGS: [(u8, bool); 3] = [(1, false), (3, false), (3, true)];
+
+/// Bulk-stream message size: just under the 64 KB eager threshold, so the
+/// MPI layer hands messages straight to the transport and successive sends
+/// pipeline. Rendezvous handshakes serialize message starts and cap the
+/// 3-path aggregate near 2.5× no matter the buffer size.
+pub const CMT_STREAM_MSG: usize = 64 * 1024 - 64;
+
+/// Socket-buffer size for the CMT grid cells: the paper testbed's 220 KB.
+/// The buffer sweep in [`cmt_metered`] measures the sensitivity and shows
+/// the stripe is *not* window-limited from here up — in-flight data is
+/// bounded by the 3-path BDP (~tens of KB), and oversizing the send buffer
+/// only deepens the bottleneck queues until they tail-drop.
+pub const CMT_BUFS: u64 = 220 * 1024;
+
+/// Acceptance floor for 3-path CMT aggregation over one path at 0 % loss.
+pub const CMT_AGG_MIN: f64 = 2.7;
+
+/// The fault-composition plan for the CMT flap cell: Gilbert–Elliott
+/// bursty loss at a 1 % long-run average on every link, plus the primary
+/// network (interface 0) flapping down for 20–80 ms — early enough to
+/// strand in-flight chunks on path 0 mid-stream.
+pub const CMT_FLAP_FROM_NS: u64 = 20_000_000;
+pub const CMT_FLAP_UNTIL_NS: u64 = 80_000_000;
+
+pub fn cmt_fault_plan() -> netsim::FaultPlan {
+    netsim::FaultPlan {
+        burst_loss: vec![netsim::BurstLossRule::matched(
+            netsim::Scope::ALL,
+            0.01,
+            BURST_LOSS_BAD,
+            BURST_MEAN_PKTS,
+        )],
+        flaps: vec![netsim::FlapRule {
+            scope: netsim::Scope::on_iface(0),
+            from_ns: CMT_FLAP_FROM_NS,
+            until_ns: CMT_FLAP_UNTIL_NS,
+        }],
+        ..Default::default()
+    }
+}
+
+fn cmt_cfg(paths: u8, cmt: bool, loss: f64, seed: u64) -> MpiCfg {
+    let mut m = MpiCfg::sctp(2, loss).with_seed(seed).with_sctp_bufs(CMT_BUFS, CMT_BUFS).with_cmt(cmt);
+    m.sctp.num_paths = paths;
+    m
+}
+
+/// All four CMT tables as one harness run (one `BENCH_cmt.json`).
+#[derive(Debug, Clone)]
+pub struct CmtResults {
+    /// Bulk stream, loss sweep × path configs — the headline table.
+    pub stream: Vec<CmtRow>,
+    /// Strict ping-pong, the latency-bound view of the same configs.
+    pub pingpong: Vec<CmtRow>,
+    /// Send-buffer sweep (3-path CMT stream at 0 % loss).
+    pub bufs: Vec<CmtBufRow>,
+    /// Fault composition: bursty loss + a primary-path flap.
+    pub fault: Vec<CmtFaultRow>,
+}
+
+/// Runs the CMT grids and asserts the acceptance shape on the stream
+/// table: ≥ [`CMT_AGG_MIN`]× aggregation at 0 % loss, no inversion against
+/// single-path at any loss rate, and SFR keeping spurious marks ~0.
+pub fn cmt_metered(scale: Scale) -> (CmtResults, BenchReport) {
+    use std::sync::Mutex;
+    use workloads::pingpong::{PingPongResult, StreamCfg};
+
+    // The stream cells need enough messages that one fast-recovery cycle
+    // doesn't dominate the transfer: at 256 messages a lucky single-path
+    // run can beat a striped run that absorbed one extra loss burst.
+    let (count, iters, runs): (u32, u32, usize) = match scale {
+        Scale::Paper => (4096, 200, 3),
+        Scale::Quick => (1024, 40, 1),
+    };
+    let stream_losses = [0.0, 0.005, 0.01, 0.02];
+    let pp_losses = [0.0, 0.01];
+    let st = StreamCfg { size: CMT_STREAM_MSG, count };
+    let pp = PingPongCfg { size: 220 * 1024 - 64, iters };
+    let bufs_kb: [u64; 3] = [220, 512, 1024];
+
+    let mut specs: Vec<(&'static str, u8, bool, f64)> = Vec::new();
+    for &loss in &stream_losses {
+        for (paths, cmt) in CMT_CONFIGS {
+            specs.push(("stream", paths, cmt, loss));
+        }
+    }
+    for &loss in &pp_losses {
+        for (paths, cmt) in CMT_CONFIGS {
+            specs.push(("pingpong", paths, cmt, loss));
+        }
+    }
+
+    // Cells in table order; each also parks its full result in a slot so
+    // the rows carry transport counters the runner's `Measured` can't.
+    let n_cells = specs.len() * runs + bufs_kb.len() + 2;
+    let slots: Vec<Mutex<Option<PingPongResult>>> =
+        (0..n_cells).map(|_| Mutex::new(None)).collect();
+    let mut cells: Vec<Cell<'_>> = Vec::new();
+    fn cell<'a>(
+        label: String,
+        cfg: MpiCfg,
+        workload: &'static str,
+        st: StreamCfg,
+        pp: PingPongCfg,
+        slot: &'a Mutex<Option<PingPongResult>>,
+    ) -> Cell<'a> {
+        Cell::new(label, move || {
+            let r = if workload == "stream" {
+                pingpong::run_stream(cfg.clone(), st)
+            } else {
+                pingpong::run(cfg.clone(), pp)
+            };
+            *slot.lock().unwrap() = Some(r);
+            let (paths, per_path, spur, rescue) = path_meters(&cfg, &r);
+            Measured::new(r.throughput, r.secs, r.events)
+                .with_runtime_meters(r.handoffs, r.wakes_coalesced)
+                .with_burst_meters(r.bursts_total, r.pkts_fused, r.wheel_hits, r.heap_falls)
+                .with_path_meters(paths, per_path, spur, rescue)
+        })
+    }
+    for &(workload, paths, cmt, loss) in &specs {
+        for s in 0..runs {
+            let seed = SEED_BASE + s as u64;
+            cells.push(cell(
+                format!("{workload} paths={paths} cmt={cmt} loss={loss} seed={seed:#x}"),
+                cmt_cfg(paths, cmt, loss, seed),
+                workload,
+                st,
+                pp,
+                &slots[cells.len()],
+            ));
+        }
+    }
+    for &kb in &bufs_kb {
+        cells.push(cell(
+            format!("bufsweep stream paths=3 cmt=true loss=0 sndbuf={kb}K"),
+            cmt_cfg(3, true, 0.0, SEED_BASE).with_sctp_bufs(kb * 1024, kb * 1024),
+            "stream",
+            st,
+            pp,
+            &slots[cells.len()],
+        ));
+    }
+    for cmt in [false, true] {
+        let mut cfg = cmt_cfg(3, cmt, 0.0, SEED_BASE);
+        cfg.fault_plan = cmt_fault_plan();
+        cells.push(cell(
+            format!("fault flap+ge stream paths=3 cmt={cmt}"),
+            cfg,
+            "stream",
+            st,
+            pp,
+            &slots[cells.len()],
+        ));
+    }
+
+    let (vals, report) =
+        runner::run_cells_with_plan("cmt", scale, cells, Some(cmt_fault_plan().to_json()));
+
+    // Grid rows: mean throughput over seeds, counters from the first seed
+    // (each seed is independently replayable from its cell label).
+    let mut stream: Vec<CmtRow> = Vec::new();
+    let mut pingpong_rows: Vec<CmtRow> = Vec::new();
+    for (i, &(workload, paths, cmt, loss)) in specs.iter().enumerate() {
+        let base = i * runs;
+        let tput = mean(&vals[base..base + runs]);
+        let r = slots[base].lock().unwrap().expect("cell not run");
+        let row = CmtRow {
+            workload,
+            paths,
+            cmt,
+            loss,
+            mb_per_s: tput / 1e6,
+            per_path_pkts: r.sctp.per_path_pkts[..paths as usize].to_vec(),
+            timeouts: r.sctp.timeouts,
+            fast_rtx: r.sctp.fast_retransmits,
+            rescue_rtx: r.sctp.rescue_rtx,
+            spurious_frtx: r.sctp.spurious_frtx,
+        };
+        if workload == "stream" {
+            stream.push(row);
+        } else {
+            pingpong_rows.push(row);
+        }
+    }
+    let gbase = specs.len() * runs;
+    let bufs: Vec<CmtBufRow> = bufs_kb
+        .iter()
+        .enumerate()
+        .map(|(j, &kb)| CmtBufRow { sndbuf_kb: kb, mb_per_s: vals[gbase + j].value / 1e6 })
+        .collect();
+    let fbase = gbase + bufs_kb.len();
+    let fault: Vec<CmtFaultRow> = [false, true]
+        .iter()
+        .enumerate()
+        .map(|(j, &cmt)| {
+            let r = slots[fbase + j].lock().unwrap().expect("cell not run");
+            CmtFaultRow {
+                cmt,
+                secs: r.secs,
+                mb_per_s: r.throughput / 1e6,
+                failovers: r.sctp.failovers,
+                rescue_rtx: r.sctp.rescue_rtx,
+            }
+        })
+        .collect();
+
+    // Acceptance shape (A5): CMT must aggregate, and never invert.
+    let get = |paths: u8, cmt: bool, loss: f64| {
+        stream
+            .iter()
+            .find(|r| r.paths == paths && r.cmt == cmt && r.loss == loss)
+            .expect("stream cell present")
+    };
+    for &loss in &stream_losses {
+        let single = get(1, false, loss);
+        let striped = get(3, true, loss);
+        assert!(
+            striped.mb_per_s >= single.mb_per_s,
+            "CMT must never lose to single-path: loss={loss} {:.1} vs {:.1} MB/s",
+            striped.mb_per_s,
+            single.mb_per_s
+        );
+    }
+    let agg = get(3, true, 0.0).mb_per_s / get(1, false, 0.0).mb_per_s;
+    assert!(
+        agg >= CMT_AGG_MIN,
+        "3-path CMT must aggregate ≥{CMT_AGG_MIN}× at 0% loss, got {agg:.2}×"
+    );
+    for r in &stream {
+        // SFR quality: cross-path reordering must not masquerade as loss.
+        assert!(
+            r.spurious_frtx <= r.fast_rtx / 4 + 4,
+            "spurious fast-rtx out of band: {r:?}"
+        );
+    }
+    for &loss in &pp_losses {
+        let (single, striped) = (
+            pingpong_rows.iter().find(|r| r.paths == 1 && r.loss == loss).unwrap(),
+            pingpong_rows.iter().find(|r| r.cmt && r.loss == loss).unwrap(),
+        );
+        assert!(
+            striped.mb_per_s >= single.mb_per_s,
+            "ping-pong CMT inversion at loss={loss}: {:.1} vs {:.1} MB/s",
+            striped.mb_per_s,
+            single.mb_per_s
+        );
+    }
+
+    (CmtResults { stream, pingpong: pingpong_rows, bufs, fault }, report)
 }
 
 // ---------------------------------------------------------------------------

@@ -65,6 +65,18 @@ pub struct Measured {
     /// Conservative lookahead the run executed under, in ns (0 when the
     /// cell did not use the sharded engine).
     pub lookahead_ns: u64,
+    /// Destination addresses configured per association (1 = singlehomed;
+    /// 0 when the cell's transport has no path notion, e.g. TCP).
+    pub paths: u64,
+    /// Packets sent per path index across the run — the CMT stripe balance
+    /// (all zeros for TCP cells).
+    pub per_path_pkts: [u64; 4],
+    /// Fast retransmits a later SACK proved unnecessary (the reordering
+    /// false-positive count CMT's SFR accounting drives to zero).
+    pub spurious_frtx: u64,
+    /// Chunks re-queued by the CMT rescue probe (tail-loss recovery that
+    /// bypassed the RTO).
+    pub rescue_rtx: u64,
 }
 
 impl Measured {
@@ -84,6 +96,10 @@ impl Measured {
             epochs_total: 0,
             cross_shard_pkts: 0,
             lookahead_ns: 0,
+            paths: 0,
+            per_path_pkts: [0; 4],
+            spurious_frtx: 0,
+            rescue_rtx: 0,
         }
     }
 
@@ -106,6 +122,21 @@ impl Measured {
         self.pkts_fused = pkts_fused;
         self.wheel_hits = wheel_hits;
         self.heap_falls = heap_falls;
+        self
+    }
+
+    /// Attach the multipath (CMT) meters.
+    pub fn with_path_meters(
+        mut self,
+        paths: u64,
+        per_path_pkts: [u64; 4],
+        spurious_frtx: u64,
+        rescue_rtx: u64,
+    ) -> Measured {
+        self.paths = paths;
+        self.per_path_pkts = per_path_pkts;
+        self.spurious_frtx = spurious_frtx;
+        self.rescue_rtx = rescue_rtx;
         self
     }
 
@@ -170,6 +201,14 @@ pub struct CellMeter {
     pub cross_shard_pkts: u64,
     /// Conservative lookahead the run executed under, in ns.
     pub lookahead_ns: u64,
+    /// Destination addresses per association (0 = no path notion).
+    pub paths: u64,
+    /// Packets sent per path index — the CMT stripe balance.
+    pub per_path_pkts: Vec<u64>,
+    /// Fast retransmits a later SACK proved unnecessary.
+    pub spurious_frtx_total: u64,
+    /// Chunks re-queued by the CMT rescue probe.
+    pub rescue_rtx_total: u64,
     /// Heap allocations during the metered run (`ALLOC_METER=1`; 0 when the
     /// counting allocator is off). Process-global, so attributable to this
     /// cell only at `BENCH_THREADS=1`.
@@ -196,6 +235,10 @@ impl_to_json!(CellMeter {
     epochs_total,
     cross_shard_pkts,
     lookahead_ns,
+    paths,
+    per_path_pkts,
+    spurious_frtx_total,
+    rescue_rtx_total,
     allocs_total,
     allocs_per_event
 });
@@ -311,20 +354,25 @@ fn assert_disciplines_agree(label: &str, reference: &Measured, fast: &Measured) 
     let same = reference.value.to_bits() == fast.value.to_bits()
         && reference.sim_secs.to_bits() == fast.sim_secs.to_bits()
         && reference.events == fast.events
-        && reference.aux == fast.aux;
+        && reference.aux == fast.aux
+        && reference.per_path_pkts == fast.per_path_pkts
+        && reference.spurious_frtx == fast.spurious_frtx
+        && reference.rescue_rtx == fast.rescue_rtx;
     assert!(
         same,
         "SIM_CHECK divergence in cell `{label}`: \
-         reference (value={:?} sim_secs={:?} events={} aux={}) vs \
-         fast (value={:?} sim_secs={:?} events={} aux={})",
+         reference (value={:?} sim_secs={:?} events={} aux={} paths={:?}) vs \
+         fast (value={:?} sim_secs={:?} events={} aux={} paths={:?})",
         reference.value,
         reference.sim_secs,
         reference.events,
         reference.aux,
+        reference.per_path_pkts,
         fast.value,
         fast.sim_secs,
         fast.events,
         fast.aux,
+        fast.per_path_pkts,
     );
 }
 
@@ -408,6 +456,10 @@ pub fn run_cells_with_plan(
                     epochs_total: m.epochs_total,
                     cross_shard_pkts: m.cross_shard_pkts,
                     lookahead_ns: m.lookahead_ns,
+                    paths: m.paths,
+                    per_path_pkts: m.per_path_pkts.to_vec(),
+                    spurious_frtx_total: m.spurious_frtx,
+                    rescue_rtx_total: m.rescue_rtx,
                     allocs_total,
                     allocs_per_event: allocs_total as f64 / (m.events.max(1)) as f64,
                 };
@@ -513,6 +565,10 @@ mod tests {
                 epochs_total: 12,
                 cross_shard_pkts: 7,
                 lookahead_ns: 22_000,
+                paths: 3,
+                per_path_pkts: vec![5, 3, 2, 0],
+                spurious_frtx_total: 1,
+                rescue_rtx_total: 2,
                 allocs_total: 123,
                 allocs_per_event: 12.3,
             }],
@@ -536,6 +592,10 @@ mod tests {
             "\"epochs_total\"",
             "\"cross_shard_pkts\"",
             "\"lookahead_ns\"",
+            "\"paths\"",
+            "\"per_path_pkts\"",
+            "\"spurious_frtx_total\"",
+            "\"rescue_rtx_total\"",
             "\"allocs_total\"",
             "\"allocs_per_event\"",
         ] {

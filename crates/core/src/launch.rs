@@ -110,6 +110,21 @@ impl MpiCfg {
         self
     }
 
+    /// Set the SCTP send/receive buffer sizes (bytes); the default is the
+    /// paper testbed's 220 KB. The `cmt` figure sweeps this knob to check
+    /// that the 3-path stripe stays BDP- rather than window-limited.
+    pub fn with_sctp_bufs(mut self, sndbuf: u64, rcvbuf: u64) -> Self {
+        self.sctp.sndbuf = sndbuf;
+        self.sctp.rcvbuf = rcvbuf;
+        self
+    }
+
+    /// Enable CMT (concurrent multipath transfer) on every association.
+    pub fn with_cmt(mut self, cmt: bool) -> Self {
+        self.sctp.cmt = cmt;
+        self
+    }
+
     fn validate(&self) {
         assert!(self.nprocs as usize <= self.net.hosts as usize, "more ranks than hosts");
         if let TransportSel::Sctp { streams, .. } = self.transport {
@@ -282,6 +297,11 @@ fn fold_sctp(mut a: AssocStats, s: AssocStats) -> AssocStats {
     a.sacks_in += s.sacks_in;
     a.msgs_delivered += s.msgs_delivered;
     a.failovers += s.failovers;
+    for (i, &n) in s.per_path_pkts.iter().enumerate() {
+        a.per_path_pkts[i] += n;
+    }
+    a.spurious_frtx += s.spurious_frtx;
+    a.rescue_rtx += s.rescue_rtx;
     if s.first_failover_ns != 0
         && (a.first_failover_ns == 0 || s.first_failover_ns < a.first_failover_ns)
     {

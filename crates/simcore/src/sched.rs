@@ -603,7 +603,7 @@ impl<W> Ctx<W> {
     /// no-op: the dead event still occupied a slab slot, still gated the
     /// inline fast paths, and still counted in `events_fired` when popped.
     /// `cancel_counted` frees the closure and the slot *now* but pushes the
-    /// timer's (time, seq) key onto the ghost heap, where [`Ctx::pop_next`]
+    /// timer's (time, seq) key onto the ghost heap, where `Ctx::pop_next`
     /// drains it with identical accounting — so a converted call site
     /// changes no simulation output bit, only the work done per event.
     ///

@@ -40,22 +40,22 @@ pub fn render_record(out: &mut String, rec: &Rec) {
         Event::RtoArm(r) => {
             let _ = write!(
                 out,
-                "{{\"t\":{t},\"q\":{q},\"ev\":\"rto_arm\",\"proto\":\"{}\",\"host\":{},\"peer\":{},\"rto\":{},\"srtt\":{},\"rttvar\":{}}}",
-                r.proto.as_str(), r.host, r.peer, r.rto_ns, r.srtt_ns, r.rttvar_ns
+                "{{\"t\":{t},\"q\":{q},\"ev\":\"rto_arm\",\"proto\":\"{}\",\"host\":{},\"peer\":{},\"path\":{},\"rto\":{},\"srtt\":{},\"rttvar\":{}}}",
+                r.proto.as_str(), r.host, r.peer, r.path, r.rto_ns, r.srtt_ns, r.rttvar_ns
             );
         }
         Event::RtoFire(r) => {
             let _ = write!(
                 out,
-                "{{\"t\":{t},\"q\":{q},\"ev\":\"rto_fire\",\"proto\":\"{}\",\"host\":{},\"peer\":{},\"backoff\":{},\"marked\":{}}}",
-                r.proto.as_str(), r.host, r.peer, r.backoff, r.marked
+                "{{\"t\":{t},\"q\":{q},\"ev\":\"rto_fire\",\"proto\":\"{}\",\"host\":{},\"peer\":{},\"path\":{},\"backoff\":{},\"marked\":{}}}",
+                r.proto.as_str(), r.host, r.peer, r.path, r.backoff, r.marked
             );
         }
         Event::FastRtx(f) => {
             let _ = write!(
                 out,
-                "{{\"t\":{t},\"q\":{q},\"ev\":\"fast_rtx\",\"proto\":\"{}\",\"host\":{},\"peer\":{},\"tsn\":{},\"count\":{}}}",
-                f.proto.as_str(), f.host, f.peer, f.tsn, f.count
+                "{{\"t\":{t},\"q\":{q},\"ev\":\"fast_rtx\",\"proto\":\"{}\",\"host\":{},\"peer\":{},\"path\":{},\"tsn\":{},\"count\":{}}}",
+                f.proto.as_str(), f.host, f.peer, f.path, f.tsn, f.count
             );
         }
         Event::HolBegin(h) => {
@@ -137,9 +137,9 @@ mod tests {
             },
             Rec { t_ns: 2, seq: 2, ev: Event::LinkDrop(LinkDropEv { src_host: 0, src_if: 1, dst_host: 3, wire_bytes: 1500, reason: DropKind::QueueFull, backlog_ns: 900 }) },
             Rec { t_ns: 3, seq: 3, ev: Event::Cwnd(CwndEv { proto: Proto8::Tcp, host: 1, peer: 2, path: 0, cwnd: 2920, ssthresh: 8760, flight: 1460 }) },
-            Rec { t_ns: 4, seq: 4, ev: Event::RtoArm(RtoArmEv { proto: Proto8::Sctp, host: 1, peer: 2, rto_ns: 1_000_000_000, srtt_ns: -1, rttvar_ns: -1 }) },
-            Rec { t_ns: 5, seq: 5, ev: Event::RtoFire(RtoFireEv { proto: Proto8::Sctp, host: 1, peer: 2, backoff: 2, marked: 5 }) },
-            Rec { t_ns: 6, seq: 6, ev: Event::FastRtx(FastRtxEv { proto: Proto8::Tcp, host: 1, peer: 2, tsn: 1460, count: 1 }) },
+            Rec { t_ns: 4, seq: 4, ev: Event::RtoArm(RtoArmEv { proto: Proto8::Sctp, host: 1, peer: 2, path: 1, rto_ns: 1_000_000_000, srtt_ns: -1, rttvar_ns: -1 }) },
+            Rec { t_ns: 5, seq: 5, ev: Event::RtoFire(RtoFireEv { proto: Proto8::Sctp, host: 1, peer: 2, path: 2, backoff: 2, marked: 5 }) },
+            Rec { t_ns: 6, seq: 6, ev: Event::FastRtx(FastRtxEv { proto: Proto8::Tcp, host: 1, peer: 2, path: 0, tsn: 1460, count: 1 }) },
             Rec { t_ns: 7, seq: 7, ev: Event::HolBegin(HolEv { host: 2, peer: 1, stream: 4 }) },
             Rec { t_ns: 8, seq: 8, ev: Event::HolEnd(HolEndEv { host: 2, peer: 1, stream: 4, dur_ns: 123, released: 3 }) },
             Rec { t_ns: 9, seq: 9, ev: Event::MpiPost(MpiPostEv { rank: 0, src: -1, tag: 5, cxt: 1, matched: true }) },

@@ -165,6 +165,8 @@ pub struct RtoArmEv {
     pub proto: Proto8,
     pub host: u16,
     pub peer: u16,
+    /// Destination path the armed timer guards (0 for TCP).
+    pub path: u8,
     pub rto_ns: u64,
     /// -1 until the estimator has a first sample.
     pub srtt_ns: i64,
@@ -176,6 +178,8 @@ pub struct RtoFireEv {
     pub proto: Proto8,
     pub host: u16,
     pub peer: u16,
+    /// Destination path penalized by the expiry (0 for TCP).
+    pub path: u8,
     /// Exponential-backoff shift in effect when the timer fired.
     pub backoff: u32,
     /// Bytes (TCP) or chunks (SCTP) marked for retransmission.
@@ -187,6 +191,8 @@ pub struct FastRtxEv {
     pub proto: Proto8,
     pub host: u16,
     pub peer: u16,
+    /// Destination path entering fast recovery (0 for TCP).
+    pub path: u8,
     /// First TSN / sequence byte entering fast retransmit.
     pub tsn: u64,
     pub count: u32,

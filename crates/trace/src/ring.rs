@@ -60,7 +60,7 @@ mod tests {
     use crate::{Event, Rec};
 
     fn rec(seq: u64) -> Rec {
-        Rec { t_ns: seq, seq, ev: Event::RtoFire(crate::RtoFireEv { proto: crate::Proto8::Tcp, host: 0, peer: 1, backoff: 0, marked: 0 }) }
+        Rec { t_ns: seq, seq, ev: Event::RtoFire(crate::RtoFireEv { proto: crate::Proto8::Tcp, host: 0, peer: 1, path: 0, backoff: 0, marked: 0 }) }
     }
 
     #[test]

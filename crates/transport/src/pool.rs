@@ -21,7 +21,7 @@
 //! * Debug builds poison retired byte scratch with `0xA5` before reuse, so
 //!   stale-read bugs surface as garbage checksums/payloads instead of
 //!   silently reading the previous packet's bytes.
-//! * Freelists are capped ([`MAX_POOLED`]) so a burst cannot pin unbounded
+//! * Freelists are capped (`MAX_POOLED`) so a burst cannot pin unbounded
 //!   memory; overflow buffers just drop.
 //!
 //! Pools live on the [`crate::World`], one set per world. Everything here

@@ -94,8 +94,14 @@ pub struct SctpCfg {
     pub max_burst: u32,
     /// Concurrent Multipath Transfer (Iyengar et al., referenced in §2.1
     /// and §5 of the paper as upcoming work): stripe *new* data across all
-    /// active paths instead of using only the primary. Each path keeps its
-    /// own congestion state; the TSN space provides reordering resilience.
+    /// active paths instead of using only the primary. The scheduler picks
+    /// the path with the most open cwnd; SACK accounting is made
+    /// reordering-robust with Iyengar's three algorithms — CUC (per-path
+    /// pseudo-cumack gates per-path cwnd growth), SFR (missing reports
+    /// counted per destination path so cross-path reordering never trips
+    /// the dup-ack threshold), and per-path fast recovery with RTX-SAME
+    /// retransmission. `false` leaves the single-path engine bit-identical
+    /// to the pre-CMT code.
     pub cmt: bool,
 }
 
@@ -197,6 +203,10 @@ pub(crate) struct SentChunk {
     pub marked_rtx: bool,
 }
 
+/// Most destination paths any association tracks in fixed-size per-path
+/// stats arrays. The testbed topology is 3 interfaces; 4 leaves headroom.
+pub const MAX_PATHS: usize = 4;
+
 /// Per-destination-path state: SCTP keeps congestion control, RTO, and
 /// error counts per path (§4.1.1 of the paper).
 #[derive(Debug)]
@@ -223,6 +233,36 @@ pub struct PathState {
     pub hb_gen: u64,
     /// Last instant this path carried data (heartbeat scheduling).
     pub last_used: SimTime,
+    /// CMT (Iyengar's CUC): earliest TSN still outstanding on this path —
+    /// the per-path pseudo-cumack. `u64::MAX` = nothing outstanding here.
+    /// Cwnd growth on this path is gated on SACKs that advance it, because
+    /// with striping the association-wide cumulative ack stalls behind the
+    /// slowest path even when *this* path is delivering perfectly.
+    pub pseudo_cumack: u64,
+    /// Monotone scan cursor for recomputing `pseudo_cumack`: every TSN
+    /// below it is acked or assigned to another path, so the per-SACK
+    /// rescan skips the settled prefix. Lowered only when a
+    /// retransmission re-homes an old TSN onto this path.
+    pub cumack_floor: u64,
+    /// CMT: this path (not the association) is in fast recovery.
+    pub in_fast_recovery: bool,
+    /// CMT: leave per-path fast recovery once `pseudo_cumack` passes this.
+    pub fast_recovery_exit: u64,
+    /// CMT: per-path T3-rtx generation (stale-fire rejection).
+    pub t3_gen: u64,
+    /// CMT: per-path T3-rtx timer is armed. CMT retransmission timers are
+    /// per destination — a timeout on one path must not stall or re-mark
+    /// the others, and concurrent losses recover in parallel.
+    pub t3_armed: bool,
+    /// CMT: live per-path T3-rtx timer (ghost-cancelled on rearm).
+    pub t3_timer: Option<simcore::TimerId>,
+    /// CMT: the armed timer is a *rescue probe* (~2·SRTT), not the full
+    /// RTO. The probe re-queues this path's aged chunks without cwnd
+    /// collapse or backoff — ping-pong tail losses otherwise sit a whole
+    /// RTO because SFR (correctly) refuses cross-path strike evidence and
+    /// no later same-path data exists to strike with. After one probe the
+    /// timer falls back to the real RTO.
+    pub t3_rescue: bool,
 }
 
 impl PathState {
@@ -239,6 +279,14 @@ impl PathState {
             hb_nonce: None,
             hb_gen: 0,
             last_used: SimTime::ZERO,
+            pseudo_cumack: u64::MAX,
+            cumack_floor: 0,
+            in_fast_recovery: false,
+            fast_recovery_exit: 0,
+            t3_gen: 0,
+            t3_armed: false,
+            t3_timer: None,
+            t3_rescue: false,
         }
     }
 }
@@ -305,6 +353,16 @@ pub struct AssocStats {
     /// Instant of the first failover, ns (0 = never) — the failover
     /// experiments' detection-latency measurement.
     pub first_failover_ns: u64,
+    /// Packets sent per destination path (first `MAX_PATHS` paths) — the
+    /// CMT stripe's balance, measurable from artifacts.
+    pub per_path_pkts: [u64; MAX_PATHS],
+    /// Chunks acked while still queued for retransmission: the mark was
+    /// unnecessary (cross-path reordering masquerading as loss). CMT's SFR
+    /// accounting exists to drive this to ~0.
+    pub spurious_frtx: u64,
+    /// Chunks re-queued by a CMT rescue probe (~2·SRTT tail-loss probe)
+    /// instead of waiting out the full RTO.
+    pub rescue_rtx: u64,
 }
 
 pub(crate) struct Assoc {
@@ -334,6 +392,13 @@ pub(crate) struct Assoc {
     /// amortized O(1) (`acked` never reverts to false).
     pub unacked_floor: u64,
     pub peer_rwnd: u64,
+    /// CMT: destination of the most recent chunk assignment — the stripe's
+    /// round-robin rotation cursor. Scheduling purely by "most open
+    /// window" is bistable (cwnd only grows where data flows, so the
+    /// leader absorbs the whole stripe); rotating over paths *with*
+    /// headroom keeps equal paths in a 1/N split while still skipping
+    /// paths whose cwnd is closed by recovery.
+    pub cmt_last_path: u8,
     /// Consecutive unanswered timeouts/heartbeats across the whole
     /// association; reset by any acknowledged progress (RFC 4960 §8.1).
     pub assoc_errors: u32,
@@ -385,6 +450,11 @@ impl Assoc {
         state: AssocState,
         init_tsn: u64,
     ) -> Self {
+        assert!(
+            cfg.num_paths as usize <= MAX_PATHS,
+            "num_paths {} exceeds MAX_PATHS {MAX_PATHS}",
+            cfg.num_paths
+        );
         let paths = (0..cfg.num_paths).map(|i| PathState::new(i, cfg)).collect();
         Assoc {
             state,
@@ -404,6 +474,7 @@ impl Assoc {
             rtx_queue: BTreeSet::new(),
             unacked_floor: init_tsn,
             peer_rwnd: cfg.rcvbuf,
+            cmt_last_path: 0,
             assoc_errors: 0,
             t3_gen: 0,
             t3_armed: false,
@@ -534,6 +605,11 @@ impl SctpHost {
                 t.sacks_in += s.sacks_in;
                 t.msgs_delivered += s.msgs_delivered;
                 t.failovers += s.failovers;
+                for (i, &n) in s.per_path_pkts.iter().enumerate() {
+                    t.per_path_pkts[i] += n;
+                }
+                t.spurious_frtx += s.spurious_frtx;
+                t.rescue_rtx += s.rescue_rtx;
                 if s.first_failover_ns != 0
                     && (t.first_failover_ns == 0 || s.first_failover_ns < t.first_failover_ns)
                 {

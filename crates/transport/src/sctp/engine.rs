@@ -11,7 +11,7 @@ use crate::{World, Wx};
 
 use super::assoc::{
     Assoc, AssocId, AssocState, AssocStats, Endpoint, EpId, InStream, PathState, PendingChunk,
-    RecvMsg, SctpCfg, SentChunk,
+    RecvMsg, SctpCfg, SentChunk, MAX_PATHS,
 };
 use super::wire::{Chunk, Cookie, DataChunk, SctpPacket};
 
@@ -63,6 +63,92 @@ fn trace_cwnd(ctx: &Wx, host: u16, peer: u16, path: u8, ps: &PathState) {
         ssthresh: ps.ssthresh,
         flight: ps.flight,
     }));
+}
+
+// ---------------------------------------------------------------------------
+// CMT (Concurrent Multipath Transfer, Iyengar et al.)
+// ---------------------------------------------------------------------------
+
+/// CMT stripe: rotate over the active paths *with congestion-window
+/// headroom*, starting after the last assignment (Iyengar's scheduler).
+///
+/// Why not simply "the path with the most open window"? Because cwnd only
+/// grows where data flows, that rule is bistable: whichever path pulls
+/// ahead offers the most free bytes, attracts the whole stripe, grows
+/// further, and CMT degenerates to one effective path (measured: a
+/// 200-iteration A5 run collapses to a 1:32:32 data split). Rotation keeps
+/// equal paths in a 1/N split, while the headroom gate still steers around
+/// paths whose cwnd is closed by loss recovery — that is the cwnd-aware
+/// part. Falls back to the most open window (ties toward lower SRTT, then
+/// lower index) when every path is saturated, and to the primary when
+/// every path is down; all picks are fully deterministic.
+fn cmt_pick_path(ak: &Assoc) -> u8 {
+    cmt_pick_path_burst(ak, &[0; MAX_PATHS], u32::MAX)
+}
+
+/// [`cmt_pick_path`] with Max.Burst awareness: paths that already emitted
+/// `max_burst` packets this send opportunity are skipped, because CMT
+/// applies the burst limit per *destination* — one association-wide gate
+/// would let a 3-path stripe open its ack clock no faster than one path.
+fn cmt_pick_path_burst(ak: &Assoc, burst_on: &[u32; MAX_PATHS], max_burst: u32) -> u8 {
+    let n = ak.paths.len();
+    let start = (ak.cmt_last_path as usize + 1) % n;
+    for k in 0..n {
+        let i = (start + k) % n;
+        let ps = &ak.paths[i];
+        if ps.active && ps.flight < ps.cwnd && burst_on[i] < max_burst {
+            return i as u8;
+        }
+    }
+    ak.paths
+        .iter()
+        .enumerate()
+        .filter(|(i, ps)| ps.active && burst_on[*i] < max_burst)
+        .min_by_key(|(i, ps)| {
+            let free = ps.cwnd.saturating_sub(ps.flight);
+            let srtt = ps.rto.srtt().map_or(u64::MAX, |d| d.as_nanos());
+            (std::cmp::Reverse(free), srtt, *i)
+        })
+        .map(|(i, _)| i as u8)
+        .unwrap_or(ak.primary)
+}
+
+/// CMT retransmission policy (RTX-SAME): resend on the chunk's own path so
+/// the per-path pseudo-cumack and SFR accounting stay truthful; fall back
+/// to the most-open active path only when that path is down.
+fn cmt_rtx_target(ak: &Assoc, chunk_path: u8) -> u8 {
+    if ak.paths[chunk_path as usize].active {
+        chunk_path
+    } else {
+        cmt_pick_path(ak)
+    }
+}
+
+/// Record that `tsn` now rides `path`: the path's pseudo-cumack (earliest
+/// outstanding TSN) and its rescan cursor may move down. Called at every
+/// chunk→path (re)assignment when CMT is on.
+fn cmt_note_assign(ak: &mut Assoc, path: u8, tsn: u64) {
+    ak.cmt_last_path = path;
+    let ps = &mut ak.paths[path as usize];
+    ps.pseudo_cumack = ps.pseudo_cumack.min(tsn);
+    ps.cumack_floor = ps.cumack_floor.min(tsn);
+}
+
+/// Earliest unacked TSN currently assigned to path `p`, advancing the
+/// path's scan cursor past the settled prefix so repeated per-SACK rescans
+/// stay amortized-cheap (`acked` never reverts; assignments below the
+/// cursor go through [`cmt_note_assign`]).
+fn cmt_earliest_on(ak: &mut Assoc, p: usize) -> Option<u64> {
+    let floor = ak.paths[p].cumack_floor;
+    let hit = ak
+        .sent
+        .range(floor..)
+        .find_map(|(&tsn, c)| (!c.acked && c.path as usize == p).then_some(tsn));
+    match hit {
+        Some(tsn) => ak.paths[p].cumack_floor = tsn,
+        None => ak.paths[p].cumack_floor = ak.next_tsn,
+    }
+    hit
 }
 
 // ---------------------------------------------------------------------------
@@ -355,6 +441,7 @@ pub fn set_primary(w: &mut World, a: AssocId, path: u8) {
 fn build_packet(w: &mut World, ctx: &mut Wx, a: AssocId, path: u8, vtag: u64, chunks: Vec<Chunk>) -> Packet {
     let ak = assoc_mut(w, a);
     ak.stats.packets_out += 1;
+    ak.stats.per_path_pkts[(path as usize).min(MAX_PATHS - 1)] += 1;
     let src = ak.local_addr(a.host, path);
     let dst = ak.peer_addr(path);
     let (sp, dp) = (ak.local_port, ak.peer_port);
@@ -458,10 +545,15 @@ fn try_send_inner(
 ) {
     let cfg = cfg_of(w, a.host);
     let mut burst = 0u32;
+    // CMT: Max.Burst is accounted per destination (see
+    // [`cmt_pick_path_burst`]); the association-wide `burst` counter still
+    // runs but its gate widens to paths × Max.Burst.
+    let mut burst_on = [0u32; MAX_PATHS];
+    let burst_cap = if cfg.cmt { cfg.max_burst * cfg.num_paths.max(1) as u32 } else { cfg.max_burst };
     loop {
         // Max.Burst (RFC 4960 §6.1): at most this many packets per send
         // opportunity; the next SACK re-opens the gate (ACK clocking).
-        if burst >= cfg.max_burst {
+        if burst >= burst_cap {
             return;
         }
         let mut packet = w.pool.take_chunk_vec();
@@ -482,8 +574,21 @@ fn try_send_inner(
             let want_sack = ak.sack_immediate || ak.sack_pending_pkts > 0;
 
             // Phase 1: marked retransmissions (cwnd-limited on the rtx path).
-            let rtx_path = ak.rtx_path(cfg.rtx_alternate);
-            let has_marked = !ak.rtx_queue.is_empty();
+            // CMT keeps each retransmission on the chunk's own path
+            // (RTX-SAME): moving chunks between paths would corrupt the
+            // per-path pseudo-cumack and SFR accounting the scheduler
+            // depends on, so one burst iteration serves one path and later
+            // iterations (or the next SACK) pick up the rest.
+            let rtx_path = if cfg.cmt {
+                ak.rtx_queue
+                    .first()
+                    .map(|&t| cmt_rtx_target(ak, ak.sent[&t].path))
+                    .unwrap_or(ak.primary)
+            } else {
+                ak.rtx_path(cfg.rtx_alternate)
+            };
+            let has_marked = !ak.rtx_queue.is_empty()
+                && (!cfg.cmt || burst_on[rtx_path as usize] < cfg.max_burst);
             if has_marked && ak.paths[rtx_path as usize].flight < ak.paths[rtx_path as usize].cwnd {
                 path = rtx_path;
                 if want_sack {
@@ -497,6 +602,9 @@ fn try_send_inner(
                 // removes entries as chunks go back on the wire.
                 let tsns: Vec<u64> = ak.rtx_queue.iter().copied().collect();
                 for tsn in tsns {
+                    if cfg.cmt && cmt_rtx_target(ak, ak.sent[&tsn].path) != path {
+                        continue; // another path's retransmission burst
+                    }
                     let c = ak.sent.get_mut(&tsn).unwrap();
                     let clen = Chunk::Data(DataChunk {
                         tsn,
@@ -523,6 +631,9 @@ fn try_send_inner(
                     c.path = path;
                     ak.rtx_queue.remove(&tsn);
                     ak.stats.retransmits += 1;
+                    if cfg.cmt {
+                        cmt_note_assign(ak, path, tsn);
+                    }
                     let data = ak.sent.get(&tsn).unwrap();
                     packet.push(Chunk::Data(DataChunk {
                         tsn,
@@ -542,13 +653,7 @@ fn try_send_inner(
                 // enabled, pick the active path with the most free cwnd,
                 // striping the association's data across all networks.
                 path = if cfg.cmt {
-                    ak.paths
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, ps)| ps.active)
-                        .max_by_key(|(_, ps)| ps.cwnd.saturating_sub(ps.flight))
-                        .map(|(i, _)| i as u8)
-                        .unwrap_or(ak.primary)
+                    cmt_pick_path_burst(ak, &burst_on, cfg.max_burst)
                 } else {
                     ak.primary
                 };
@@ -630,6 +735,9 @@ fn try_send_inner(
                             marked_rtx: false,
                         },
                     );
+                    if cfg.cmt {
+                        cmt_note_assign(ak, path, tsn);
+                    }
                     // Stop bundling if cwnd exhausted (1-byte rule applies
                     // per packet, not per chunk beyond the first).
                     if ak.paths[path as usize].flight >= ak.paths[path as usize].cwnd {
@@ -666,8 +774,15 @@ fn try_send_inner(
             train.push(pkt);
         }
         burst += 1;
-        if has_data && !assoc_ref(w, a).t3_armed {
-            arm_t3(w, ctx, a);
+        burst_on[(path as usize).min(MAX_PATHS - 1)] += 1;
+        if has_data {
+            if cfg.cmt {
+                if !assoc_ref(w, a).paths[path as usize].t3_armed {
+                    arm_t3_cmt(w, ctx, a, path, true);
+                }
+            } else if !assoc_ref(w, a).t3_armed {
+                arm_t3(w, ctx, a);
+            }
         }
         // A SACK-only packet can happen when the pending SACK's budget
         // reservation leaves no room for a full-size DATA chunk: flush the
@@ -720,6 +835,7 @@ fn arm_t3(w: &mut World, ctx: &mut Wx, a: AssocId) {
             proto: trace::Proto8::Sctp,
             host: a.host,
             peer: ak.peer_host,
+            path,
             rto_ns: d.as_nanos(),
             srtt_ns: rto.srtt().map_or(-1, |x| x.as_nanos() as i64),
             rttvar_ns: rto.rttvar().as_nanos() as i64,
@@ -782,6 +898,8 @@ fn on_t3(w: &mut World, ctx: &mut Wx, a: AssocId, gen: u64) {
             // actually retransmit them.
             // Everything below the floor is already acked, so the walk
             // starts at the cursor instead of the window's base.
+            // (CMT associations never reach here — their timers are per
+            // destination, see `on_t3_cmt`.)
             let floor = ak.unacked_floor;
             let mut marked = 0u32;
             for (&tsn, c) in ak.sent.range_mut(floor..) {
@@ -804,6 +922,7 @@ fn on_t3(w: &mut World, ctx: &mut Wx, a: AssocId, gen: u64) {
                     proto: trace::Proto8::Sctp,
                     host: a.host,
                     peer: ak.peer_host,
+                    path: p,
                     backoff: ak.paths[p as usize].rto.backoff_shift(),
                     marked,
                 }));
@@ -818,6 +937,211 @@ fn on_t3(w: &mut World, ctx: &mut Wx, a: AssocId, gen: u64) {
     check_flight(assoc_ref(w, a), "on_t3", ctx.now());
     try_send(w, ctx, a); // retransmits the first PMTU immediately (cwnd = 1 PMTU)
     arm_t3(w, ctx, a);
+}
+
+/// Floor on the CMT rescue-probe deadline: keeps micro-RTT jitter from
+/// re-arming the probe every few microseconds.
+const RESCUE_PTO_FLOOR: simcore::Dur = simcore::Dur::from_micros(200);
+
+/// CMT: arm the T3-rtx timer guarding destination `p`. Retransmission
+/// timers are per destination under CMT — a timeout is a *path* event, and
+/// concurrent losses on different paths must recover in parallel instead of
+/// serialising behind one association-wide timer's exponential backoff.
+///
+/// A `fresh` arm (new data sent, or the path's pseudo-cumack advanced)
+/// schedules a *rescue probe* at ~2·SRTT rather than the full RTO: a
+/// ping-pong tail loss has no later same-path traffic to generate SFR
+/// strikes, so without the probe it can only wait out RTO.min (a full
+/// second on a 40 µs LAN). `fresh = false` rearms preserve the current
+/// phase — after a probe fires, the next deadline is the real RTO.
+fn arm_t3_cmt(w: &mut World, ctx: &mut Wx, a: AssocId, p: u8, fresh: bool) {
+    let (gen, old, d) = {
+        let ak = assoc_mut(w, a);
+        // A path that has not produced an RTT sample yet (first chunks of
+        // slow start) borrows the smallest sibling estimate, the way MPTCP
+        // subflows share one smoothed RTT: a loss there would otherwise sit
+        // out the full 3 s initial RTO while the reordering window fills
+        // rwnd and stalls every other path behind it.
+        let borrowed = ak
+            .paths
+            .iter()
+            .filter_map(|q| q.rto.srtt().map(|s| (s, q.rto.rttvar())))
+            .min_by_key(|(s, _)| s.as_nanos());
+        let ps = &mut ak.paths[p as usize];
+        ps.t3_gen += 1;
+        ps.t3_armed = true;
+        if fresh {
+            ps.t3_rescue = true;
+        }
+        let rto = ps.rto.current();
+        let own = ps.rto.srtt().map(|s| (s, ps.rto.rttvar()));
+        let d = match (ps.t3_rescue, own.or(borrowed)) {
+            (true, Some((srtt, rttvar))) => {
+                ((srtt * 2 + rttvar * 4).max(RESCUE_PTO_FLOOR)).min(rto)
+            }
+            _ => rto,
+        };
+        (ps.t3_gen, ps.t3_timer.take(), d)
+    };
+    if ctx.tracing() {
+        let ak = assoc_ref(w, a);
+        let rto = &ak.paths[p as usize].rto;
+        ctx.trace_emit(trace::Event::RtoArm(trace::RtoArmEv {
+            proto: trace::Proto8::Sctp,
+            host: a.host,
+            peer: ak.peer_host,
+            path: p,
+            rto_ns: d.as_nanos(),
+            srtt_ns: rto.srtt().map_or(-1, |x| x.as_nanos() as i64),
+            rttvar_ns: rto.rttvar().as_nanos() as i64,
+        }));
+    }
+    let id =
+        ctx.reschedule_in(old, d, move |w: &mut World, ctx: &mut Wx| on_t3_cmt(w, ctx, a, p, gen));
+    assoc_mut(w, a).paths[p as usize].t3_timer = Some(id);
+}
+
+/// CMT per-path T3 expiry: penalise and re-mark only `p`'s stripe. The
+/// other destinations' flights are healthy — yanking them (as the
+/// association-wide timeout does) would collapse the whole aggregate on
+/// every single-path incident, and serialising their recovery behind this
+/// path's backed-off timer is exactly the failure mode per-path timers
+/// exist to avoid.
+fn on_t3_cmt(w: &mut World, ctx: &mut Wx, a: AssocId, p: u8, gen: u64) {
+    let cfg = cfg_of(w, a.host);
+    let mut failed = false;
+    {
+        let ak = assoc_mut(w, a);
+        if ak.paths[p as usize].t3_gen != gen || !ak.paths[p as usize].t3_armed {
+            return;
+        }
+        // Lazily disarm when the stripe drained: chunks leave a path by
+        // being re-striped elsewhere, which no SACK tells this timer about.
+        let earliest = cmt_earliest_on(ak, p as usize);
+        ak.paths[p as usize].pseudo_cumack = earliest.unwrap_or(u64::MAX);
+        if earliest.is_none() {
+            ak.paths[p as usize].t3_armed = false;
+            return;
+        }
+        if ak.paths[p as usize].t3_rescue {
+            // Rescue probe: re-queue this path's aged chunks for
+            // retransmission with NO cwnd collapse, backoff, or error
+            // counting — the path is presumed healthy and the loss random.
+            // Chunks already transmitted twice are left to the real RTO so
+            // a dead receiver can't turn the probe into a 2·SRTT resend
+            // storm.
+            // Like TCP's tail-loss probe, exactly ONE segment is probed —
+            // the path's lowest outstanding TSN. If its retransmission is
+            // SACKed, the pseudo-cumack advances and re-arms a fresh probe
+            // for the next hole; marking the whole aged flight here instead
+            // turns one stall into a duplicate-retransmission burst that
+            // overflows bottleneck queues.
+            let now = ctx.now();
+            let srtt = ak.paths[p as usize].rto.srtt().unwrap_or(simcore::Dur::ZERO);
+            let floor = ak.paths[p as usize].cumack_floor;
+            let mut marked = 0u64;
+            for (&tsn, c) in ak.sent.range_mut(floor..) {
+                if c.path != p || c.acked || c.marked_rtx || c.txcount > 2 {
+                    continue;
+                }
+                if now.since(c.sent_at).as_nanos() <= srtt.as_nanos() {
+                    break;
+                }
+                ak.paths[p as usize].flight =
+                    ak.paths[p as usize].flight.saturating_sub(c.data.len() as u64);
+                c.marked_rtx = true;
+                c.missing = 0;
+                ak.rtx_queue.insert(tsn);
+                marked += 1;
+                break;
+            }
+            ak.stats.rescue_rtx += marked;
+            // Probe spent (even if nothing qualified): the next deadline on
+            // this path is the real RTO. A SACK that advances the
+            // pseudo-cumack re-arms fresh and re-enables the probe.
+            ak.paths[p as usize].t3_rescue = false;
+        } else {
+            rto_expire_cmt(ak, ctx, a, p, &cfg, &mut failed);
+        }
+    }
+    if failed {
+        fail_assoc(w, ctx, a);
+        return;
+    }
+    check_flight(assoc_ref(w, a), "on_t3_cmt", ctx.now());
+    try_send(w, ctx, a); // retransmits the first PMTU immediately (cwnd = 1 PMTU)
+    arm_t3_cmt(w, ctx, a, p, false);
+}
+
+/// The full-RTO half of [`on_t3_cmt`]: penalise path `p` and re-mark its
+/// stripe (the probe half, by contrast, touches neither cwnd nor RTO).
+fn rto_expire_cmt(ak: &mut Assoc, ctx: &mut Wx, a: AssocId, p: u8, cfg: &SctpCfg, failed: &mut bool) {
+    {
+        if std::env::var("SCTP_TRACE").is_ok() {
+            eprintln!(
+                "[{}] T3-CMT h{} assoc({},{}) path={} errors={} outstanding={} pending={} first_unacked={:?} rwnd={}",
+                ctx.now(), a.host, a.ep, a.idx, p, ak.assoc_errors, ak.outstanding_bytes,
+                ak.pending.len(), ak.paths[p as usize].pseudo_cumack, ak.peer_rwnd
+            );
+        }
+        ak.stats.timeouts += 1;
+        ak.assoc_errors += 1;
+        let path = &mut ak.paths[p as usize];
+        path.rto.backoff();
+        path.error_count = (path.error_count + 1).min(cfg.path_max_retrans + 1);
+        path.ssthresh = (path.cwnd / 2).max(4 * cfg.pmtu as u64);
+        path.cwnd = cfg.pmtu as u64;
+        path.partial_bytes_acked = 0;
+        path.in_fast_recovery = false;
+        if path.error_count > cfg.path_max_retrans && path.active {
+            path.active = false;
+            if ak.primary == p {
+                // Failover: move the primary to an active alternate.
+                if let Some((np, _)) =
+                    ak.paths.iter().enumerate().find(|(i, ps)| *i as u8 != p && ps.active)
+                {
+                    ak.primary = np as u8;
+                    ak.stats.failovers += 1;
+                    if ak.stats.first_failover_ns == 0 {
+                        ak.stats.first_failover_ns = ctx.now().as_nanos();
+                    }
+                }
+            }
+        }
+        if ak.assoc_errors > cfg.assoc_max_retrans {
+            *failed = true;
+        } else {
+            // Mark only this path's stripe; the walk starts at the path's
+            // own rescan floor (everything below it is acked).
+            let floor = ak.paths[p as usize].cumack_floor;
+            let mut marked = 0u32;
+            for (&tsn, c) in ak.sent.range_mut(floor..) {
+                if c.path != p || c.acked {
+                    continue;
+                }
+                if !c.marked_rtx {
+                    ak.paths[p as usize].flight =
+                        ak.paths[p as usize].flight.saturating_sub(c.data.len() as u64);
+                }
+                c.marked_rtx = true;
+                c.missing = 0;
+                ak.rtx_queue.insert(tsn);
+                marked += 1;
+            }
+            ak.rtt_probe = None;
+            if ctx.tracing() {
+                ctx.trace_emit(trace::Event::RtoFire(trace::RtoFireEv {
+                    proto: trace::Proto8::Sctp,
+                    host: a.host,
+                    peer: ak.peer_host,
+                    path: p,
+                    backoff: ak.paths[p as usize].rto.backoff_shift(),
+                    marked,
+                }));
+                trace_cwnd(ctx, a.host, ak.peer_host, p, &ak.paths[p as usize]);
+            }
+        }
+    }
 }
 
 fn arm_sack_timer(w: &mut World, ctx: &mut Wx, a: AssocId) {
@@ -1499,6 +1823,20 @@ fn check_flight(ak: &Assoc, whence: &str, now: simcore::SimTime) {
             ak.unacked_floor, ak.peer_host
         );
     }
+    // CMT cursors: no unacked chunk assigned to a path may sit below that
+    // path's pseudo-cumack rescan floor.
+    for (i, ps) in ak.paths.iter().enumerate() {
+        if let Some((&tsn, _)) = ak
+            .sent
+            .range(..ps.cumack_floor)
+            .find(|(_, c)| !c.acked && c.path as usize == i)
+        {
+            panic!(
+                "[{now}] CMT FLOOR DRIFT at {whence}: unacked tsn {tsn} on path {i} below floor {} (assoc to peer{})",
+                ps.cumack_floor, ak.peer_host
+            );
+        }
+    }
 }
 
 fn process_sack(w: &mut World, ctx: &mut Wx, a: AssocId, cum: u64, a_rwnd: u64, gaps: &[(u64, u64)]) {
@@ -1514,6 +1852,11 @@ fn process_sack(w: &mut World, ctx: &mut Wx, a: AssocId, cum: u64, a_rwnd: u64, 
         let mut newly_acked = pool.take_u64_vec();
         newly_acked.resize(n_paths, 0);
         let mut cum_advanced = false;
+        // SFR: highest TSN newly acked per destination path by THIS SACK
+        // (0 = none; TSNs start at 1). With CMT, a missing report may only
+        // be charged to a chunk when a later TSN on the *same* path was
+        // acked — cross-path reordering then never trips the threshold.
+        let mut hna = [0u64; MAX_PATHS];
 
         // Cumulative ack: split the acked prefix off in one O(log n)
         // tree operation instead of walking (and re-balancing per key)
@@ -1525,6 +1868,9 @@ fn process_sack(w: &mut World, ctx: &mut Wx, a: AssocId, cum: u64, a_rwnd: u64, 
                 cum_advanced = true;
                 if c.marked_rtx && !c.acked {
                     ak.rtx_queue.remove(&tsn);
+                    // Acked while queued for retransmission: the mark was
+                    // spurious (reordering, not loss).
+                    ak.stats.spurious_frtx += 1;
                 }
                 if !c.acked {
                     let len = c.data.len() as u64;
@@ -1535,6 +1881,7 @@ fn process_sack(w: &mut World, ctx: &mut Wx, a: AssocId, cum: u64, a_rwnd: u64, 
                     }
                     ak.outstanding_bytes -= len;
                     newly_acked[c.path as usize] += len;
+                    hna[c.path as usize] = hna[c.path as usize].max(tsn);
                     if ak.rtt_probe == Some(tsn) && c.txcount == 1 {
                         ak.paths[c.path as usize].rto.sample(now.since(c.sent_at));
                         ak.rtt_probe = None;
@@ -1556,6 +1903,7 @@ fn process_sack(w: &mut World, ctx: &mut Wx, a: AssocId, cum: u64, a_rwnd: u64, 
                     let p = c.path as usize;
                     if was_marked {
                         ak.rtx_queue.remove(&tsn);
+                        ak.stats.spurious_frtx += 1;
                     }
                     if ak.rtt_probe == Some(tsn) && c.txcount == 1 {
                         ak.paths[p].rto.sample(now.since(c.sent_at));
@@ -1566,6 +1914,30 @@ fn process_sack(w: &mut World, ctx: &mut Wx, a: AssocId, cum: u64, a_rwnd: u64, 
                     }
                     ak.outstanding_bytes -= len;
                     newly_acked[p] += len;
+                    hna[p] = hna[p].max(tsn);
+                }
+            }
+        }
+
+        // CMT CUC (cwnd update for CMT): recompute each SACKed path's
+        // pseudo-cumack — the earliest TSN still outstanding on it. The
+        // association-wide cumulative ack stalls behind the slowest path,
+        // so per-path growth (below) is gated on the pseudo-cumack's
+        // advance instead. A pseudo-cumack passing the path's recovery
+        // exit point also ends that path's fast recovery.
+        let mut pseudo_advanced = [false; MAX_PATHS];
+        if cfg.cmt {
+            for p in 0..n_paths {
+                if newly_acked[p] == 0 {
+                    continue;
+                }
+                let old = ak.paths[p].pseudo_cumack;
+                let new_e = cmt_earliest_on(ak, p);
+                pseudo_advanced[p] = old != u64::MAX && new_e.map_or(true, |e| e > old);
+                let ps = &mut ak.paths[p];
+                ps.pseudo_cumack = new_e.unwrap_or(u64::MAX);
+                if ps.in_fast_recovery && new_e.map_or(true, |e| e > ps.fast_recovery_exit) {
+                    ps.in_fast_recovery = false;
                 }
             }
         }
@@ -1577,6 +1949,9 @@ fn process_sack(w: &mut World, ctx: &mut Wx, a: AssocId, cum: u64, a_rwnd: u64, 
             let mut first_marked_path = ak.primary;
             let mut first_marked_tsn = 0u64;
             let mut n_marked = 0u32;
+            // CMT: marks grouped per destination path for per-path recovery.
+            let mut marked_on = [0u32; MAX_PATHS];
+            let mut first_tsn_on = [0u64; MAX_PATHS];
             // Entries below the earliest-unacked cursor are all acked, so
             // the strike walk starts there, not at the window's base.
             let floor = ak.unacked_floor;
@@ -1586,6 +1961,13 @@ fn process_sack(w: &mut World, ctx: &mut Wx, a: AssocId, cum: u64, a_rwnd: u64, 
                 // the per-packet gap SACKs re-mark it every few reports
                 // and the retransmission storm congests the path further.
                 if !c.acked && !c.marked_rtx && c.txcount == 1 {
+                    // SFR (split fast retransmit): only an ack above this
+                    // chunk on its OWN path is evidence of loss there —
+                    // acks of later TSNs striped onto other paths are just
+                    // reordering.
+                    if cfg.cmt && hna[c.path as usize] <= tsn {
+                        continue;
+                    }
                     c.missing += 1;
                     if c.missing >= cfg.missing_thresh {
                         c.marked_rtx = true;
@@ -1599,13 +1981,49 @@ fn process_sack(w: &mut World, ctx: &mut Wx, a: AssocId, cum: u64, a_rwnd: u64, 
                             first_marked_path = c.path;
                             first_marked_tsn = tsn;
                         }
+                        if marked_on[c.path as usize] == 0 {
+                            first_tsn_on[c.path as usize] = tsn;
+                        }
+                        marked_on[c.path as usize] += 1;
                         newly_marked = true;
                         n_marked += 1;
                     }
                 }
             }
             if newly_marked {
-                if !ak.in_fast_recovery {
+                if cfg.cmt {
+                    // Fast recovery is a per-path episode: halve only the
+                    // paths with fresh marks, and only when they are not
+                    // already recovering — a single reordering burst must
+                    // not cascade into repeated multiplicative decreases
+                    // across the stripe.
+                    let exit = ak.next_tsn.saturating_sub(1);
+                    for p in 0..n_paths {
+                        if marked_on[p] == 0 || ak.paths[p].in_fast_recovery {
+                            continue;
+                        }
+                        {
+                            let ps = &mut ak.paths[p];
+                            ps.in_fast_recovery = true;
+                            ps.fast_recovery_exit = exit;
+                            ps.ssthresh = (ps.cwnd / 2).max(4 * pmtu);
+                            ps.cwnd = ps.ssthresh;
+                            ps.partial_bytes_acked = 0;
+                        }
+                        ak.stats.fast_retransmits += 1;
+                        if ctx.tracing() {
+                            ctx.trace_emit(trace::Event::FastRtx(trace::FastRtxEv {
+                                proto: trace::Proto8::Sctp,
+                                host: a.host,
+                                peer: ak.peer_host,
+                                path: p as u8,
+                                tsn: first_tsn_on[p],
+                                count: marked_on[p],
+                            }));
+                            trace_cwnd(ctx, a.host, ak.peer_host, p as u8, &ak.paths[p]);
+                        }
+                    }
+                } else if !ak.in_fast_recovery {
                     ak.in_fast_recovery = true;
                     ak.fast_recovery_exit = ak.next_tsn.saturating_sub(1);
                     ak.stats.fast_retransmits += 1;
@@ -1618,6 +2036,7 @@ fn process_sack(w: &mut World, ctx: &mut Wx, a: AssocId, cum: u64, a_rwnd: u64, 
                             proto: trace::Proto8::Sctp,
                             host: a.host,
                             peer: ak.peer_host,
+                            path: first_marked_path,
                             tsn: first_marked_tsn,
                             count: n_marked,
                         }));
@@ -1632,21 +2051,29 @@ fn process_sack(w: &mut World, ctx: &mut Wx, a: AssocId, cum: u64, a_rwnd: u64, 
             ak.in_fast_recovery = false;
         }
 
-        // Congestion window growth (byte counting — §4.1.1).
+        // Congestion window growth (byte counting — §4.1.1). Under CMT the
+        // gates are per path (CUC): this path's pseudo-cumack must have
+        // advanced and this path must not be in fast recovery — the
+        // association-wide cumulative ack says nothing about which path
+        // delivered.
         let peer = ak.peer_host;
         for (p, &acked) in newly_acked.iter().enumerate() {
             if acked == 0 {
                 continue;
             }
-            let ps = &mut ak.paths[p];
-            ps.error_count = 0;
-            ps.active = true;
+            {
+                let ps = &mut ak.paths[p];
+                ps.error_count = 0;
+                ps.active = true;
+            }
             ak.assoc_errors = 0;
-            let ps = &mut ak.paths[p];
-            if ak.in_fast_recovery {
+            let in_fr = if cfg.cmt { ak.paths[p].in_fast_recovery } else { ak.in_fast_recovery };
+            if in_fr {
                 continue;
             }
-            if cum_advanced {
+            let advanced = if cfg.cmt { pseudo_advanced[p] } else { cum_advanced };
+            if advanced {
+                let ps = &mut ak.paths[p];
                 if ps.cwnd <= ps.ssthresh {
                     if cfg.byte_counting_cc {
                         // Slow start: grow by bytes acked, at most one PMTU.
@@ -1679,8 +2106,27 @@ fn process_sack(w: &mut World, ctx: &mut Wx, a: AssocId, cum: u64, a_rwnd: u64, 
         // Peer receive window: advertised minus what is still in flight.
         ak.peer_rwnd = a_rwnd.saturating_sub(ak.outstanding_bytes);
 
-        // Retransmission timer management.
-        if ak.outstanding_bytes == 0 {
+        // Retransmission timer management. CMT keeps one T3 per
+        // destination: stop a path's timer when its stripe drained, restart
+        // it fresh when its pseudo-cumack advanced (the association-wide
+        // cumulative ack says nothing about which path delivered).
+        if cfg.cmt {
+            for p in 0..n_paths {
+                if newly_acked[p] == 0 {
+                    continue;
+                }
+                if ak.paths[p].pseudo_cumack == u64::MAX {
+                    let ps = &mut ak.paths[p];
+                    ps.t3_gen += 1;
+                    ps.t3_armed = false;
+                    if let Some(id) = ps.t3_timer.take() {
+                        ctx.cancel_counted(id);
+                    }
+                } else if pseudo_advanced[p] {
+                    ak.paths[p].t3_armed = false; // re-armed fresh below
+                }
+            }
+        } else if ak.outstanding_bytes == 0 {
             ak.t3_gen += 1;
             ak.t3_armed = false;
             if let Some(id) = ak.t3_timer.take() {
@@ -1704,7 +2150,19 @@ fn process_sack(w: &mut World, ctx: &mut Wx, a: AssocId, cum: u64, a_rwnd: u64, 
         fast_retransmit_burst(w, ctx, a);
     }
     try_send(w, ctx, a);
-    {
+    if cfg.cmt {
+        for p in 0..MAX_PATHS as u8 {
+            let needs_arm = {
+                let ak = assoc_ref(w, a);
+                (p as usize) < ak.paths.len()
+                    && ak.paths[p as usize].pseudo_cumack != u64::MAX
+                    && !ak.paths[p as usize].t3_armed
+            };
+            if needs_arm {
+                arm_t3_cmt(w, ctx, a, p, true);
+            }
+        }
+    } else {
         let ak = assoc_ref(w, a);
         if ak.outstanding_bytes > 0 && !ak.t3_armed {
             arm_t3(w, ctx, a);
@@ -1715,56 +2173,84 @@ fn process_sack(w: &mut World, ctx: &mut Wx, a: AssocId, cum: u64, a_rwnd: u64, 
 
 /// RFC 4960 §7.2.4: on entering fast retransmit, send one packet with as
 /// many marked chunks as fit, ignoring cwnd. Remaining marked chunks go out
-/// through the normal cwnd-limited path.
+/// through the normal cwnd-limited path. Under CMT the episode is per
+/// *path*: one cwnd-ignoring packet per destination path, each carrying its
+/// own path's marked chunks (RTX-SAME keeps the per-path accounting true).
 fn fast_retransmit_burst(w: &mut World, ctx: &mut Wx, a: AssocId) {
     let cfg = cfg_of(w, a.host);
-    let mut packet = Vec::new();
-    let path;
+    let mut packets: Vec<(u8, Vec<Chunk>)> = Vec::new();
     let vtag;
     {
         let ak = assoc_mut(w, a);
         vtag = ak.peer_tag;
-        path = ak.rtx_path(cfg.rtx_alternate);
-        let mut budget = cfg.packet_budget();
         let now = ctx.now();
         // `rtx_queue` is exactly the marked, unacked TSNs; snapshot it
-        // because the loop removes entries as they go on the wire.
+        // because the loops remove entries as they go on the wire.
         let tsns: Vec<u64> = ak.rtx_queue.iter().copied().collect();
-        for tsn in tsns {
-            let c = ak.sent.get_mut(&tsn).unwrap();
-            let clen = 16 + (c.data.len() as u32).div_ceil(4) * 4;
-            if clen > budget {
-                break;
+        let targets: Vec<u8> = if cfg.cmt {
+            (0..ak.paths.len() as u8).collect()
+        } else {
+            vec![ak.rtx_path(cfg.rtx_alternate)]
+        };
+        for path in targets {
+            let mut budget = cfg.packet_budget();
+            let mut packet = Vec::new();
+            for &tsn in &tsns {
+                if !ak.rtx_queue.contains(&tsn) {
+                    continue; // already resent for an earlier target
+                }
+                if cfg.cmt && cmt_rtx_target(ak, ak.sent[&tsn].path) != path {
+                    continue;
+                }
+                let c = ak.sent.get_mut(&tsn).unwrap();
+                let clen = 16 + (c.data.len() as u32).div_ceil(4) * 4;
+                if clen > budget {
+                    break;
+                }
+                budget -= clen;
+                c.marked_rtx = false;
+                c.missing = 0;
+                c.txcount += 1;
+                c.sent_at = now;
+                let len = c.data.len() as u64;
+                c.path = path;
+                ak.rtx_queue.remove(&tsn);
+                ak.stats.retransmits += 1;
+                ak.rtt_probe = None;
+                if cfg.cmt {
+                    cmt_note_assign(ak, path, tsn);
+                }
+                let c = ak.sent.get(&tsn).unwrap();
+                packet.push(Chunk::Data(DataChunk {
+                    tsn,
+                    stream: c.stream,
+                    ssn: c.ssn,
+                    begin: c.begin,
+                    end: c.end,
+                    unordered: c.unordered,
+                    ppid: c.ppid,
+                    data: c.data.clone(),
+                }));
+                ak.paths[path as usize].flight += len;
             }
-            budget -= clen;
-            c.marked_rtx = false;
-            c.missing = 0;
-            c.txcount += 1;
-            c.sent_at = now;
-            let len = c.data.len() as u64;
-            c.path = path;
-            ak.rtx_queue.remove(&tsn);
-            ak.stats.retransmits += 1;
-            ak.rtt_probe = None;
-            let c = ak.sent.get(&tsn).unwrap();
-            packet.push(Chunk::Data(DataChunk {
-                tsn,
-                stream: c.stream,
-                ssn: c.ssn,
-                begin: c.begin,
-                end: c.end,
-                unordered: c.unordered,
-                ppid: c.ppid,
-                data: c.data.clone(),
-            }));
-            ak.paths[path as usize].flight += len;
+            if !packet.is_empty() {
+                packets.push((path, packet));
+            }
         }
     }
-    if !packet.is_empty() {
+    let sent_any = !packets.is_empty();
+    let sent_paths: Vec<u8> = packets.iter().map(|&(p, _)| p).collect();
+    for (path, packet) in packets {
         send_packet(w, ctx, a, path, vtag, packet);
-        if !assoc_ref(w, a).t3_armed {
-            arm_t3(w, ctx, a);
+    }
+    if cfg.cmt {
+        for p in sent_paths {
+            if !assoc_ref(w, a).paths[p as usize].t3_armed {
+                arm_t3_cmt(w, ctx, a, p, true);
+            }
         }
+    } else if sent_any && !assoc_ref(w, a).t3_armed {
+        arm_t3(w, ctx, a);
     }
 }
 

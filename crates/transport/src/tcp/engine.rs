@@ -185,6 +185,7 @@ fn arm_rto(w: &mut World, ctx: &mut Wx, s: SockId) {
             proto: trace::Proto8::Tcp,
             host: s.host,
             peer: sk.remote.0.host,
+            path: 0,
             rto_ns: d.as_nanos(),
             srtt_ns: sk.rto.srtt().map_or(-1, |x| x.as_nanos() as i64),
             rttvar_ns: sk.rto.rttvar().as_nanos() as i64,
@@ -265,6 +266,7 @@ fn on_rto(w: &mut World, ctx: &mut Wx, s: SockId, gen: u64) {
                 proto: trace::Proto8::Tcp,
                 host: s.host,
                 peer: sk.remote.0.host,
+                path: 0,
                 backoff: sk.rto.backoff_shift(),
                 marked: marked.min(u32::MAX as u64) as u32,
             }));
@@ -725,6 +727,7 @@ fn process_ack(w: &mut World, ctx: &mut Wx, s: SockId, seg: &TcpSegment) {
                                 proto: trace::Proto8::Tcp,
                                 host: s.host,
                                 peer: sk.remote.0.host,
+                                path: 0,
                                 tsn: sk.snd_una,
                                 count: sk.cc.dupacks,
                             }));
