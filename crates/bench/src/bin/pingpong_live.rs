@@ -1,0 +1,38 @@
+//! **Live fig8** — the MPBench ping-pong sweep over real UDP sockets on
+//! loopback (`BACKEND=udp`, the default), or the deterministic simulator
+//! for comparison (`BACKEND=sim`). Same sizes, same iteration counts, same
+//! throughput metric, same BENCH json schema as the sim's `fig8` binary.
+//!
+//! Usage: `[BACKEND=udp|sim] pingpong_live [--quick]`
+
+use bench_harness::runner::{backend_kind, BackendKind};
+use bench_harness::{fig8_metered, human_size, live, render_table, save_json, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let (title, tag, rows, bench) = match backend_kind() {
+        BackendKind::Udp => {
+            let (rows, bench) = live::live_fig8(scale);
+            ("Live ping-pong over UDP loopback (SCTP normalized to TCP)", "pingpong_live", rows, bench)
+        }
+        BackendKind::Sim => {
+            let (rows, bench) = fig8_metered(scale);
+            ("Simulated ping-pong, 0% loss (SCTP normalized to TCP)", "pingpong_sim", rows, bench)
+        }
+    };
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                human_size(r.size),
+                format!("{:.0}", r.tcp_tput),
+                format!("{:.0}", r.sctp_tput),
+                format!("{:.3}", r.normalized),
+            ]
+        })
+        .collect();
+    print!("{}", render_table(title, &["size", "TCP B/s", "SCTP B/s", "SCTP/TCP"], &table));
+    save_json(&scale.tag(tag), &rows);
+    bench.save();
+    eprintln!("{}", bench.summary());
+}

@@ -22,6 +22,7 @@ use workloads::scale::{run_scale, ScaleCfg, ScaleResult};
 
 pub mod alloc_meter;
 pub mod json;
+pub mod live;
 pub mod runner;
 
 use json::ToJson;

@@ -347,6 +347,33 @@ fn shards_from_env(var: Option<&str>) -> u32 {
     var.and_then(|v| v.parse::<u32>().ok()).map(|n| n.max(1)).unwrap_or(1)
 }
 
+/// Which packet driver `pingpong_live` runs on (see `BACKEND`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// The deterministic simulator — the comparison path.
+    Sim,
+    /// Real UDP sockets over loopback.
+    Udp,
+}
+
+/// Packet-driver selection for the live binaries: `BACKEND` env override,
+/// default the real-socket driver (the binary exists to exercise it);
+/// `BACKEND=sim` selects the simulated comparison path.
+pub fn backend_kind() -> BackendKind {
+    backend_from_env(std::env::var("BACKEND").ok().as_deref())
+}
+
+/// Parse a `BACKEND` override. Unset, empty, or unrecognized values fall
+/// back to the default (udp) rather than erroring, the same
+/// garbage-tolerant posture as `SHARDS`/`BENCH_THREADS`: an env knob must
+/// never turn a benchmark run into a parse failure.
+fn backend_from_env(var: Option<&str>) -> BackendKind {
+    match var.map(|v| v.trim().to_ascii_lowercase()).as_deref() {
+        Some("sim") => BackendKind::Sim,
+        _ => BackendKind::Udp,
+    }
+}
+
 /// Panics unless the reference-discipline and fast-discipline runs of one
 /// cell agree bit for bit on every semantic output. Handoff meters are
 /// excluded: coalescing exists precisely to change them.
@@ -537,6 +564,18 @@ mod tests {
         assert_eq!(shards_from_env(Some("many")), 1);
         assert_eq!(shards_from_env(Some("0")), 1);
         assert_eq!(shards_from_env(Some("4")), 4);
+    }
+
+    #[test]
+    fn backend_override_parsing_defaults_to_udp_on_bad_values() {
+        assert_eq!(backend_from_env(None), BackendKind::Udp);
+        assert_eq!(backend_from_env(Some("")), BackendKind::Udp);
+        assert_eq!(backend_from_env(Some("tcp")), BackendKind::Udp);
+        assert_eq!(backend_from_env(Some("0")), BackendKind::Udp);
+        assert_eq!(backend_from_env(Some("udp")), BackendKind::Udp);
+        assert_eq!(backend_from_env(Some(" UDP ")), BackendKind::Udp);
+        assert_eq!(backend_from_env(Some("sim")), BackendKind::Sim);
+        assert_eq!(backend_from_env(Some(" Sim ")), BackendKind::Sim);
     }
 
     #[test]

@@ -325,6 +325,48 @@ impl<W> Ctx<W> {
         self.tracer = tracer;
     }
 
+    /// Build a standalone context for an external driver — the real-socket
+    /// reactor, which owns its own loop instead of a [`crate::Runtime`].
+    /// The caller advances virtual time explicitly with [`Ctx::run_due`];
+    /// nothing here spawns processes or parks threads.
+    pub fn standalone(rng: SmallRng) -> Self {
+        Ctx::new(rng)
+    }
+
+    /// Install (or remove) the flight recorder on a standalone context.
+    /// Drivers built on [`crate::Runtime`] use `Runtime::set_tracer`
+    /// instead; this is the seam for external reactors.
+    pub fn install_tracer(&mut self, tracer: Option<trace::Tracer>) {
+        self.set_tracer(tracer);
+    }
+
+    /// Fire every queued event due at or before `bound` (in (time, seq)
+    /// order, advancing the clock to each event's timestamp), then advance
+    /// the clock to `bound` itself. Returns the number of events fired.
+    ///
+    /// This is the timer pump of the real-socket reactor: `bound` is the
+    /// wall clock translated to virtual nanoseconds, so engine timers (RTO,
+    /// delayed SACK, heartbeats) fire when real time passes them, and
+    /// everything scheduled afterwards is relative to wall time. Events
+    /// fired here may schedule further events; those are honored within the
+    /// same call when they fall inside `bound`.
+    pub fn run_due(&mut self, w: &mut W, bound: SimTime) -> u64 {
+        let mut fired = 0u64;
+        loop {
+            match self.pop_next(bound) {
+                Popped::Fired(ev) => {
+                    ev.call(w, self);
+                    fired += 1;
+                }
+                Popped::PastBound | Popped::Empty => break,
+            }
+        }
+        if bound > self.now {
+            self.now = bound;
+        }
+        fired
+    }
+
     /// Is the flight recorder on? Hooks check this before building events
     /// so tracing costs one branch when off.
     #[inline]
@@ -1488,6 +1530,31 @@ mod tests {
             c.next_event_time(),
             Some(SimTime::from_nanos(100) + Dur::from_micros(5))
         );
+    }
+
+    #[test]
+    fn run_due_fires_due_events_and_advances_to_the_bound() {
+        let mut c: Ctx<Vec<u32>> = Ctx::standalone(derive_rng(0, 0));
+        let mut w = Vec::new();
+        c.schedule_in(Dur::from_micros(10), |w: &mut Vec<u32>, _| w.push(1));
+        c.schedule_in(Dur::from_micros(20), |w: &mut Vec<u32>, c: &mut Ctx<Vec<u32>>| {
+            w.push(2);
+            // A follow-on inside the bound fires in the same pump.
+            c.schedule_in(Dur::from_micros(5), |w: &mut Vec<u32>, _| w.push(3));
+        });
+        c.schedule_in(Dur::from_millis(1), |w: &mut Vec<u32>, _| w.push(9));
+        let fired = c.run_due(&mut w, SimTime::from_nanos(100_000));
+        assert_eq!(fired, 3);
+        assert_eq!(w, vec![1, 2, 3]);
+        assert_eq!(c.now(), SimTime::from_nanos(100_000), "clock lands on the bound");
+        // The past-bound timer is intact and fires on the next pump.
+        let fired = c.run_due(&mut w, SimTime::from_nanos(2_000_000));
+        assert_eq!(fired, 1);
+        assert_eq!(w, vec![1, 2, 3, 9]);
+        assert_eq!(c.now(), SimTime::from_nanos(2_000_000));
+        // An empty queue still advances the clock.
+        assert_eq!(c.run_due(&mut w, SimTime::from_nanos(3_000_000)), 0);
+        assert_eq!(c.now(), SimTime::from_nanos(3_000_000));
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! The engine↔network seam: one trait, two drivers.
+//!
+//! Every packet the TCP and SCTP engines emit funnels through
+//! [`crate::ip::send`] / [`crate::ip::send_train`], which dispatch to the
+//! [`Backend`] installed in the [`World`]:
+//!
+//! * [`SimBackend`] — the deterministic simulator. Egress asks [`netsim`]
+//!   for a verdict and schedules the delivery event; ingress *is* those
+//!   scheduled events, so [`Backend::poll_ingress`] has nothing to do. This
+//!   is the default backend and is bit-identical to the pre-trait code:
+//!   same RNG draws, same (time, seq) event positions, same `events_fired`.
+//! * [`UdpBackend`](udp::UdpBackend) — real sockets. Egress serializes the
+//!   frame ([`crate::wire_bytes::encode_packet`]) and writes it as one UDP
+//!   datagram (RFC 6951-style encapsulation); ingress drains the socket,
+//!   verifies checksums, and hands decoded packets back for dispatch into
+//!   the same unmodified engines.
+//!
+//! What is shared between the two backends: the protocol engines (CC, RTO,
+//! SACK, bundling, CMT), the timer wheel, the flight recorder. What is not:
+//! the loss/latency model (the real network supplies its own) and
+//! determinism (wall-clock arrival order is not replayable).
+//!
+//! Dispatch discipline: the backend is `take()`n out of the world for the
+//! duration of one trait call and restored immediately after — a backend
+//! method must never re-enter `ip::send` (both drivers are leaves: the sim
+//! path only *schedules* deliveries, the UDP path only writes datagrams).
+//! Ingress dispatch happens with the backend back in place, so input
+//! handlers are free to transmit replies.
+
+pub mod udp;
+
+use simcore::SimTime;
+
+use crate::ip::Packet;
+use crate::{ip, World, Wx};
+
+/// A network driver under the transport engines. See the module docs for
+/// the dispatch discipline.
+pub trait Backend: Send {
+    /// Egress one packet.
+    fn send(&mut self, w: &mut World, ctx: &mut Wx, pkt: Packet);
+
+    /// Egress a train of back-to-back packets to one peer. The sim backend
+    /// fuses these into one delivery event; a socket backend just writes
+    /// K datagrams.
+    fn send_train(&mut self, w: &mut World, ctx: &mut Wx, pkts: Vec<Packet>);
+
+    /// Drain ingress: frames that arrived since the last poll, decoded into
+    /// engine packets (in arrival order). The sim backend returns nothing —
+    /// its deliveries ride scheduled events. The caller dispatches the
+    /// result via [`ip::deliver_now`] with the backend back in place.
+    fn poll_ingress(&mut self, _ctx: &mut Wx) -> Vec<Packet> {
+        Vec::new()
+    }
+
+    /// The next instant the driver loop must wake for: the earliest queued
+    /// timer by default. A socket backend's reactor sleeps until this (or
+    /// until the socket turns readable).
+    fn next_deadline(&self, ctx: &Wx) -> Option<SimTime> {
+        ctx.next_event_time()
+    }
+
+    /// The clock packets are stamped with: virtual time under the sim,
+    /// wall-derived time under a socket backend (whose reactor keeps the
+    /// virtual clock tracking it).
+    fn now(&self, ctx: &Wx) -> SimTime {
+        ctx.now()
+    }
+
+    /// Implementation-specific escape hatch: lets the driver's owner
+    /// recover concrete state (e.g. [`udp::UdpStats`]) through the trait
+    /// object after a run.
+    fn as_any(&mut self) -> &mut dyn std::any::Any;
+}
+
+/// Drain the installed backend's ingress queue and dispatch every decoded
+/// packet into the protocol input routines. Returns how many were
+/// dispatched. The poll runs with the backend taken out (so it can't
+/// re-enter the engines); dispatch runs with it restored (so input handlers
+/// can transmit replies). This is the reactor's per-tick ingress pump; on
+/// the sim backend it is a no-op.
+pub fn pump_ingress(w: &mut World, ctx: &mut Wx) -> usize {
+    let mut b = w.backend.take().expect("backend re-entered pump_ingress from its own dispatch");
+    let pkts = b.poll_ingress(ctx);
+    w.backend = Some(b);
+    let n = pkts.len();
+    for pkt in pkts {
+        ip::deliver_now(w, ctx, pkt);
+    }
+    n
+}
+
+/// The deterministic simulator driver: the exact egress path every figure
+/// in EXPERIMENTS.md was measured under, now behind the trait.
+#[derive(Debug, Default)]
+pub struct SimBackend;
+
+impl Backend for SimBackend {
+    fn send(&mut self, w: &mut World, ctx: &mut Wx, pkt: Packet) {
+        ip::sim_send(w, ctx, pkt);
+    }
+
+    fn send_train(&mut self, w: &mut World, ctx: &mut Wx, pkts: Vec<Packet>) {
+        ip::sim_send_train(w, ctx, pkts);
+    }
+
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}

@@ -24,6 +24,36 @@ use simcore::SimTime;
 
 use crate::{sctp, tcp, wire_bytes, World, Wx};
 
+/// Offer `pkt` to the installed [`crate::backend::Backend`].
+///
+/// The backend is moved out of the world for the duration of the call (a
+/// pointer move, not an allocation) so the driver gets `&mut World` without
+/// aliasing itself; it is restored before returning. Backends are leaves —
+/// they never re-enter this function — so the take can only fail on a
+/// misbehaving driver, which is a programming error worth a loud stop.
+pub fn send(w: &mut World, ctx: &mut Wx, pkt: Packet) {
+    let mut b = w.backend.take().expect("backend re-entered ip::send from its own dispatch");
+    b.send(w, ctx, pkt);
+    w.backend = Some(b);
+}
+
+/// Offer a train of back-to-back packets (one source, one destination) to
+/// the installed backend. Same take/restore discipline as [`send`].
+pub fn send_train(w: &mut World, ctx: &mut Wx, pkts: Vec<Packet>) {
+    let mut b = w.backend.take().expect("backend re-entered ip::send_train from its own dispatch");
+    b.send_train(w, ctx, pkts);
+    w.backend = Some(b);
+}
+
+/// Dispatch an already-arrived packet straight into the protocol input
+/// routines, bypassing the network. This is the ingress half of a real-I/O
+/// backend: the reactor polls decoded frames out of the driver and feeds
+/// them here, with the backend back in the world so input handlers can
+/// transmit replies.
+pub fn deliver_now(w: &mut World, ctx: &mut Wx, pkt: Packet) {
+    deliver(w, ctx, pkt);
+}
+
 /// IPv4 header size (no options).
 pub const IP_HEADER: u32 = 20;
 
@@ -58,7 +88,7 @@ pub struct Packet {
 
 /// Flight-recorder capture of one packet, built *before* the network's
 /// verdict so the serialized frame reflects exactly what was offered.
-struct PktCapture {
+pub(crate) struct PktCapture {
     frame: Vec<u8>,
     frame_orig_len: u32,
     proto: trace::Proto8,
@@ -68,14 +98,14 @@ struct PktCapture {
     stream: i32,
 }
 
-fn capture(ctx: &Wx, pkt: &Packet) -> Option<PktCapture> {
+pub(crate) fn capture(ctx: &Wx, pkt: &Packet) -> Option<PktCapture> {
     let tracer = ctx.tracer()?;
     let (frame, frame_orig_len) = wire_bytes::capture_frame(pkt, ctx.now().as_nanos(), tracer.snaplen());
     let (proto, kind, tsn, ntsn, stream) = wire_bytes::pkt_meta(&pkt.body);
     Some(PktCapture { frame, frame_orig_len, proto, kind, tsn, ntsn, stream })
 }
 
-fn emit_pkt(ctx: &Wx, src: IfAddr, dst: IfAddr, wire_len: u32, verdict: Verdict, cap: PktCapture) {
+pub(crate) fn emit_pkt(ctx: &Wx, src: IfAddr, dst: IfAddr, wire_len: u32, verdict: Verdict, cap: PktCapture) {
     let verdict = match verdict {
         Verdict::Deliver { at } => trace::PktVerdict::Deliver { at_ns: at.as_nanos() },
         Verdict::Drop(DropReason::Loss) => trace::PktVerdict::Drop(trace::DropKind::Loss),
@@ -99,8 +129,10 @@ fn emit_pkt(ctx: &Wx, src: IfAddr, dst: IfAddr, wire_len: u32, verdict: Verdict,
     }));
 }
 
-/// Offer `pkt` to the network; schedule delivery if it survives.
-pub fn send(w: &mut World, ctx: &mut Wx, pkt: Packet) {
+/// Offer `pkt` to the simulated network; schedule delivery if it survives.
+/// This is [`crate::backend::SimBackend`]'s egress path — the pre-backend
+/// `ip::send`, verbatim.
+pub(crate) fn sim_send(w: &mut World, ctx: &mut Wx, pkt: Packet) {
     let size = IP_HEADER + pkt.body.wire_len();
     let cap = capture(ctx, &pkt);
     let verdict = w.net.transmit(ctx.now(), pkt.src, pkt.dst, size, &mut ctx.rng);
@@ -125,13 +157,13 @@ fn deliver(w: &mut World, ctx: &mut Wx, pkt: Packet) {
 /// Offer a train of back-to-back packets (one source, one destination) to
 /// the network and schedule delivery of the survivors as one fused event.
 ///
-/// Exactly equivalent to `pkts.len()` sequential [`send`] calls: same RNG
-/// draw order, same verdicts, same per-packet delivery instants, same
+/// Exactly equivalent to `pkts.len()` sequential [`sim_send`] calls: same
+/// RNG draw order, same verdicts, same per-packet delivery instants, same
 /// (time, seq) fire positions, same `events_fired` count.
-pub fn send_train(w: &mut World, ctx: &mut Wx, mut pkts: Vec<Packet>) {
+pub(crate) fn sim_send_train(w: &mut World, ctx: &mut Wx, mut pkts: Vec<Packet>) {
     if pkts.len() < 2 || ctx.is_reference() {
         for pkt in pkts.drain(..) {
-            send(w, ctx, pkt);
+            sim_send(w, ctx, pkt);
         }
         w.pool.put_packet_vec(pkts);
         return;

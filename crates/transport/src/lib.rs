@@ -29,6 +29,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod buf;
 pub mod crc32c;
 pub mod ip;
@@ -61,6 +62,10 @@ pub struct World {
     pub hosts: Vec<Host>,
     /// Recycled packet-plane buffers (see [`pool`]).
     pub pool: pool::Pools,
+    /// The network driver every `ip::send` dispatches through. Always
+    /// `Some` between dispatches; `ip::send` takes it out for the duration
+    /// of one backend call (see [`backend`]).
+    pub backend: Option<Box<dyn backend::Backend>>,
 }
 
 impl World {
@@ -72,7 +77,18 @@ impl World {
                 sctp: sctp::SctpHost::new(sctp_cfg.clone()),
             })
             .collect();
-        World { net: Net::new(net_cfg), hosts, pool: pool::Pools::default() }
+        World {
+            net: Net::new(net_cfg),
+            hosts,
+            pool: pool::Pools::default(),
+            backend: Some(Box::new(backend::SimBackend)),
+        }
+    }
+
+    /// Swap the network driver (e.g. for a [`backend::udp::UdpBackend`]).
+    /// Returns the previous one.
+    pub fn install_backend(&mut self, b: Box<dyn backend::Backend>) -> Box<dyn backend::Backend> {
+        self.backend.replace(b).expect("backend slot empty outside a dispatch")
     }
 
     /// Convenience: default configs at a given loss rate (the paper's

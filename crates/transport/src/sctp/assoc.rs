@@ -103,6 +103,14 @@ pub struct SctpCfg {
     /// retransmission. `false` leaves the single-path engine bit-identical
     /// to the pre-CMT code.
     pub cmt: bool,
+    /// Draw verification tags and heartbeat nonces in the u32 range the
+    /// wire can carry, so a frame decoded off a real socket reproduces the
+    /// tag the engine drew. The sim default keeps the full-width u64 draws
+    /// — same RNG call sites, same stream, bit-identical results — because
+    /// inside the simulator tags never cross a serialization boundary.
+    /// Live backends must set this: a truncated tag would make every
+    /// decoded packet fail vtag validation.
+    pub wire_safe_ids: bool,
 }
 
 impl Default for SctpCfg {
@@ -130,6 +138,7 @@ impl Default for SctpCfg {
             byte_counting_cc: true,
             max_burst: 12,
             cmt: false,
+            wire_safe_ids: false,
         }
     }
 }

@@ -46,6 +46,26 @@ fn assoc_pool_mut(w: &mut World, a: AssocId) -> (&mut Assoc, &mut crate::pool::P
     (&mut hosts[a.host as usize].sctp.eps[a.ep as usize].assocs[a.idx as usize], pool)
 }
 
+/// Draw a verification tag: full-width under the sim (historical stream,
+/// bit-identical figures), u32-range when `wire_safe_ids` is set so the
+/// tag survives the wire's 32-bit field (see [`SctpCfg::wire_safe_ids`]).
+fn draw_tag(ctx: &mut Wx, cfg: &SctpCfg) -> u64 {
+    if cfg.wire_safe_ids {
+        ctx.rng.gen_range(1..u32::MAX as u64)
+    } else {
+        ctx.rng.gen_range(1..u64::MAX)
+    }
+}
+
+/// Draw a heartbeat nonce, width-gated like [`draw_tag`].
+fn draw_nonce(ctx: &mut Wx, cfg: &SctpCfg) -> u64 {
+    if cfg.wire_safe_ids {
+        ctx.rng.gen::<u32>() as u64
+    } else {
+        ctx.rng.gen()
+    }
+}
+
 fn host_secret(w: &mut World, ctx: &mut Wx, host: u16) -> u64 {
     let sh = &mut w.hosts[host as usize].sctp;
     *sh.secret.get_or_insert_with(|| ctx.rng.gen())
@@ -199,7 +219,7 @@ pub fn listen(w: &mut World, e: EpId) {
 /// Start the four-way handshake toward `(dst_host, dst_port)`.
 pub fn connect(w: &mut World, ctx: &mut Wx, e: EpId, dst_host: u16, dst_port: u16) -> AssocId {
     let cfg = cfg_of(w, e.host);
-    let local_tag: u64 = ctx.rng.gen_range(1..u64::MAX);
+    let local_tag: u64 = draw_tag(ctx, &cfg);
     let port = ep_ref(w, e).port;
     let mut assoc = Assoc::new(&cfg, port, dst_host, dst_port, local_tag, AssocState::CookieWait, 1);
     assoc.last_traffic = ctx.now();
@@ -1179,7 +1199,7 @@ fn arm_heartbeat(w: &mut World, ctx: &mut Wx, a: AssocId, path: u8) {
 
 fn on_heartbeat(w: &mut World, ctx: &mut Wx, a: AssocId, path: u8, gen: u64) {
     let cfg = cfg_of(w, a.host);
-    let nonce: u64 = ctx.rng.gen();
+    let nonce: u64 = draw_nonce(ctx, &cfg);
     let send;
     let vtag;
     {
@@ -1336,7 +1356,7 @@ fn handle_init(
     let cfg = cfg_of(w, e.host);
     let secret = host_secret(w, ctx, e.host);
     let port = ep_ref(w, e).port;
-    let local_tag: u64 = ctx.rng.gen_range(1..u64::MAX);
+    let local_tag: u64 = draw_tag(ctx, &cfg);
     let cookie = Cookie {
         peer_host: src.host,
         peer_port: src_port,
