@@ -3,7 +3,7 @@
 //! recovery time split fast-rtx vs RTO, cwnd evolution, and a per-cell
 //! "where did the bytes stall" table explaining the Table 1 magnitude gap.
 //!
-//! Usage: `analyze [TRACES_DIR] [--expect-hol] [--markdown]`
+//! Usage: `analyze [TRACES_DIR] [--expect-hol] [--expect-hol-split] [--markdown]`
 //!
 //! * `TRACES_DIR` defaults to `traces/` (where `TRACE=1 fig10 --quick`
 //!   leaves one `<fig>_<cell>.jsonl` per cell).
@@ -11,6 +11,11 @@
 //!   least one head-of-line block (the CI trace job uses this: a lossy
 //!   SCTP run whose captures show zero HOL blocks means the recorder's
 //!   receive-side hooks are broken).
+//! * `--expect-hol-split` additionally asserts both *sender*-side and
+//!   *receiver*-side HOL blocks appear across the captures (the
+//!   interleave-smoke CI job uses this: an interleave experiment whose
+//!   traces never distinguish the two sides means the RFC 8260 sender-HOL
+//!   hooks are broken).
 //! * `--markdown` renders the stall summary as a Markdown table (the
 //!   EXPERIMENTS.md "E-trace" section is generated this way).
 
@@ -58,19 +63,26 @@ fn load_captures(dir: &std::path::Path) -> Result<Vec<Capture>, String> {
     Ok(out)
 }
 
-fn print_hol(cap: &Capture) -> u64 {
+/// Returns (total blocks, snd-side blocks, rcv-side blocks).
+fn print_hol(cap: &Capture) -> (u64, u64, u64) {
     let rows = hol_rows(&cap.events);
     if rows.is_empty() {
-        return 0;
+        return (0, 0, 0);
     }
-    let mut blocks = 0;
+    let (mut blocks, mut snd, mut rcv) = (0, 0, 0);
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
             blocks += r.blocks;
+            if r.side == "snd" {
+                snd += r.blocks;
+            } else {
+                rcv += r.blocks;
+            }
             let mut row = vec![
                 format!("{}<-{}", r.host, r.peer),
                 r.stream.to_string(),
+                r.side.clone(),
                 r.blocks.to_string(),
                 ms(r.total_ns),
                 ms(r.max_ns),
@@ -80,10 +92,10 @@ fn print_hol(cap: &Capture) -> u64 {
             row
         })
         .collect();
-    let mut header = vec!["rcv<-snd", "stream", "blocks", "total ms", "max ms", "msgs"];
+    let mut header = vec!["host<-peer", "stream", "side", "blocks", "total ms", "max ms", "msgs"];
     header.extend(bucket_labels());
     print!("{}", render_table(&format!("HOL blocks: {}", cap.name), &header, &table));
-    blocks
+    (blocks, snd, rcv)
 }
 
 fn print_recovery(cap: &Capture) {
@@ -174,8 +186,8 @@ fn print_faults(cap: &Capture) {
 /// The cross-capture roll-up: one row per cell, stall time by cause.
 fn stall_summary(caps: &[Capture], markdown: bool) -> String {
     let header = [
-        "cell", "makespan ms", "pkts", "drops", "hol blk", "hol ms", "fast rtx", "fast ms",
-        "rto fires", "rto ms", "unexp msgs", "faults",
+        "cell", "makespan ms", "pkts", "drops", "rcv hol blk", "rcv hol ms", "snd hol blk",
+        "snd hol ms", "fast rtx", "fast ms", "rto fires", "rto ms", "unexp msgs", "faults",
     ];
     let rows: Vec<Vec<String>> = caps
         .iter()
@@ -188,6 +200,8 @@ fn stall_summary(caps: &[Capture], markdown: bool) -> String {
                 (st.drops_loss + st.drops_queue + st.drops_down).to_string(),
                 st.hol_blocks.to_string(),
                 ms(st.hol_ns),
+                st.snd_hol_blocks.to_string(),
+                ms(st.snd_hol_ns),
                 st.fast_rtx.to_string(),
                 ms(st.fast_recovery_ns),
                 st.rto_fires.to_string(),
@@ -213,14 +227,16 @@ fn stall_summary(caps: &[Capture], markdown: bool) -> String {
 fn main() -> ExitCode {
     let mut dir = String::from("traces");
     let mut expect_hol = false;
+    let mut expect_split = false;
     let mut markdown = false;
     for a in std::env::args().skip(1) {
         match a.as_str() {
             "--expect-hol" => expect_hol = true,
+            "--expect-hol-split" => expect_split = true,
             "--markdown" => markdown = true,
             other if !other.starts_with('-') => dir = other.to_string(),
             other => {
-                eprintln!("unknown flag {other}; usage: analyze [TRACES_DIR] [--expect-hol] [--markdown]");
+                eprintln!("unknown flag {other}; usage: analyze [TRACES_DIR] [--expect-hol] [--expect-hol-split] [--markdown]");
                 return ExitCode::from(2);
             }
         }
@@ -238,24 +254,36 @@ fn main() -> ExitCode {
     }
 
     let mut hol_blocks_total: BTreeMap<String, u64> = BTreeMap::new();
+    let (mut snd_total, mut rcv_total) = (0u64, 0u64);
     for cap in &caps {
-        let blocks = print_hol(cap);
+        let (blocks, snd, rcv) = print_hol(cap);
         if blocks > 0 {
             hol_blocks_total.insert(cap.name.clone(), blocks);
         }
+        snd_total += snd;
+        rcv_total += rcv;
         print_recovery(cap);
         print_cwnd(cap);
         print_faults(cap);
     }
     print!("{}", stall_summary(&caps, markdown));
     println!(
-        "{} captures, {} with HOL blocks ({} blocks total)",
+        "{} captures, {} with HOL blocks ({} blocks total: {} snd-side, {} rcv-side)",
         caps.len(),
         hol_blocks_total.len(),
         hol_blocks_total.values().sum::<u64>(),
+        snd_total,
+        rcv_total,
     );
     if expect_hol && hol_blocks_total.is_empty() {
         eprintln!("analyze: --expect-hol set but no capture contains a HOL block");
+        return ExitCode::FAILURE;
+    }
+    if expect_split && (snd_total == 0 || rcv_total == 0) {
+        eprintln!(
+            "analyze: --expect-hol-split set but captures show {snd_total} snd-side / \
+             {rcv_total} rcv-side HOL blocks (need both > 0)"
+        );
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

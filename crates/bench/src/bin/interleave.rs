@@ -1,0 +1,80 @@
+//! **E-interleave** — RFC 8260 message interleaving and RFC 3758 PR-SCTP.
+//!
+//! Part A (mixed-size farm): the Figure 12 farm rerun with unequal task
+//! sizes. Multistreaming alone leaves the association's outbound queue a
+//! single FIFO, so a 60 KB bulk task starting to fragment blocks every
+//! urgent task queued behind it — *sender-side* HOL blocking, invisible to
+//! Figure 12's receiver-side accounting. I-DATA plus a non-FIFO stream
+//! scheduler interleaves the urgent fragments into the bulk transmission;
+//! the run asserts the blocked time strictly drops.
+//!
+//! Part B (media deadline workload): a fixed-cadence frame source under
+//! loss, swept over per-frame lifetimes. Finite lifetimes abandon stale
+//! frames (FORWARD-TSN), bounding delivered-frame staleness where the
+//! reliable run lets it grow with the retransmission backlog.
+//!
+//! Usage: `interleave [--quick]`
+
+use bench_harness::{interleave_metered, render_table, save_json, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let (results, bench) = interleave_metered(scale);
+
+    let table: Vec<Vec<String>> = results
+        .mixed
+        .iter()
+        .map(|r| {
+            vec![
+                r.config.clone(),
+                format!("{:.0}%", r.loss * 100.0),
+                format!("{:.2}", r.secs),
+                format!("{}", r.snd_hol_blocks),
+                format!("{:.2}", r.snd_hol_ms),
+                format!("{:.2}", r.rcv_hol_ms),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "E-interleave A: mixed-size farm, I-DATA schedulers vs FIFO",
+            &["config", "loss", "secs", "snd blk", "snd hol ms", "rcv hol ms"],
+            &table,
+        )
+    );
+
+    let table: Vec<Vec<String>> = results
+        .deadline
+        .iter()
+        .map(|r| {
+            vec![
+                if r.lifetime_ms == 0 {
+                    "reliable".to_string()
+                } else {
+                    format!("{} ms", r.lifetime_ms)
+                },
+                format!("{:.0}%", r.loss * 100.0),
+                format!("{}", r.frames_delivered),
+                format!("{}", r.frames_skipped),
+                format!("{}", r.msgs_abandoned),
+                format!("{}", r.fwd_tsn_out),
+                format!("{:.1}", r.max_staleness_ms),
+                format!("{:.1}", r.mean_staleness_ms),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "E-interleave B: PR-SCTP lifetime sweep, media source under loss",
+            &["lifetime", "loss", "delivered", "skipped", "abandoned", "fwd-tsn", "max stale ms", "mean stale ms"],
+            &table,
+        )
+    );
+
+    save_json(&scale.tag("interleave_mixed"), &results.mixed);
+    save_json(&scale.tag("interleave_deadline"), &results.deadline);
+    bench.save();
+    eprintln!("{}", bench.summary());
+}

@@ -1,0 +1,50 @@
+//! Diagnostic probe: the mixed-size farm with full stream-machinery stats.
+//!
+//! Runs the sender-HOL study workload once with the flight recorder forced
+//! on and prints the per-side HOL accounting plus the PR-SCTP counters.
+//! The scheduler comes from the `SCTP_SCHED` env knob (`fcfs` | `rr` |
+//! `wfq` | `prio`; unknown values fall back to FCFS), so one shell loop
+//! compares all four:
+//!
+//! ```sh
+//! for s in fcfs rr wfq prio; do SCTP_SCHED=$s probe_interleave 0.01; done
+//! ```
+//!
+//! Usage: `probe_interleave [loss] [tasks] [--nointl]`
+
+use mpi_core::MpiCfg;
+use workloads::mixed::{self, MixedCfg};
+
+fn main() {
+    let loss: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.0);
+    let tasks: u32 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(500);
+    let interleave = !std::env::args().any(|a| a == "--nointl");
+    let seed: u64 =
+        std::env::var("FARM_SEED").ok().and_then(|x| x.parse().ok()).unwrap_or(7);
+
+    let cfg = MpiCfg::sctp(8, loss)
+        .with_seed(seed)
+        .with_interleave(interleave)
+        .with_sched_from_env();
+    let sched = cfg.sctp.sched.name();
+    let r = mixed::run_traced(cfg, MixedCfg::default_mix(tasks));
+
+    println!(
+        "mixed farm: loss={loss} tasks={tasks} interleave={interleave} sched={sched}"
+    );
+    println!(
+        "  sim={:.3}s events={} tasks_done={}",
+        r.result.secs, r.result.events, r.result.tasks_done
+    );
+    println!(
+        "  hol snd: {} blocks {:.3} ms | hol rcv: {} blocks {:.3} ms",
+        r.snd_hol_blocks,
+        r.snd_hol_ns as f64 / 1e6,
+        r.rcv_hol_blocks,
+        r.rcv_hol_ns as f64 / 1e6,
+    );
+    println!(
+        "  pr-sctp: abandoned={} fwd_tsn_out={}",
+        r.result.msgs_abandoned, r.result.fwd_tsn_out
+    );
+}

@@ -454,6 +454,276 @@ pub fn fig12(scale: Scale) -> Vec<Fig12Row> {
 }
 
 // ---------------------------------------------------------------------------
+// E-interleave — RFC 8260 I-DATA + stream schedulers (mixed-size farm) and
+// RFC 3758 PR-SCTP (media deadline workload)
+// ---------------------------------------------------------------------------
+
+/// One cell of the mixed-message-size table: a (config × loss) point of the
+/// fig12-style sweep, with the per-side HOL accounting that explains it.
+#[derive(Debug, Clone)]
+pub struct InterleaveRow {
+    /// "nointl-fcfs" (pre-8260 multistreaming), `intl-<sched>` (I-DATA
+    /// negotiated, named sender scheduler).
+    pub config: String,
+    pub loss: f64,
+    pub secs: f64,
+    /// Sender-side HOL blocks and total blocked time — the metric I-DATA
+    /// plus a non-FIFO scheduler exists to reduce.
+    pub snd_hol_blocks: u64,
+    pub snd_hol_ms: f64,
+    /// Receiver-side (classic Figure 12) HOL blocked time, for contrast.
+    pub rcv_hol_ms: f64,
+}
+
+impl_to_json!(InterleaveRow { config, loss, secs, snd_hol_blocks, snd_hol_ms, rcv_hol_ms });
+
+/// One cell of the PR-SCTP deadline sweep (media workload).
+#[derive(Debug, Clone)]
+pub struct DeadlineRow {
+    /// Per-frame lifetime, ms (0 = fully reliable source).
+    pub lifetime_ms: u64,
+    pub loss: f64,
+    pub frames_delivered: u32,
+    /// Frames dropped at the source because the send buffer was full.
+    pub frames_skipped: u32,
+    pub msgs_abandoned: u64,
+    pub fwd_tsn_out: u64,
+    pub max_staleness_ms: f64,
+    pub mean_staleness_ms: f64,
+    pub secs: f64,
+}
+
+impl_to_json!(DeadlineRow {
+    lifetime_ms,
+    loss,
+    frames_delivered,
+    frames_skipped,
+    msgs_abandoned,
+    fwd_tsn_out,
+    max_staleness_ms,
+    mean_staleness_ms,
+    secs,
+});
+
+/// Both E-interleave tables as one harness run (`BENCH_interleave.json`).
+#[derive(Debug, Clone)]
+pub struct InterleaveResults {
+    /// Mixed-size farm: scheduler comparison across loss rates.
+    pub mixed: Vec<InterleaveRow>,
+    /// Media deadline workload: PR-SCTP abandonment-rate sweep.
+    pub deadline: Vec<DeadlineRow>,
+}
+
+use transport::sctp::SchedKind;
+use workloads::media::{self, MediaCfg};
+use workloads::mixed::{self, MixedCfg};
+
+/// The sender-scheduler configurations the mixed table compares, in output
+/// order. `None` = interleaving off (the pre-8260 baseline).
+fn interleave_configs() -> [(&'static str, Option<SchedKind>); 5] {
+    [
+        ("nointl-fcfs", None),
+        ("intl-fcfs", Some(SchedKind::Fcfs)),
+        ("intl-rr", Some(SchedKind::RoundRobin)),
+        ("intl-wfq", Some(SchedKind::WeightedFair)),
+        ("intl-prio", Some(SchedKind::StrictPriority)),
+    ]
+}
+
+/// Slack allowed over the configured lifetime before a delivered frame
+/// counts as "unboundedly stale": abandonment happens lazily when a
+/// (re)transmission comes due, so a frame stuck behind a loss the fast-rtx
+/// machinery misses waits out one full T3 round (initial RTO 1 s) before
+/// the FORWARD-TSN opens the receiver's ordered-delivery gate.
+pub const STALENESS_SLACK: simcore::Dur = simcore::Dur::from_millis(1_500);
+
+/// Runs the mixed-size farm grid and the deadline sweep, asserting the
+/// acceptance shape in-process: I-DATA plus a non-FIFO scheduler strictly
+/// reduces sender-side HOL blocked time vs non-interleaved multistreaming,
+/// and finite lifetimes bound delivered-frame staleness.
+pub fn interleave_metered(scale: Scale) -> (InterleaveResults, BenchReport) {
+    use std::sync::Mutex;
+    use workloads::mixed::TracedMixedResult;
+
+    let tasks = match scale {
+        Scale::Paper => 2_000,
+        Scale::Quick => 200,
+    };
+    let frames = match scale {
+        Scale::Paper => 2_000,
+        Scale::Quick => 300,
+    };
+    let losses = [0.0, 0.01, 0.02];
+    let mixed_cfg = MixedCfg::default_mix(tasks);
+    // Seeds per mixed cell. One RTO-recovery window (initial RTO 1 s)
+    // parks the whole association — a stall no scheduler can route
+    // around, charged to whichever streams were waiting — so a single
+    // seed's HOL total is noisy at paper scale; like the CMT grid, paper
+    // scale averages 3 seeds per (config × loss) point and the acceptance
+    // assertions compare those means.
+    let seed_offsets: &[u64] = match scale {
+        Scale::Paper => &[0, 1, 2],
+        Scale::Quick => &[0],
+    };
+    // (lifetime ms, 0 = reliable) × one loss rate for the deadline sweep.
+    let deadline_loss = 0.02;
+    let lifetimes_ms: [u64; 4] = [0, 200, 50, 20];
+
+    let mut specs: Vec<(&'static str, Option<SchedKind>, f64, u64)> = Vec::new();
+    for &loss in &losses {
+        for (name, sched) in interleave_configs() {
+            for &s in seed_offsets {
+                specs.push((name, sched, loss, s));
+            }
+        }
+    }
+
+    let slots: Vec<Mutex<Option<TracedMixedResult>>> =
+        specs.iter().map(|_| Mutex::new(None)).collect();
+    let media_slots: Vec<Mutex<Option<media::MediaResult>>> =
+        lifetimes_ms.iter().map(|_| Mutex::new(None)).collect();
+    let mut cells: Vec<Cell<'_>> = Vec::new();
+    for (i, &(name, sched, loss, s)) in specs.iter().enumerate() {
+        let slot = &slots[i];
+        cells.push(Cell::new(format!("mixed config={name} loss={loss} seed={s}"), move || {
+            let mut cfg = MpiCfg::sctp(8, loss).with_seed(SEED_BASE + s);
+            if let Some(k) = sched {
+                cfg = cfg.with_interleave(true).with_scheduler(k, &[]);
+            }
+            let r = mixed::run_traced(cfg, mixed_cfg);
+            assert_eq!(r.result.tasks_done, mixed_cfg.num_tasks, "tasks lost in {name}");
+            let mut m = Measured::new(r.result.secs, r.result.secs, r.result.events)
+                .with_stream_meters(
+                    sched.unwrap_or(SchedKind::Fcfs).name(),
+                    r.result.msgs_abandoned,
+                    r.result.fwd_tsn_out,
+                    r.snd_hol_blocks,
+                    r.snd_hol_ns,
+                );
+            m.aux = r.snd_hol_blocks;
+            *slot.lock().unwrap() = Some(r);
+            m
+        }));
+    }
+    for (j, &ms) in lifetimes_ms.iter().enumerate() {
+        let slot = &media_slots[j];
+        cells.push(Cell::new(
+            format!("media lifetime={ms}ms loss={deadline_loss}"),
+            move || {
+                let lifetime = (ms > 0).then(|| simcore::Dur::from_millis(ms));
+                let r = media::run(MediaCfg::new(frames, lifetime, deadline_loss));
+                let mut m = Measured::new(r.frames_delivered as f64, r.secs, r.events)
+                    .with_stream_meters("fcfs", r.msgs_abandoned, r.fwd_tsn_out, 0, 0);
+                m.aux = r.msgs_abandoned;
+                *slot.lock().unwrap() = Some(r);
+                m
+            },
+        ));
+    }
+
+    let (_, report) = runner::run_cells("interleave", scale, cells);
+
+    // One row per (config × loss), averaged over the seeds that ran it.
+    let n_seeds = seed_offsets.len() as f64;
+    let mut mixed_rows: Vec<InterleaveRow> = Vec::new();
+    for (&(name, _, loss, _), slot) in specs.iter().zip(&slots) {
+        let r = slot.lock().unwrap().expect("cell not run");
+        if let Some(row) =
+            mixed_rows.iter_mut().find(|row| row.config == name && row.loss == loss)
+        {
+            row.secs += r.result.secs / n_seeds;
+            row.snd_hol_blocks += r.snd_hol_blocks;
+            row.snd_hol_ms += r.snd_hol_ns as f64 / 1e6 / n_seeds;
+            row.rcv_hol_ms += r.rcv_hol_ns as f64 / 1e6 / n_seeds;
+        } else {
+            mixed_rows.push(InterleaveRow {
+                config: name.to_string(),
+                loss,
+                secs: r.result.secs / n_seeds,
+                snd_hol_blocks: r.snd_hol_blocks,
+                snd_hol_ms: r.snd_hol_ns as f64 / 1e6 / n_seeds,
+                rcv_hol_ms: r.rcv_hol_ns as f64 / 1e6 / n_seeds,
+            });
+        }
+    }
+    for row in &mut mixed_rows {
+        row.snd_hol_blocks = (row.snd_hol_blocks as f64 / n_seeds).round() as u64;
+    }
+    let deadline_rows: Vec<DeadlineRow> = lifetimes_ms
+        .iter()
+        .zip(&media_slots)
+        .map(|(&ms, slot)| {
+            let r = slot.lock().unwrap().expect("cell not run");
+            DeadlineRow {
+                lifetime_ms: ms,
+                loss: deadline_loss,
+                frames_delivered: r.frames_delivered,
+                frames_skipped: r.frames_skipped,
+                msgs_abandoned: r.msgs_abandoned,
+                fwd_tsn_out: r.fwd_tsn_out,
+                max_staleness_ms: r.max_staleness_ns as f64 / 1e6,
+                mean_staleness_ms: r.mean_staleness_ns as f64 / 1e6,
+                secs: r.secs,
+            }
+        })
+        .collect();
+
+    // Acceptance shape. (1) Interleaving plus a non-FIFO scheduler must
+    // strictly reduce sender-side blocked time against the pre-8260
+    // baseline, at every loss rate.
+    let get = |config: &str, loss: f64| {
+        mixed_rows
+            .iter()
+            .find(|r| r.config == config && r.loss == loss)
+            .expect("mixed cell present")
+    };
+    for &loss in &losses {
+        let base = get("nointl-fcfs", loss);
+        assert!(
+            base.snd_hol_blocks > 0,
+            "mixed sizes must produce sender-side HOL at loss={loss}: {base:?}"
+        );
+        for cfg in ["intl-rr", "intl-wfq"] {
+            let intl = get(cfg, loss);
+            assert!(
+                intl.snd_hol_ms < base.snd_hol_ms,
+                "{cfg} must strictly reduce sender-side HOL time at loss={loss}: \
+                 {:.2} vs {:.2} ms",
+                intl.snd_hol_ms,
+                base.snd_hol_ms
+            );
+        }
+    }
+    // (2) The deadline sweep: tighter lifetimes abandon more and FORWARD-TSN
+    // rides along; delivered frames stay within lifetime + slack of fresh.
+    let reliable = &deadline_rows[0];
+    for row in &deadline_rows[1..] {
+        assert!(
+            row.msgs_abandoned == 0 || row.fwd_tsn_out > 0,
+            "abandonment must emit FORWARD-TSN: {row:?}"
+        );
+        let bound_ms = row.lifetime_ms as f64 + STALENESS_SLACK.as_nanos() as f64 / 1e6;
+        assert!(
+            row.max_staleness_ms <= bound_ms,
+            "staleness must stay bounded by lifetime+slack: {row:?} (bound {bound_ms} ms)"
+        );
+    }
+    let tightest = deadline_rows.last().expect("sweep non-empty");
+    assert!(
+        tightest.msgs_abandoned > 0,
+        "the tightest lifetime under loss must abandon frames: {tightest:?}"
+    );
+    assert!(
+        tightest.max_staleness_ms < reliable.max_staleness_ms,
+        "deadlines must beat reliable on worst staleness: {:.2} vs {:.2} ms",
+        tightest.max_staleness_ms,
+        reliable.max_staleness_ms
+    );
+
+    (InterleaveResults { mixed: mixed_rows, deadline: deadline_rows }, report)
+}
+
+// ---------------------------------------------------------------------------
 // E-faults — the farm under *bursty* loss (Gilbert–Elliott), matched to the
 // Bernoulli figures' average rates, and the scripted link-flap timeline
 // ---------------------------------------------------------------------------

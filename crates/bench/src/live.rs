@@ -262,6 +262,11 @@ fn meter(label: String, c: &LiveCell, paths: u64) -> CellMeter {
         per_path_pkts: vec![c.udp.tx_frames, 0, 0, 0],
         spurious_frtx_total: 0,
         rescue_rtx_total: 0,
+        scheduler: "fcfs".to_string(),
+        msgs_abandoned: 0,
+        fwd_tsn_total: 0,
+        snd_hol_blocks: 0,
+        snd_hol_ns: 0,
         allocs_total: 0,
         allocs_per_event: 0.0,
     }

@@ -77,6 +77,18 @@ pub struct Measured {
     /// Chunks re-queued by the CMT rescue probe (tail-loss recovery that
     /// bypassed the RTO).
     pub rescue_rtx: u64,
+    /// Sender-side stream scheduler the cell ran under ("fcfs" when the
+    /// cell has no scheduler notion, e.g. TCP or non-interleaved SCTP).
+    pub scheduler: &'static str,
+    /// PR-SCTP messages abandoned past their lifetime.
+    pub msgs_abandoned: u64,
+    /// FORWARD-TSN chunks sent across the run.
+    pub fwd_tsn_total: u64,
+    /// Sender-side HOL blocks observed by the flight recorder (0 when the
+    /// cell was not traced).
+    pub snd_hol_blocks: u64,
+    /// Total sender-side HOL blocked time, ns (ditto).
+    pub snd_hol_ns: u64,
 }
 
 impl Measured {
@@ -100,6 +112,11 @@ impl Measured {
             per_path_pkts: [0; 4],
             spurious_frtx: 0,
             rescue_rtx: 0,
+            scheduler: "fcfs",
+            msgs_abandoned: 0,
+            fwd_tsn_total: 0,
+            snd_hol_blocks: 0,
+            snd_hol_ns: 0,
         }
     }
 
@@ -137,6 +154,24 @@ impl Measured {
         self.per_path_pkts = per_path_pkts;
         self.spurious_frtx = spurious_frtx;
         self.rescue_rtx = rescue_rtx;
+        self
+    }
+
+    /// Attach the stream-machinery meters (scheduler identity, PR-SCTP
+    /// abandonment, and sender-side HOL accounting from a forced trace).
+    pub fn with_stream_meters(
+        mut self,
+        scheduler: &'static str,
+        msgs_abandoned: u64,
+        fwd_tsn_total: u64,
+        snd_hol_blocks: u64,
+        snd_hol_ns: u64,
+    ) -> Measured {
+        self.scheduler = scheduler;
+        self.msgs_abandoned = msgs_abandoned;
+        self.fwd_tsn_total = fwd_tsn_total;
+        self.snd_hol_blocks = snd_hol_blocks;
+        self.snd_hol_ns = snd_hol_ns;
         self
     }
 
@@ -209,6 +244,16 @@ pub struct CellMeter {
     pub spurious_frtx_total: u64,
     /// Chunks re-queued by the CMT rescue probe.
     pub rescue_rtx_total: u64,
+    /// Sender-side stream scheduler the cell ran under.
+    pub scheduler: String,
+    /// PR-SCTP messages abandoned past their lifetime.
+    pub msgs_abandoned: u64,
+    /// FORWARD-TSN chunks sent across the run.
+    pub fwd_tsn_total: u64,
+    /// Sender-side HOL blocks observed by the flight recorder.
+    pub snd_hol_blocks: u64,
+    /// Total sender-side HOL blocked time, ns.
+    pub snd_hol_ns: u64,
     /// Heap allocations during the metered run (`ALLOC_METER=1`; 0 when the
     /// counting allocator is off). Process-global, so attributable to this
     /// cell only at `BENCH_THREADS=1`.
@@ -239,6 +284,11 @@ impl_to_json!(CellMeter {
     per_path_pkts,
     spurious_frtx_total,
     rescue_rtx_total,
+    scheduler,
+    msgs_abandoned,
+    fwd_tsn_total,
+    snd_hol_blocks,
+    snd_hol_ns,
     allocs_total,
     allocs_per_event
 });
@@ -384,7 +434,9 @@ fn assert_disciplines_agree(label: &str, reference: &Measured, fast: &Measured) 
         && reference.aux == fast.aux
         && reference.per_path_pkts == fast.per_path_pkts
         && reference.spurious_frtx == fast.spurious_frtx
-        && reference.rescue_rtx == fast.rescue_rtx;
+        && reference.rescue_rtx == fast.rescue_rtx
+        && reference.msgs_abandoned == fast.msgs_abandoned
+        && reference.fwd_tsn_total == fast.fwd_tsn_total;
     assert!(
         same,
         "SIM_CHECK divergence in cell `{label}`: \
@@ -487,6 +539,11 @@ pub fn run_cells_with_plan(
                     per_path_pkts: m.per_path_pkts.to_vec(),
                     spurious_frtx_total: m.spurious_frtx,
                     rescue_rtx_total: m.rescue_rtx,
+                    scheduler: m.scheduler.to_string(),
+                    msgs_abandoned: m.msgs_abandoned,
+                    fwd_tsn_total: m.fwd_tsn_total,
+                    snd_hol_blocks: m.snd_hol_blocks,
+                    snd_hol_ns: m.snd_hol_ns,
                     allocs_total,
                     allocs_per_event: allocs_total as f64 / (m.events.max(1)) as f64,
                 };
@@ -608,6 +665,11 @@ mod tests {
                 per_path_pkts: vec![5, 3, 2, 0],
                 spurious_frtx_total: 1,
                 rescue_rtx_total: 2,
+                scheduler: "rr".into(),
+                msgs_abandoned: 4,
+                fwd_tsn_total: 2,
+                snd_hol_blocks: 6,
+                snd_hol_ns: 9_000,
                 allocs_total: 123,
                 allocs_per_event: 12.3,
             }],
@@ -635,6 +697,11 @@ mod tests {
             "\"per_path_pkts\"",
             "\"spurious_frtx_total\"",
             "\"rescue_rtx_total\"",
+            "\"scheduler\"",
+            "\"msgs_abandoned\"",
+            "\"fwd_tsn_total\"",
+            "\"snd_hol_blocks\"",
+            "\"snd_hol_ns\"",
             "\"allocs_total\"",
             "\"allocs_per_event\"",
         ] {

@@ -125,6 +125,45 @@ impl MpiCfg {
         self
     }
 
+    /// Offer RFC 8260 message interleaving (I-DATA) on every association.
+    /// Takes effect only when both peers offer it — which inside one
+    /// simulated cluster means: always, when this flag is set.
+    pub fn with_interleave(mut self, on: bool) -> Self {
+        self.sctp.interleave = on;
+        self
+    }
+
+    /// Select the sender-side stream scheduler (effective only with
+    /// interleaving negotiated; without I-DATA the engine forces FCFS so
+    /// fragments stay TSN-contiguous for the legacy reassembler).
+    /// `weights` configures weighted-fair (stream id indexes it).
+    pub fn with_scheduler(mut self, sched: transport::sctp::SchedKind, weights: &[u32]) -> Self {
+        self.sctp.sched = sched;
+        self.sctp.sched_weights = weights.to_vec();
+        self
+    }
+
+    /// Offer RFC 3758 PR-SCTP and set a default per-message lifetime.
+    /// Messages older than the lifetime when (re)transmission comes due
+    /// are abandoned and skipped past with FORWARD-TSN. `None` lifetime
+    /// offers the extension but sends everything reliably unless a send
+    /// names its own lifetime.
+    pub fn with_pr_lifetime(mut self, lifetime: Option<simcore::Dur>) -> Self {
+        self.sctp.pr_sctp = true;
+        self.sctp.pr_lifetime = lifetime;
+        self
+    }
+
+    /// Apply the `SCTP_SCHED` env knob (garbage-tolerant: unknown values
+    /// fall back to FCFS). Used by bench binaries so scheduler sweeps
+    /// don't need a recompile.
+    pub fn with_sched_from_env(mut self) -> Self {
+        if let Ok(s) = std::env::var("SCTP_SCHED") {
+            self.sctp.sched = transport::sctp::SchedKind::parse(&s);
+        }
+        self
+    }
+
     fn validate(&self) {
         assert!(self.nprocs as usize <= self.net.hosts as usize, "more ranks than hosts");
         if let TransportSel::Sctp { streams, .. } = self.transport {
@@ -302,6 +341,9 @@ fn fold_sctp(mut a: AssocStats, s: AssocStats) -> AssocStats {
     }
     a.spurious_frtx += s.spurious_frtx;
     a.rescue_rtx += s.rescue_rtx;
+    a.msgs_abandoned += s.msgs_abandoned;
+    a.fwd_tsn_out += s.fwd_tsn_out;
+    a.fwd_tsn_in += s.fwd_tsn_in;
     if s.first_failover_ns != 0
         && (a.first_failover_ns == 0 || s.first_failover_ns < a.first_failover_ns)
     {
@@ -310,11 +352,36 @@ fn fold_sctp(mut a: AssocStats, s: AssocStats) -> AssocStats {
     a
 }
 
+/// Like [`mpirun`], but force the flight recorder on and hand the caller
+/// the finished capture alongside the report. The bench binaries use this
+/// to assert HOL accounting (e.g. "I-DATA strictly reduces sender-side
+/// blocked time") in-process, without the TRACE=1 file sinks.
+pub fn mpirun_traced<F>(mut cfg: MpiCfg, f: F) -> (MpiReport, trace::TraceDump)
+where
+    F: Fn(&mut Mpi) + Send + Sync + 'static,
+{
+    cfg.trace = true;
+    let mut dump_slot: Option<trace::TraceDump> = None;
+    let report = mpirun_inner(cfg, f, Some(&mut dump_slot));
+    (report, dump_slot.expect("tracer was forced on"))
+}
+
 /// Run `f` as an `nprocs`-rank MPI program on the simulated cluster.
 ///
 /// `f` is invoked once per rank with an initialized [`Mpi`] handle
 /// (connections established, init barrier passed).
 pub fn mpirun<F>(cfg: MpiCfg, f: F) -> MpiReport
+where
+    F: Fn(&mut Mpi) + Send + Sync + 'static,
+{
+    mpirun_inner(cfg, f, None)
+}
+
+fn mpirun_inner<F>(
+    cfg: MpiCfg,
+    f: F,
+    dump_slot: Option<&mut Option<trace::TraceDump>>,
+) -> MpiReport
 where
     F: Fn(&mut Mpi) + Send + Sync + 'static,
 {
@@ -365,6 +432,9 @@ where
     }
     let out = rt.run();
     flush_trace(&tracer, out.sim_time, cfg.seed);
+    if let Some(slot) = dump_slot {
+        *slot = tracer.as_ref().map(|t| t.dump(out.sim_time.as_nanos()));
+    }
     let w = &out.world;
     let tcp_total =
         w.hosts.iter().map(|h| h.tcp.total_stats()).fold(SockStats::default(), fold_tcp);

@@ -32,6 +32,10 @@ pub struct HolRow {
     pub host: u16,
     pub peer: u16,
     pub stream: u16,
+    /// "snd" (outbound-queue block) or "rcv" (reassembly/ordering block).
+    /// Captures older than the I-DATA work carry no side field and default
+    /// to "rcv", which is what they measured.
+    pub side: String,
     pub blocks: u64,
     pub total_ns: u64,
     pub max_ns: u64,
@@ -40,19 +44,25 @@ pub struct HolRow {
     pub hist: [u64; 6],
 }
 
-/// Per-(receiver, sender, stream) HOL-block aggregation, sorted by key.
+/// Per-(host, peer, stream, side) HOL-block aggregation, sorted by key.
 pub fn hol_rows(events: &[JVal]) -> Vec<HolRow> {
-    let mut map: BTreeMap<(u16, u16, u16), HolRow> = BTreeMap::new();
+    let mut map: BTreeMap<(u16, u16, u16, String), HolRow> = BTreeMap::new();
     for ev in events {
         if s(ev, "ev") != "hol_end" {
             continue;
         }
-        let key = (u(ev, "host") as u16, u(ev, "peer") as u16, u(ev, "stream") as u16);
+        let side = match s(ev, "side") {
+            "snd" => "snd",
+            _ => "rcv",
+        };
+        let key =
+            (u(ev, "host") as u16, u(ev, "peer") as u16, u(ev, "stream") as u16, side.to_string());
         let dur = u(ev, "dur");
-        let row = map.entry(key).or_insert_with(|| HolRow {
+        let row = map.entry(key.clone()).or_insert_with(|| HolRow {
             host: key.0,
             peer: key.1,
             stream: key.2,
+            side: key.3,
             ..HolRow::default()
         });
         row.blocks += 1;
@@ -219,8 +229,14 @@ pub struct Stall {
     pub drops_loss: u64,
     pub drops_queue: u64,
     pub drops_down: u64,
+    /// Receiver-side HOL blocks (reassembly/ordering stalls; the classic
+    /// metric — captures without a side field count here).
     pub hol_blocks: u64,
     pub hol_ns: u64,
+    /// Sender-side HOL blocks (outbound-queue monopolization; only emitted
+    /// by traced runs since the I-DATA work).
+    pub snd_hol_blocks: u64,
+    pub snd_hol_ns: u64,
     pub rto_fires: u64,
     pub fast_rtx: u64,
     pub rto_recovery_ns: u64,
@@ -259,8 +275,13 @@ pub fn stall(events: &[JVal]) -> Stall {
                 }
             }
             "hol_end" => {
-                st.hol_blocks += 1;
-                st.hol_ns += u(ev, "dur");
+                if s(ev, "side") == "snd" {
+                    st.snd_hol_blocks += 1;
+                    st.snd_hol_ns += u(ev, "dur");
+                } else {
+                    st.hol_blocks += 1;
+                    st.hol_ns += u(ev, "dur");
+                }
             }
             "rto_fire" => st.rto_fires += 1,
             "fast_rtx" => st.fast_rtx += 1,
@@ -389,7 +410,25 @@ mod tests {
         assert_eq!(rows[0].total_ns, 5_050_000);
         assert_eq!(rows[0].max_ns, 5_000_000);
         assert_eq!(rows[0].hist, [1, 0, 1, 0, 0, 0]);
+        assert_eq!(rows[0].side, "rcv", "side-less capture defaults to rcv");
         assert_eq!(rows[1].hist, [0, 0, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn hol_rows_split_by_side() {
+        let events = evs(concat!(
+            "{\"t\":1,\"ev\":\"hol_end\",\"host\":0,\"peer\":1,\"stream\":2,\"side\":\"snd\",\"dur\":100,\"released\":0}\n",
+            "{\"t\":2,\"ev\":\"hol_end\",\"host\":0,\"peer\":1,\"stream\":2,\"side\":\"rcv\",\"dur\":900,\"released\":1}\n",
+            "{\"t\":3,\"ev\":\"hol_end\",\"host\":0,\"peer\":1,\"stream\":2,\"side\":\"snd\",\"dur\":300,\"released\":0}\n",
+        ));
+        let rows = hol_rows(&events);
+        assert_eq!(rows.len(), 2);
+        // BTreeMap order: "rcv" < "snd".
+        assert_eq!((rows[0].side.as_str(), rows[0].blocks, rows[0].total_ns), ("rcv", 1, 900));
+        assert_eq!((rows[1].side.as_str(), rows[1].blocks, rows[1].total_ns), ("snd", 2, 400));
+        let st = stall(&events);
+        assert_eq!((st.hol_blocks, st.hol_ns), (1, 900));
+        assert_eq!((st.snd_hol_blocks, st.snd_hol_ns), (2, 400));
     }
 
     #[test]

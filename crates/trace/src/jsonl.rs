@@ -61,15 +61,15 @@ pub fn render_record(out: &mut String, rec: &Rec) {
         Event::HolBegin(h) => {
             let _ = write!(
                 out,
-                "{{\"t\":{t},\"q\":{q},\"ev\":\"hol_begin\",\"host\":{},\"peer\":{},\"stream\":{}}}",
-                h.host, h.peer, h.stream
+                "{{\"t\":{t},\"q\":{q},\"ev\":\"hol_begin\",\"host\":{},\"peer\":{},\"stream\":{},\"side\":\"{}\"}}",
+                h.host, h.peer, h.stream, h.side.as_str()
             );
         }
         Event::HolEnd(h) => {
             let _ = write!(
                 out,
-                "{{\"t\":{t},\"q\":{q},\"ev\":\"hol_end\",\"host\":{},\"peer\":{},\"stream\":{},\"dur\":{},\"released\":{}}}",
-                h.host, h.peer, h.stream, h.dur_ns, h.released
+                "{{\"t\":{t},\"q\":{q},\"ev\":\"hol_end\",\"host\":{},\"peer\":{},\"stream\":{},\"side\":\"{}\",\"dur\":{},\"released\":{}}}",
+                h.host, h.peer, h.stream, h.side.as_str(), h.dur_ns, h.released
             );
         }
         Event::MpiPost(m) => {
@@ -140,8 +140,8 @@ mod tests {
             Rec { t_ns: 4, seq: 4, ev: Event::RtoArm(RtoArmEv { proto: Proto8::Sctp, host: 1, peer: 2, path: 1, rto_ns: 1_000_000_000, srtt_ns: -1, rttvar_ns: -1 }) },
             Rec { t_ns: 5, seq: 5, ev: Event::RtoFire(RtoFireEv { proto: Proto8::Sctp, host: 1, peer: 2, path: 2, backoff: 2, marked: 5 }) },
             Rec { t_ns: 6, seq: 6, ev: Event::FastRtx(FastRtxEv { proto: Proto8::Tcp, host: 1, peer: 2, path: 0, tsn: 1460, count: 1 }) },
-            Rec { t_ns: 7, seq: 7, ev: Event::HolBegin(HolEv { host: 2, peer: 1, stream: 4 }) },
-            Rec { t_ns: 8, seq: 8, ev: Event::HolEnd(HolEndEv { host: 2, peer: 1, stream: 4, dur_ns: 123, released: 3 }) },
+            Rec { t_ns: 7, seq: 7, ev: Event::HolBegin(HolEv { host: 2, peer: 1, stream: 4, side: HolSide::Snd }) },
+            Rec { t_ns: 8, seq: 8, ev: Event::HolEnd(HolEndEv { host: 2, peer: 1, stream: 4, side: HolSide::Rcv, dur_ns: 123, released: 3 }) },
             Rec { t_ns: 9, seq: 9, ev: Event::MpiPost(MpiPostEv { rank: 0, src: -1, tag: 5, cxt: 1, matched: true }) },
             Rec { t_ns: 10, seq: 10, ev: Event::MpiMatch(MpiMatchEv { rank: 0, src: 3, tag: 5, cxt: 1, len: 30720, kind: "eager", posted: false }) },
             Rec { t_ns: 11, seq: 11, ev: Event::Fault(FaultEv { kind: FaultKind::FlapDown, rule: 0, host: -1, iface: 0 }) },
@@ -155,6 +155,8 @@ mod tests {
         assert_eq!(vals.len(), recs.len());
         assert_eq!(vals[0].get("verdict").unwrap().as_str(), Some("loss"));
         assert_eq!(vals[0].get("tsn").unwrap().as_u64(), Some(42));
+        assert_eq!(vals[6].get("side").unwrap().as_str(), Some("snd"));
+        assert_eq!(vals[7].get("side").unwrap().as_str(), Some("rcv"));
         assert_eq!(vals[7].get("dur").unwrap().as_u64(), Some(123));
         assert_eq!(vals[9].get("posted"), Some(&crate::json::JVal::Bool(false)));
         assert_eq!(vals[10].get("kind").unwrap().as_str(), Some("flap_down"));

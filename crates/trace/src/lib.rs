@@ -31,7 +31,7 @@ pub mod ring;
 pub mod series;
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex};
 
 use ring::Ring;
@@ -198,11 +198,38 @@ pub struct FastRtxEv {
     pub count: u32,
 }
 
+/// Which side of the association a head-of-line block was observed on.
+///
+/// Receiver-side blocks (`Rcv`) are the classic per-stream reassembly
+/// stall: a gap in the TSN space holds completed messages back. Sender-side
+/// blocks (`Snd`) only exist without RFC 8260 interleaving: a large message
+/// monopolizes the single outbound FIFO and queues behind it grow on other
+/// streams. The I-DATA experiments split HOL accounting on this axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum HolSide {
+    /// Sender-side: another stream's message occupies the outbound queue.
+    Snd,
+    /// Receiver-side: reassembly/ordering stall at the receive buffer.
+    Rcv,
+}
+
+impl HolSide {
+    /// Stable short name used by the JSONL sink and the analyzer.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HolSide::Snd => "snd",
+            HolSide::Rcv => "rcv",
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 pub struct HolEv {
     pub host: u16,
     pub peer: u16,
     pub stream: u16,
+    /// Sender- or receiver-side block (see [`HolSide`]).
+    pub side: HolSide,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -210,6 +237,8 @@ pub struct HolEndEv {
     pub host: u16,
     pub peer: u16,
     pub stream: u16,
+    /// Sender- or receiver-side block (see [`HolSide`]).
+    pub side: HolSide,
     pub dur_ns: u64,
     /// Messages released to the application when the block cleared.
     pub released: u32,
@@ -323,13 +352,31 @@ pub struct Rec {
     pub ev: Event,
 }
 
+/// Clock state of one open HOL episode: blocked time accumulated so far
+/// plus the moment the clock last (re)started — `None` while the episode is
+/// frozen by a sender stall window (see [`Tracer::hol_snd_stall`]).
+#[derive(Debug, Clone, Copy)]
+struct HolClock {
+    acc_ns: u64,
+    running_since: Option<u64>,
+}
+
+impl HolClock {
+    fn settle(&self, t_ns: u64) -> u64 {
+        self.acc_ns + self.running_since.map_or(0, |s| t_ns.saturating_sub(s))
+    }
+}
+
 #[derive(Debug)]
 struct Inner {
     ring: Ring,
     seq: u64,
     series: SeriesStore,
-    /// (receiver host, peer host, stream) → block-begin timestamp.
-    hol_open: HashMap<(u16, u16, u16), u64>,
+    /// (observing host, peer host, stream, side) → episode clock.
+    hol_open: HashMap<(u16, u16, u16, HolSide), HolClock>,
+    /// (host, peer) pairs whose sender is currently transmission-stalled
+    /// (cwnd/rwnd/RTO): their open `Snd` episodes have frozen clocks.
+    hol_snd_stalled: HashSet<(u16, u16)>,
     snaplen: usize,
     hosts: u16,
     ifaces: u8,
@@ -348,6 +395,7 @@ impl Tracer {
             seq: 0,
             series: SeriesStore::default(),
             hol_open: HashMap::new(),
+            hol_snd_stalled: HashSet::new(),
             snaplen: if snaplen == 0 { usize::MAX } else { snaplen },
             hosts: 0,
             ifaces: 0,
@@ -393,32 +441,83 @@ impl Tracer {
         g.ring.push(Rec { t_ns, seq, ev });
     }
 
-    /// Track per-stream receive-buffer head-of-line state. The hook reports
-    /// the stream's current blocked/clear status after each delivery; the
+    /// Track per-stream head-of-line state on one side of an association.
+    /// The hook reports the stream's current blocked/clear status after
+    /// each delivery (receiver side) or queue transition (sender side); the
     /// tracer turns edges into HolBegin/HolEnd events and accounts the
-    /// blocked duration.
-    pub fn hol_update(&self, t_ns: u64, host: u16, peer: u16, stream: u16, blocked: bool, released: u32) {
-        let key = (host, peer, stream);
+    /// blocked duration per (host, peer, stream, side).
+    pub fn hol_update(
+        &self,
+        t_ns: u64,
+        host: u16,
+        peer: u16,
+        stream: u16,
+        side: HolSide,
+        blocked: bool,
+        released: u32,
+    ) {
+        let key = (host, peer, stream, side);
         let mut g = self.0.lock().unwrap();
-        match (blocked, g.hol_open.get(&key).copied()) {
-            (true, None) => {
-                g.hol_open.insert(key, t_ns);
+        match (blocked, g.hol_open.contains_key(&key)) {
+            (true, false) => {
+                // A sender-side episode born inside a stall window starts
+                // with its clock frozen: until the window can actually move
+                // bytes, no scheduling decision is responsible for the wait.
+                let frozen = side == HolSide::Snd && g.hol_snd_stalled.contains(&(host, peer));
+                g.hol_open.insert(
+                    key,
+                    HolClock { acc_ns: 0, running_since: (!frozen).then_some(t_ns) },
+                );
                 g.seq += 1;
                 let seq = g.seq;
-                g.ring.push(Rec { t_ns, seq, ev: Event::HolBegin(HolEv { host, peer, stream }) });
+                g.ring.push(Rec { t_ns, seq, ev: Event::HolBegin(HolEv { host, peer, stream, side }) });
             }
-            (false, Some(begin)) => {
-                g.hol_open.remove(&key);
+            (false, true) => {
+                let clock = g.hol_open.remove(&key).unwrap();
                 g.seq += 1;
                 let seq = g.seq;
-                let dur_ns = t_ns.saturating_sub(begin);
+                let dur_ns = clock.settle(t_ns);
                 g.ring.push(Rec {
                     t_ns,
                     seq,
-                    ev: Event::HolEnd(HolEndEv { host, peer, stream, dur_ns, released }),
+                    ev: Event::HolEnd(HolEndEv { host, peer, stream, side, dur_ns, released }),
                 });
             }
             _ => {}
+        }
+    }
+
+    /// Gate the sender-side HOL clocks of one association on transmission
+    /// progress. `stalled = true` means the sender's queues are nonempty
+    /// but nothing could be put on the wire (cwnd full, zero peer rwnd, an
+    /// RTO recovery in flight): every open `Snd` episode toward `peer`
+    /// freezes, because no stream scheduler can route around a closed
+    /// window — charging that time to head-of-line blocking would let one
+    /// 1 s RTO silence, multiplied by every stream whose head happened to
+    /// be waiting, swamp the scheduling signal the metric exists to
+    /// expose. `stalled = false` (a fragment reached the wire) restarts
+    /// the frozen clocks. Blocked *duration* is affected; the
+    /// `HolBegin`/`HolEnd` edge timestamps are not.
+    pub fn hol_snd_stall(&self, t_ns: u64, host: u16, peer: u16, stalled: bool) {
+        let mut g = self.0.lock().unwrap();
+        if stalled {
+            if !g.hol_snd_stalled.insert((host, peer)) {
+                return;
+            }
+        } else if !g.hol_snd_stalled.remove(&(host, peer)) {
+            return;
+        }
+        for ((h, p, _, side), clock) in g.hol_open.iter_mut() {
+            if *h != host || *p != peer || *side != HolSide::Snd {
+                continue;
+            }
+            if stalled {
+                if let Some(s) = clock.running_since.take() {
+                    clock.acc_ns += t_ns.saturating_sub(s);
+                }
+            } else if clock.running_since.is_none() {
+                clock.running_since = Some(t_ns);
+            }
         }
     }
 
@@ -426,17 +525,16 @@ impl Tracer {
     /// end-of-run timestamp so their time is not silently lost.
     pub fn dump(&self, end_ns: u64) -> TraceDump {
         let mut g = self.0.lock().unwrap();
-        let open: Vec<((u16, u16, u16), u64)> = g.hol_open.drain().collect();
-        let mut open: Vec<_> = open;
-        open.sort_unstable();
-        for ((host, peer, stream), begin) in open {
+        let mut open: Vec<((u16, u16, u16, HolSide), HolClock)> = g.hol_open.drain().collect();
+        open.sort_unstable_by_key(|&(key, _)| key);
+        for ((host, peer, stream, side), clock) in open {
             g.seq += 1;
             let seq = g.seq;
-            let dur_ns = end_ns.saturating_sub(begin);
+            let dur_ns = clock.settle(end_ns);
             g.ring.push(Rec {
                 t_ns: end_ns,
                 seq,
-                ev: Event::HolEnd(HolEndEv { host, peer, stream, dur_ns, released: 0 }),
+                ev: Event::HolEnd(HolEndEv { host, peer, stream, side, dur_ns, released: 0 }),
             });
         }
         TraceDump {
@@ -501,6 +599,43 @@ impl TraceDump {
         }
         out
     }
+
+    /// Aggregate head-of-line accounting by side, computed from the
+    /// capture's `HolEnd` records (each carries its own duration, and
+    /// [`Tracer::dump`] closes still-open blocks, so no time is lost).
+    /// The bench binaries assert on this in-process — e.g. "I-DATA plus a
+    /// non-FIFO scheduler strictly reduces sender-side blocked time".
+    pub fn hol_totals(&self) -> HolTotals {
+        let mut t = HolTotals::default();
+        for rec in &self.recs {
+            if let Event::HolEnd(h) = &rec.ev {
+                match h.side {
+                    HolSide::Snd => {
+                        t.snd_blocks += 1;
+                        t.snd_ns += h.dur_ns;
+                    }
+                    HolSide::Rcv => {
+                        t.rcv_blocks += 1;
+                        t.rcv_ns += h.dur_ns;
+                    }
+                }
+            }
+        }
+        t
+    }
+}
+
+/// Per-side HOL roll-up of one capture (see [`TraceDump::hol_totals`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HolTotals {
+    /// Sender-side blocks (outbound queue monopolized by another stream).
+    pub snd_blocks: u64,
+    /// Total sender-side blocked time, ns.
+    pub snd_ns: u64,
+    /// Receiver-side blocks (reassembly stalled behind a missing TSN).
+    pub rcv_blocks: u64,
+    /// Total receiver-side blocked time, ns.
+    pub rcv_ns: u64,
 }
 
 /// Merge per-shard captures (one ring per worker of the sharded engine)
@@ -573,15 +708,16 @@ mod tests {
     #[test]
     fn hol_edges_pair_up() {
         let tr = Tracer::new(1024, 64);
-        tr.hol_update(100, 1, 0, 3, true, 0);
-        tr.hol_update(150, 1, 0, 3, true, 0); // still blocked: no new edge
-        tr.hol_update(700, 1, 0, 3, false, 2);
-        tr.hol_update(800, 1, 0, 3, false, 1); // already clear: no edge
+        tr.hol_update(100, 1, 0, 3, HolSide::Rcv, true, 0);
+        tr.hol_update(150, 1, 0, 3, HolSide::Rcv, true, 0); // still blocked: no new edge
+        tr.hol_update(700, 1, 0, 3, HolSide::Rcv, false, 2);
+        tr.hol_update(800, 1, 0, 3, HolSide::Rcv, false, 1); // already clear: no edge
         let d = tr.dump(1000);
         assert_eq!(d.recs.len(), 2);
         match (&d.recs[0].ev, &d.recs[1].ev) {
             (Event::HolBegin(b), Event::HolEnd(e)) => {
                 assert_eq!((b.host, b.peer, b.stream), (1, 0, 3));
+                assert_eq!(b.side, HolSide::Rcv);
                 assert_eq!(e.dur_ns, 600);
                 assert_eq!(e.released, 2);
             }
@@ -590,9 +726,43 @@ mod tests {
     }
 
     #[test]
+    fn hol_sides_are_independent() {
+        let tr = Tracer::new(64, 64);
+        // Same (host, peer, stream) blocked on both sides: two independent
+        // begin/end pairs, closed in either order.
+        tr.hol_update(100, 1, 0, 3, HolSide::Snd, true, 0);
+        tr.hol_update(120, 1, 0, 3, HolSide::Rcv, true, 0);
+        tr.hol_update(200, 1, 0, 3, HolSide::Snd, false, 0);
+        tr.hol_update(500, 1, 0, 3, HolSide::Rcv, false, 1);
+        let d = tr.dump(1000);
+        let ends: Vec<(HolSide, u64)> = d
+            .recs
+            .iter()
+            .filter_map(|r| match &r.ev {
+                Event::HolEnd(e) => Some((e.side, e.dur_ns)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ends, vec![(HolSide::Snd, 100), (HolSide::Rcv, 380)]);
+    }
+
+    #[test]
+    fn hol_totals_split_by_side() {
+        let tr = Tracer::new(64, 64);
+        tr.hol_update(100, 1, 0, 3, HolSide::Snd, true, 0);
+        tr.hol_update(120, 1, 0, 4, HolSide::Rcv, true, 0);
+        tr.hol_update(200, 1, 0, 3, HolSide::Snd, false, 0);
+        tr.hol_update(500, 1, 0, 4, HolSide::Rcv, false, 1);
+        // Still open at dump time: closed at 1000, so 1000-600 rcv ns more.
+        tr.hol_update(600, 2, 0, 0, HolSide::Rcv, true, 0);
+        let t = tr.dump(1000).hol_totals();
+        assert_eq!(t, HolTotals { snd_blocks: 1, snd_ns: 100, rcv_blocks: 2, rcv_ns: 380 + 400 });
+    }
+
+    #[test]
     fn dump_closes_open_hol_blocks() {
         let tr = Tracer::new(16, 64);
-        tr.hol_update(100, 2, 5, 0, true, 0);
+        tr.hol_update(100, 2, 5, 0, HolSide::Rcv, true, 0);
         let d = tr.dump(400);
         assert_eq!(d.recs.len(), 2);
         match &d.recs[1].ev {
@@ -618,7 +788,7 @@ mod tests {
         let mk = |events: &[(u64, u16)]| {
             let tr = Tracer::new(64, 64);
             for &(t, host) in events {
-                tr.emit(t, Event::HolBegin(HolEv { host, peer: 0, stream: 0 }));
+                tr.emit(t, Event::HolBegin(HolEv { host, peer: 0, stream: 0, side: HolSide::Rcv }));
             }
             tr.dump(10_000)
         };
@@ -643,8 +813,8 @@ mod tests {
     #[test]
     fn merge_of_a_single_dump_is_identity_shaped() {
         let tr = Tracer::new(64, 64);
-        tr.emit(10, Event::HolBegin(HolEv { host: 3, peer: 0, stream: 1 }));
-        tr.emit(20, Event::HolBegin(HolEv { host: 4, peer: 0, stream: 1 }));
+        tr.emit(10, Event::HolBegin(HolEv { host: 3, peer: 0, stream: 1, side: HolSide::Rcv }));
+        tr.emit(20, Event::HolBegin(HolEv { host: 4, peer: 0, stream: 1, side: HolSide::Rcv }));
         let d = tr.dump(100);
         let (hosts, n) = (d.hosts, d.recs.len());
         let m = merge_dumps(vec![d]);

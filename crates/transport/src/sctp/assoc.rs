@@ -9,7 +9,8 @@ use simcore::{Dur, ProcId, SimTime};
 use crate::ranges::RangeSet;
 use crate::rto::{RtoCfg, RtoEstimator};
 
-use super::wire::DataChunk;
+use super::sched::{SchedCandidate, SchedKind, StreamScheduler};
+use super::wire::{DataChunk, IDataChunk, EXT_INTERLEAVE, EXT_PR_SCTP};
 
 /// Handle to an SCTP endpoint (socket) on a host.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -111,6 +112,25 @@ pub struct SctpCfg {
     /// Live backends must set this: a truncated tag would make every
     /// decoded packet fail vtag validation.
     pub wire_safe_ids: bool,
+    /// Offer RFC 8260 user-message interleaving (I-DATA). When both ends
+    /// offer it, senders queue per stream, a [`SchedKind`] scheduler picks
+    /// the next chunk's stream, and receivers reassemble per (stream, MID).
+    /// `false` leaves the engine bit-identical to the pre-I-DATA code.
+    pub interleave: bool,
+    /// Offer RFC 3758 timed reliability (PR-SCTP): expired messages are
+    /// abandoned and a FORWARD-TSN walks the peer's cumulative ack past
+    /// their TSNs.
+    pub pr_sctp: bool,
+    /// Default per-message lifetime applied by `sendmsg` when PR-SCTP is
+    /// on (`None` = fully reliable unless `sendmsg_pr` sets a lifetime).
+    pub pr_lifetime: Option<Dur>,
+    /// Sender-side stream scheduler (only consulted when interleaving was
+    /// negotiated; otherwise FCFS order is forced to keep each message's
+    /// fragments TSN-contiguous for the peer's sequential reassembler).
+    pub sched: SchedKind,
+    /// Per-stream weights for [`SchedKind::WeightedFair`] (stream id
+    /// indexes it; missing entries weigh 1).
+    pub sched_weights: Vec<u32>,
 }
 
 impl Default for SctpCfg {
@@ -139,6 +159,11 @@ impl Default for SctpCfg {
             max_burst: 12,
             cmt: false,
             wire_safe_ids: false,
+            interleave: false,
+            pr_sctp: false,
+            pr_lifetime: None,
+            sched: SchedKind::Fcfs,
+            sched_weights: Vec::new(),
         }
     }
 }
@@ -150,9 +175,22 @@ impl SctpCfg {
         self.pmtu - 20 - 12 - 16
     }
 
+    /// User data bytes that fit in one I-DATA chunk: the RFC 8260 header
+    /// is 4 bytes longer than DATA's (MID u32 + FSN u32 replace SSN u16 +
+    /// 2 reserved, plus the 32-bit PPID/FSN union).
+    pub fn max_chunk_data_idata(&self) -> u32 {
+        self.pmtu - 20 - 12 - 20
+    }
+
     /// Chunk budget per packet (bytes available for chunks).
     pub fn packet_budget(&self) -> u32 {
         self.pmtu - 20 - 12
+    }
+
+    /// Extension bits this host offers in INIT / INIT-ACK.
+    pub(crate) fn ext_offer(&self) -> u8 {
+        (if self.interleave { EXT_INTERLEAVE } else { 0 })
+            | (if self.pr_sctp { EXT_PR_SCTP } else { 0 })
     }
 }
 
@@ -183,12 +221,22 @@ pub enum AssocState {
 #[derive(Debug)]
 pub(crate) struct PendingChunk {
     pub stream: u16,
+    /// Stream sequence number; doubles as the RFC 8260 MID when the
+    /// fragment goes out as I-DATA (both count messages per stream).
     pub ssn: u32,
     pub begin: bool,
     pub end: bool,
     pub unordered: bool,
     pub ppid: u32,
     pub data: Bytes,
+    /// RFC 8260 fragment sequence number within the message (0-based).
+    pub fsn: u32,
+    /// Global enqueue sequence — FCFS scheduling key; fragments of one
+    /// message hold consecutive values.
+    pub seq: u64,
+    /// PR-SCTP: abandon the whole message if still unsent/unacked past
+    /// this instant (`None` = fully reliable).
+    pub expires: Option<SimTime>,
 }
 
 /// An outstanding (sent, not cumulatively acked) chunk.
@@ -210,6 +258,14 @@ pub(crate) struct SentChunk {
     pub acked: bool,
     /// Queued for retransmission.
     pub marked_rtx: bool,
+    /// RFC 8260 fragment sequence number (I-DATA retransmissions rebuild
+    /// the chunk from here).
+    pub fsn: u32,
+    /// PR-SCTP lifetime deadline, checked at retransmission time.
+    pub expires: Option<SimTime>,
+    /// PR-SCTP: message abandoned; treated as acked for congestion and
+    /// retransmission accounting, skipped over by FORWARD-TSN.
+    pub abandoned: bool,
 }
 
 /// Most destination paths any association tracks in fixed-size per-path
@@ -305,9 +361,13 @@ impl PathState {
 pub(crate) struct InStream {
     pub next_ssn: u32,
     /// Fragments awaiting reassembly, keyed by TSN (fragments of one
-    /// message occupy consecutive TSNs).
+    /// message occupy consecutive TSNs). DATA path only.
     pub frags: BTreeMap<u64, DataChunk>,
-    /// Complete messages waiting for their SSN turn.
+    /// RFC 8260 reassembly: fragments keyed (MID, FSN) — fragments of
+    /// different messages interleave freely in TSN space, so each message
+    /// reassembles independently. I-DATA path only.
+    pub i_frags: BTreeMap<u64, BTreeMap<u32, IDataChunk>>,
+    /// Complete messages waiting for their SSN (or MID) turn.
     pub ready: BTreeMap<u32, (u32, Vec<Bytes>, u32)>, // ssn -> (ppid, data, len)
 }
 
@@ -372,6 +432,12 @@ pub struct AssocStats {
     /// Chunks re-queued by a CMT rescue probe (~2·SRTT tail-loss probe)
     /// instead of waiting out the full RTO.
     pub rescue_rtx: u64,
+    /// PR-SCTP: user messages abandoned past their lifetime.
+    pub msgs_abandoned: u64,
+    /// FORWARD-TSN chunks sent.
+    pub fwd_tsn_out: u64,
+    /// FORWARD-TSN chunks received.
+    pub fwd_tsn_in: u64,
 }
 
 pub(crate) struct Assoc {
@@ -389,6 +455,30 @@ pub(crate) struct Assoc {
     pub out_ssn: Vec<u32>,
     pub pending: VecDeque<PendingChunk>,
     pub pending_bytes: u64,
+    // ---- stream machinery (I-DATA / schedulers / PR-SCTP) ----
+    /// Negotiated extension bits: intersection of both ends' offers
+    /// (EXT_INTERLEAVE | EXT_PR_SCTP). 0 until the handshake settles.
+    pub ext_flags: u8,
+    /// Structural queue mode, fixed at creation from `cfg.interleave`:
+    /// fragments queue per stream in `out_q` instead of the single
+    /// `pending` FIFO. If the peer then fails to negotiate interleaving,
+    /// picks are forced FCFS so wire order matches the FIFO exactly.
+    pub per_stream_q: bool,
+    /// Per-stream send queues (`per_stream_q` mode; indexed by stream id).
+    pub out_q: Vec<VecDeque<PendingChunk>>,
+    /// Sender-side stream scheduler (consulted only when interleaving was
+    /// actually negotiated).
+    pub sched: Box<dyn StreamScheduler>,
+    /// Global fragment enqueue counter — FCFS key; fragments of one
+    /// message take consecutive values.
+    pub msg_seq: u64,
+    /// Reused candidate buffer so per-chunk scheduling stays alloc-free.
+    pub sched_scratch: Vec<SchedCandidate>,
+    /// Peer's cumulative ack as of the last SACK processed — the
+    /// FORWARD-TSN baseline.
+    pub peer_cum: u64,
+    /// Highest FORWARD-TSN cum point already emitted (dedup between SACKs).
+    pub fwd_sent: u64,
     pub sent: BTreeMap<u64, SentChunk>,
     pub outstanding_bytes: u64,
     // ---- O(1) SACK accounting: running aggregates over `sent` ----
@@ -465,6 +555,12 @@ impl Assoc {
             cfg.num_paths
         );
         let paths = (0..cfg.num_paths).map(|i| PathState::new(i, cfg)).collect();
+        let per_stream_q = cfg.interleave;
+        let out_q = if per_stream_q {
+            (0..cfg.out_streams).map(|_| VecDeque::new()).collect()
+        } else {
+            Vec::new()
+        };
         Assoc {
             state,
             local_port,
@@ -478,6 +574,14 @@ impl Assoc {
             out_ssn: vec![0; cfg.out_streams as usize],
             pending: VecDeque::new(),
             pending_bytes: 0,
+            ext_flags: 0,
+            per_stream_q,
+            out_q,
+            sched: cfg.sched.build(cfg.out_streams, &cfg.sched_weights),
+            msg_seq: 0,
+            sched_scratch: Vec::new(),
+            peer_cum: init_tsn.saturating_sub(1),
+            fwd_sent: 0,
             sent: BTreeMap::new(),
             outstanding_bytes: 0,
             rtx_queue: BTreeSet::new(),
@@ -550,6 +654,153 @@ impl Assoc {
         self.primary
     }
 
+    /// Interleaving was negotiated with this peer (I-DATA on the wire,
+    /// scheduler live).
+    pub(crate) fn interleaving(&self) -> bool {
+        self.ext_flags & EXT_INTERLEAVE != 0
+    }
+
+    /// PR-SCTP was negotiated with this peer.
+    pub(crate) fn pr_active(&self) -> bool {
+        self.ext_flags & EXT_PR_SCTP != 0
+    }
+
+    /// True when no user fragment is queued for first transmission (both
+    /// queue modes).
+    pub(crate) fn q_is_empty(&self) -> bool {
+        self.pending.is_empty() && self.out_q.iter().all(|q| q.is_empty())
+    }
+
+    /// Enqueue a fragment in whichever queue structure this association
+    /// uses.
+    pub(crate) fn q_push(&mut self, pc: PendingChunk) {
+        if self.per_stream_q {
+            let sid = pc.stream as usize;
+            if self.out_q.len() <= sid {
+                self.out_q.resize_with(sid + 1, VecDeque::new);
+            }
+            self.out_q[sid].push_back(pc);
+        } else {
+            self.pending.push_back(pc);
+        }
+    }
+
+    /// Which stream the scheduler would serve next (`per_stream_q` mode).
+    /// Deterministic and repeatable: queues unchanged ⇒ same answer, so
+    /// the engine can gate (peek) several times before one pop. When the
+    /// peer did not negotiate interleaving, FCFS is forced regardless of
+    /// the configured policy so each message's fragments stay
+    /// TSN-contiguous for the peer's sequential reassembler.
+    pub(crate) fn sched_pick(&mut self) -> Option<u16> {
+        self.sched_scratch.clear();
+        for (sid, q) in self.out_q.iter().enumerate() {
+            if let Some(front) = q.front() {
+                self.sched_scratch.push(SchedCandidate {
+                    sid: sid as u16,
+                    front_seq: front.seq,
+                    front_len: front.data.len() as u32,
+                });
+            }
+        }
+        if self.sched_scratch.is_empty() {
+            return None;
+        }
+        let i = if self.interleaving() {
+            self.sched.pick(&self.sched_scratch)
+        } else {
+            let mut best = 0;
+            for (j, c) in self.sched_scratch.iter().enumerate().skip(1) {
+                if c.front_seq < self.sched_scratch[best].front_seq {
+                    best = j;
+                }
+            }
+            best
+        };
+        Some(self.sched_scratch[i].sid)
+    }
+
+    /// Front fragment the next pop would take, with its stream id
+    /// (`None` stream = legacy FIFO mode).
+    pub(crate) fn q_front(&mut self) -> Option<(Option<u16>, &PendingChunk)> {
+        if self.per_stream_q {
+            let sid = self.sched_pick()?;
+            self.out_q[sid as usize].front().map(|pc| (Some(sid), pc))
+        } else {
+            self.pending.front().map(|pc| (None, pc))
+        }
+    }
+
+    /// Pop the fragment previously peeked via `q_front` and update the
+    /// scheduler's accounting.
+    pub(crate) fn q_pop(&mut self, sid: Option<u16>) -> Option<PendingChunk> {
+        match sid {
+            Some(s) => {
+                let pc = self.out_q[s as usize].pop_front();
+                if let Some(ref pc) = pc {
+                    if self.interleaving() {
+                        self.sched.on_send(s, pc.data.len() as u32);
+                    }
+                }
+                pc
+            }
+            None => self.pending.pop_front(),
+        }
+    }
+
+    /// Any fragment of a *different* stream currently queued? (The
+    /// sender-side head-of-line condition at enqueue time; only evaluated
+    /// when a tracer is attached.)
+    pub(crate) fn other_stream_queued(&self, sid: u16) -> bool {
+        if self.per_stream_q {
+            self.out_q.iter().enumerate().any(|(i, q)| i != sid as usize && !q.is_empty())
+        } else {
+            self.pending.iter().any(|pc| pc.stream != sid)
+        }
+    }
+
+    /// Any fragment of `sid` itself currently queued? A message enqueued
+    /// behind its *own* stream's backlog waits the same under any
+    /// scheduler (delivery is FIFO within a stream), so that wait is
+    /// self-queueing, not head-of-line blocking — the sender-HOL trace
+    /// only opens an episode for head-of-stream messages, where the wait
+    /// is purely other streams' fragments holding the wire.
+    pub(crate) fn own_stream_queued(&self, sid: u16) -> bool {
+        if self.per_stream_q {
+            !self.out_q[sid as usize].is_empty()
+        } else {
+            self.pending.iter().any(|pc| pc.stream == sid)
+        }
+    }
+
+    /// PR-SCTP Advanced.Peer.Ack.Point: walk the contiguous `sent` prefix
+    /// above the peer's cumulative ack while chunks are abandoned or
+    /// already gap-acked. Returns the new cum point plus the (stream, MID)
+    /// skip list — `None` unless at least one abandoned chunk makes a
+    /// FORWARD-TSN worth sending.
+    pub(crate) fn adv_peer_ack(&self) -> Option<(u64, Vec<(u16, u64)>)> {
+        let mut point = self.peer_cum;
+        let mut skips: Vec<(u16, u64)> = Vec::new();
+        let mut any_abandoned = false;
+        for (&tsn, c) in self.sent.range(self.peer_cum + 1..) {
+            if tsn != point + 1 || !(c.abandoned || c.acked) {
+                break;
+            }
+            point = tsn;
+            if c.abandoned {
+                any_abandoned = true;
+                let entry = (c.stream, c.ssn as u64);
+                if skips.last() != Some(&entry) && !skips.contains(&entry) {
+                    skips.push(entry);
+                }
+            }
+        }
+        if any_abandoned && point > self.peer_cum {
+            Some((point, skips))
+        } else {
+            None
+        }
+    }
+
     /// Ensure the inbound stream table covers `sid`.
     pub(crate) fn in_stream_mut(&mut self, sid: u16) -> &mut InStream {
         let need = sid as usize + 1;
@@ -619,6 +870,9 @@ impl SctpHost {
                 }
                 t.spurious_frtx += s.spurious_frtx;
                 t.rescue_rtx += s.rescue_rtx;
+                t.msgs_abandoned += s.msgs_abandoned;
+                t.fwd_tsn_out += s.fwd_tsn_out;
+                t.fwd_tsn_in += s.fwd_tsn_in;
                 if s.first_failover_ns != 0
                     && (t.first_failover_ns == 0 || s.first_failover_ns < t.first_failover_ns)
                 {

@@ -13,7 +13,7 @@ use super::assoc::{
     Assoc, AssocId, AssocState, AssocStats, Endpoint, EpId, InStream, PathState, PendingChunk,
     RecvMsg, SctpCfg, SentChunk, MAX_PATHS,
 };
-use super::wire::{Chunk, Cookie, DataChunk, SctpPacket};
+use super::wire::{Chunk, Cookie, DataChunk, IDataChunk, SctpPacket};
 
 // ---------------------------------------------------------------------------
 // Accessors
@@ -282,7 +282,7 @@ pub fn sendmsg(
     ppid: u32,
     data: Bytes,
 ) -> Result<(), SendErr> {
-    sendmsg_v(w, ctx, a, stream, ppid, std::slice::from_ref(&data))
+    sendmsg_impl(w, ctx, a, stream, ppid, std::slice::from_ref(&data), None)
 }
 
 /// Like [`sendmsg`] but the message body is a list of chunks (zero-copy for
@@ -297,6 +297,38 @@ pub fn sendmsg_v(
     stream: u16,
     ppid: u32,
     data: &[Bytes],
+) -> Result<(), SendErr> {
+    sendmsg_impl(w, ctx, a, stream, ppid, data, None)
+}
+
+/// [`sendmsg`] with an explicit PR-SCTP lifetime: `Some(d)` abandons the
+/// message if not delivered within `d` of queueing (RFC 3758 timed
+/// reliability); `None` forces full reliability even when
+/// [`SctpCfg::pr_lifetime`] sets a default — deadline workloads use that
+/// for their end-of-run sentinel, which must never be abandoned.
+pub fn sendmsg_pr(
+    w: &mut World,
+    ctx: &mut Wx,
+    a: AssocId,
+    stream: u16,
+    ppid: u32,
+    data: Bytes,
+    lifetime: Option<Dur>,
+) -> Result<(), SendErr> {
+    sendmsg_impl(w, ctx, a, stream, ppid, std::slice::from_ref(&data), Some(lifetime))
+}
+
+/// Shared body of the `sendmsg*` family. `lifetime` is two-level: `None`
+/// applies the config default, `Some(None)` is explicitly reliable,
+/// `Some(Some(d))` an explicit deadline.
+fn sendmsg_impl(
+    w: &mut World,
+    ctx: &mut Wx,
+    a: AssocId,
+    stream: u16,
+    ppid: u32,
+    data: &[Bytes],
+    lifetime: Option<Option<Dur>>,
 ) -> Result<(), SendErr> {
     let cfg = cfg_of(w, a.host);
     {
@@ -314,12 +346,41 @@ pub fn sendmsg_v(
         if ak.snd_space(cfg.sndbuf) < len {
             return Err(SendErr::WouldBlock);
         }
-        // Fragment into DATA chunks, all on `stream` with one SSN.
+        let expires = lifetime.unwrap_or(cfg.pr_lifetime).map(|d| ctx.now() + d);
+        // Flight recorder, sender side: the message starts life blocked if
+        // it is at the head of its own stream (nothing of `stream` queued
+        // ahead — waiting behind one's own predecessors is FIFO
+        // self-queueing, the same under any scheduler) while fragments of
+        // *other* streams hold the wire — the condition I-DATA + a
+        // non-FIFO scheduler exists to break. The matching un-block is
+        // emitted when this stream's begin fragment reaches the wire (see
+        // the phase-2 pop in `try_send_inner`).
+        if let Some(t) = ctx.tracer() {
+            if ak.other_stream_queued(stream) && !ak.own_stream_queued(stream) {
+                t.hol_update(
+                    ctx.now().as_nanos(),
+                    a.host,
+                    ak.peer_host,
+                    stream,
+                    trace::HolSide::Snd,
+                    true,
+                    0,
+                );
+            }
+        }
+        // Fragment into DATA chunks, all on `stream` with one SSN (the SSN
+        // doubles as the RFC 8260 MID on the I-DATA path).
         let ssn = ak.out_ssn[stream as usize];
         ak.out_ssn[stream as usize] += 1;
-        let max = cfg.max_chunk_data() as usize;
+        let max = if cfg.interleave {
+            cfg.max_chunk_data_idata() as usize
+        } else {
+            cfg.max_chunk_data() as usize
+        };
         if len == 0 {
-            ak.pending.push_back(PendingChunk {
+            let seq = ak.msg_seq;
+            ak.msg_seq += 1;
+            ak.q_push(PendingChunk {
                 stream,
                 ssn,
                 begin: true,
@@ -327,9 +388,13 @@ pub fn sendmsg_v(
                 unordered: false,
                 ppid,
                 data: Bytes::new(),
+                fsn: 0,
+                seq,
+                expires,
             });
         } else {
             let mut remaining = len;
+            let mut fsn = 0u32;
             for chunk in data {
                 let total: usize = chunk.len();
                 let mut off = 0;
@@ -337,7 +402,9 @@ pub fn sendmsg_v(
                     let take = max.min(total - off);
                     let begin = remaining == len;
                     remaining -= take as u64;
-                    ak.pending.push_back(PendingChunk {
+                    let seq = ak.msg_seq;
+                    ak.msg_seq += 1;
+                    ak.q_push(PendingChunk {
                         stream,
                         ssn,
                         begin,
@@ -345,7 +412,11 @@ pub fn sendmsg_v(
                         unordered: false,
                         ppid,
                         data: chunk.slice(off..off + take),
+                        fsn,
+                        seq,
+                        expires,
                     });
+                    fsn += 1;
                     off += take;
                 }
             }
@@ -548,11 +619,60 @@ impl Assoc {
 /// (≥ 1 s) while train arrivals are queue-bounded (≪ 1 s), so no
 /// (time, seq) tie between them is possible and fire order is unchanged.
 fn try_send(w: &mut World, ctx: &mut Wx, a: AssocId) {
+    let pr = assoc_ref(w, a).pr_active();
+    let abandoned_before = if pr { assoc_ref(w, a).stats.msgs_abandoned } else { 0 };
+    if pr {
+        // PR-SCTP housekeeping rides the send path: reap queued fragments
+        // whose lifetime lapsed before first transmission (lazily,
+        // front-of-queue only), then advance the peer past anything
+        // abandoned so far.
+        let now = ctx.now();
+        reap_expired(assoc_mut(w, a), now);
+        maybe_send_forward_tsn(w, ctx, a);
+    }
     let crc = cfg_of(w, a.host).crc_enabled;
+    let pending_before =
+        if ctx.tracer().is_some() { assoc_ref(w, a).pending_bytes } else { 0 };
     let mut train = w.pool.take_packet_vec();
     let mut train_path = 0u8;
     try_send_inner(w, ctx, a, crc, &mut train, &mut train_path);
     ip::send_train(w, ctx, train);
+    // Flight recorder, sender side: gate the HOL clocks on transmission
+    // progress. A pass that moved no queued fragment while fragments
+    // remain is a stall (cwnd full / zero rwnd / RTO recovery) — freeze
+    // the open sender-HOL episodes so window-closure time is not charged
+    // to stream scheduling; a pass that shipped something restarts them.
+    if let Some(t) = ctx.tracer() {
+        let ak = assoc_ref(w, a);
+        let pending_after = ak.pending_bytes;
+        if pending_after < pending_before {
+            t.hol_snd_stall(ctx.now().as_nanos(), a.host, ak.peer_host, false);
+        } else if pending_after > 0 {
+            t.hol_snd_stall(ctx.now().as_nanos(), a.host, ak.peer_host, true);
+        }
+    }
+    if pr {
+        // Retransmission-time abandonment inside the loop above may have
+        // moved the Advanced.Peer.Ack.Point; tell the peer now rather than
+        // waiting for the next send opportunity.
+        maybe_send_forward_tsn(w, ctx, a);
+        wake_writers_after_abandon(w, ctx, a, abandoned_before);
+    }
+}
+
+/// PR-SCTP: abandonment frees send-buffer space without any SACK arriving
+/// to trigger the usual writer wake in `process_sack` — a sender blocked on
+/// a full buffer would sleep forever while heartbeats keep the association
+/// (and the simulation) alive. Wake blocked writers whenever a call
+/// abandoned anything; a spurious wake is benign (a still-blocked sender
+/// re-checks and re-registers).
+fn wake_writers_after_abandon(w: &mut World, ctx: &mut Wx, a: AssocId, abandoned_before: u64) {
+    if assoc_ref(w, a).stats.msgs_abandoned == abandoned_before {
+        return;
+    }
+    let ep = ep_mut(w, a.endpoint());
+    ctx.wake_all(&ep.writers);
+    ep.writers.clear();
 }
 
 fn try_send_inner(
@@ -617,26 +737,31 @@ fn try_send_inner(
                     packet.push(sack);
                 }
                 let now = ctx.now();
+                let interleave = ak.interleaving();
+                let pr = ak.pr_active();
                 // `rtx_queue` holds exactly the marked, unacked TSNs, so no
                 // scan of `sent` is needed; snapshot it because the loop
                 // removes entries as chunks go back on the wire.
                 let tsns: Vec<u64> = ak.rtx_queue.iter().copied().collect();
                 for tsn in tsns {
+                    if !ak.rtx_queue.contains(&tsn) {
+                        // Removed since the snapshot: an earlier iteration
+                        // abandoned its whole message (PR-SCTP).
+                        continue;
+                    }
                     if cfg.cmt && cmt_rtx_target(ak, ak.sent[&tsn].path) != path {
                         continue; // another path's retransmission burst
                     }
+                    // PR-SCTP: lifetime lapsed while queued for
+                    // retransmission → abandon the message, never resend.
+                    if pr && ak.sent[&tsn].expires.is_some_and(|e| now > e) {
+                        let (s, n) = (ak.sent[&tsn].stream, ak.sent[&tsn].ssn);
+                        abandon_message(ak, s, n);
+                        continue;
+                    }
                     let c = ak.sent.get_mut(&tsn).unwrap();
-                    let clen = Chunk::Data(DataChunk {
-                        tsn,
-                        stream: c.stream,
-                        ssn: c.ssn,
-                        begin: c.begin,
-                        end: c.end,
-                        unordered: c.unordered,
-                        ppid: c.ppid,
-                        data: c.data.clone(),
-                    })
-                    .wire_len();
+                    let hdr: u32 = if interleave { 20 } else { 16 };
+                    let clen = hdr + (c.data.len() as u32).div_ceil(4) * 4;
                     if clen > budget {
                         break;
                     }
@@ -655,20 +780,11 @@ fn try_send_inner(
                         cmt_note_assign(ak, path, tsn);
                     }
                     let data = ak.sent.get(&tsn).unwrap();
-                    packet.push(Chunk::Data(DataChunk {
-                        tsn,
-                        stream: data.stream,
-                        ssn: data.ssn,
-                        begin: data.begin,
-                        end: data.end,
-                        unordered: data.unordered,
-                        ppid: data.ppid,
-                        data: data.data.clone(),
-                    }));
+                    packet.push(data_chunk_for(interleave, tsn, data));
                     ak.paths[path as usize].flight += len;
                     ak.rtt_probe = None; // Karn
                 }
-            } else if !ak.pending.is_empty() {
+            } else if !ak.q_is_empty() {
                 // Phase 2: new data. Normally on the primary path; with CMT
                 // enabled, pick the active path with the most free cwnd,
                 // striping the association's data across all networks.
@@ -677,13 +793,16 @@ fn try_send_inner(
                 } else {
                     ak.primary
                 };
+                // Peek the scheduler's next fragment before borrowing the
+                // path (`q_front` needs `&mut` for the candidate scratch).
+                let front_len = ak.q_front().map(|(_, pc)| pc.data.len() as u64).unwrap_or(0);
                 let p = &ak.paths[path as usize];
                 let cwnd_ok = p.flight < p.cwnd; // the 1-byte rule
                 // RFC 4960 §6.1.A: regardless of rwnd, one DATA chunk may
                 // always be in flight — the probe that recovers from a
                 // window-update SACK lost in transit.
                 let probe_ok = ak.outstanding_bytes == 0;
-                let rwnd_ok = ak.peer_rwnd >= ak.pending.front().map(|c| c.data.len() as u64).unwrap_or(0);
+                let rwnd_ok = ak.peer_rwnd >= front_len;
                 if std::env::var("SCTP_TS_TRACE").is_ok() && a.host == 0 && a.idx == 2 {
                     eprintln!(
                         "[{}] try_send h0a2 pend={} out={} flight={} cwnd={} rwnd={} burst={} -> send={}",
@@ -701,17 +820,37 @@ fn try_send_inner(
                     packet.push(sack);
                 }
                 let now = ctx.now();
+                let interleave = ak.interleaving();
                 let mut sent_any_probe = false;
-                while let Some(front) = ak.pending.front() {
-                    let len = front.data.len() as u64;
-                    let clen = 16 + ((front.data.len() as u32).div_ceil(4)) * 4;
+                loop {
+                    let (qsid, len, clen) = {
+                        let Some((qsid, front)) = ak.q_front() else { break };
+                        let hdr: u32 = if interleave { 20 } else { 16 };
+                        (qsid, front.data.len() as u64, hdr + (front.data.len() as u32).div_ceil(4) * 4)
+                    };
                     if clen > budget {
                         break;
                     }
                     if ak.peer_rwnd < len && (ak.outstanding_bytes != 0 || sent_any_probe) {
                         break;
                     }
-                    let pc = ak.pending.pop_front().unwrap();
+                    let pc = ak.q_pop(qsid).unwrap();
+                    // Flight recorder, sender side: this stream got its
+                    // turn on the wire — close any open sender-HOL episode
+                    // (message-granular: begin fragments only).
+                    if pc.begin {
+                        if let Some(t) = ctx.tracer() {
+                            t.hol_update(
+                                now.as_nanos(),
+                                a.host,
+                                ak.peer_host,
+                                pc.stream,
+                                trace::HolSide::Snd,
+                                false,
+                                0,
+                            );
+                        }
+                    }
                     let tsn = ak.next_tsn;
                     ak.next_tsn += 1;
                     budget -= clen;
@@ -727,16 +866,30 @@ fn try_send_inner(
                     }
                     ak.stats.data_chunks_out += 1;
                     ak.stats.bytes_out += len;
-                    packet.push(Chunk::Data(DataChunk {
-                        tsn,
-                        stream: pc.stream,
-                        ssn: pc.ssn,
-                        begin: pc.begin,
-                        end: pc.end,
-                        unordered: pc.unordered,
-                        ppid: pc.ppid,
-                        data: pc.data.clone(),
-                    }));
+                    packet.push(if interleave {
+                        Chunk::IData(IDataChunk {
+                            tsn,
+                            stream: pc.stream,
+                            mid: pc.ssn as u64,
+                            fsn: pc.fsn,
+                            begin: pc.begin,
+                            end: pc.end,
+                            unordered: pc.unordered,
+                            ppid: pc.ppid,
+                            data: pc.data.clone(),
+                        })
+                    } else {
+                        Chunk::Data(DataChunk {
+                            tsn,
+                            stream: pc.stream,
+                            ssn: pc.ssn,
+                            begin: pc.begin,
+                            end: pc.end,
+                            unordered: pc.unordered,
+                            ppid: pc.ppid,
+                            data: pc.data.clone(),
+                        })
+                    });
                     ak.sent.insert(
                         tsn,
                         SentChunk {
@@ -753,6 +906,9 @@ fn try_send_inner(
                             missing: 0,
                             acked: false,
                             marked_rtx: false,
+                            fsn: pc.fsn,
+                            expires: pc.expires,
+                            abandoned: false,
                         },
                     );
                     if cfg.cmt {
@@ -767,7 +923,7 @@ fn try_send_inner(
             } else {
                 return;
             }
-            if packet.iter().all(|c| !matches!(c, Chunk::Data(_))) {
+            if packet.iter().all(|c| !matches!(c, Chunk::Data(_) | Chunk::IData(_))) {
                 // Nothing fit; don't emit a data-less packet from here.
                 if !packet.is_empty() {
                     // We consumed the SACK state; send it standalone.
@@ -776,7 +932,7 @@ fn try_send_inner(
                 }
             }
         }
-        let has_data = packet.iter().any(|c| matches!(c, Chunk::Data(_)));
+        let has_data = packet.iter().any(|c| matches!(c, Chunk::Data(_) | Chunk::IData(_)));
         if packet.is_empty() {
             w.pool.put_chunk_vec(packet);
             return;
@@ -817,6 +973,200 @@ fn try_send_inner(
 
 fn make_sack_placeholder_len(ak: &Assoc) -> u32 {
     16 + 4 * ak.rcv_have.num_ranges() as u32
+}
+
+/// Rebuild the wire chunk for a sent fragment: I-DATA when interleaving was
+/// negotiated, classic DATA otherwise (the `Bytes` clone is a refcount
+/// bump, not a copy).
+fn data_chunk_for(interleave: bool, tsn: u64, c: &SentChunk) -> Chunk {
+    if interleave {
+        Chunk::IData(IDataChunk {
+            tsn,
+            stream: c.stream,
+            mid: c.ssn as u64,
+            fsn: c.fsn,
+            begin: c.begin,
+            end: c.end,
+            unordered: c.unordered,
+            ppid: c.ppid,
+            data: c.data.clone(),
+        })
+    } else {
+        Chunk::Data(DataChunk {
+            tsn,
+            stream: c.stream,
+            ssn: c.ssn,
+            begin: c.begin,
+            end: c.end,
+            unordered: c.unordered,
+            ppid: c.ppid,
+            data: c.data.clone(),
+        })
+    }
+}
+
+/// PR-SCTP: abandon every fragment of message `(stream, ssn)`. Sent chunks
+/// become `acked && abandoned` — acked so the flight/rtx-queue/floor
+/// invariants hold without a special case anywhere in SACK processing,
+/// abandoned so `adv_peer_ack` knows to put them in a FORWARD-TSN's skip
+/// list.
+///
+/// Queued (never-sent) fragments leave the send queue but are *assigned
+/// TSNs* and recorded as `acked && abandoned` phantoms (RFC 3758 §3.5 C2:
+/// unsent fragments of an abandoned message still consume sequence space).
+/// The message's SSN was consumed at `sendmsg` time — without a TSN the
+/// FORWARD-TSN machinery could never tell the peer to skip that SSN, and
+/// the peer's ordered-delivery gate would wait on it forever.
+fn abandon_message(ak: &mut Assoc, stream: u16, ssn: u32) {
+    let Assoc {
+        sent,
+        rtx_queue,
+        paths,
+        outstanding_bytes,
+        pending,
+        out_q,
+        pending_bytes,
+        per_stream_q,
+        next_tsn,
+        stats,
+        ..
+    } = ak;
+    for (tsn, c) in sent.iter_mut() {
+        if c.stream != stream || c.ssn != ssn || c.abandoned {
+            continue;
+        }
+        if !c.acked {
+            let len = c.data.len() as u64;
+            *outstanding_bytes = outstanding_bytes.saturating_sub(len);
+            if c.marked_rtx {
+                rtx_queue.remove(tsn);
+            } else {
+                paths[c.path as usize].flight = paths[c.path as usize].flight.saturating_sub(len);
+            }
+            c.acked = true;
+            c.marked_rtx = false;
+        }
+        c.abandoned = true;
+    }
+    let mut dropped = 0u64;
+    let mut phantom = |pc: &PendingChunk| {
+        dropped += pc.data.len() as u64;
+        let tsn = *next_tsn;
+        *next_tsn += 1;
+        sent.insert(
+            tsn,
+            SentChunk {
+                stream: pc.stream,
+                ssn: pc.ssn,
+                begin: pc.begin,
+                end: pc.end,
+                unordered: pc.unordered,
+                ppid: pc.ppid,
+                data: bytes::Bytes::new(), // never transmitted
+                path: 0,
+                sent_at: simcore::SimTime::ZERO,
+                txcount: 0,
+                missing: 0,
+                acked: true,
+                marked_rtx: false,
+                fsn: pc.fsn,
+                expires: pc.expires,
+                abandoned: true,
+            },
+        );
+    };
+    if *per_stream_q {
+        if let Some(q) = out_q.get_mut(stream as usize) {
+            q.retain(|pc| {
+                if pc.ssn == ssn {
+                    phantom(pc);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+    } else {
+        pending.retain(|pc| {
+            if pc.stream == stream && pc.ssn == ssn {
+                phantom(pc);
+                false
+            } else {
+                true
+            }
+        });
+    }
+    drop(phantom);
+    *pending_bytes = pending_bytes.saturating_sub(dropped);
+    stats.msgs_abandoned += 1;
+}
+
+/// PR-SCTP: abandon queued messages whose lifetime lapsed before their
+/// first transmission. Lazy and front-of-queue only — O(streams) per send
+/// opportunity; a fragment buried deeper gets the same check when it
+/// reaches the front (or, once sent, at retransmission time).
+fn reap_expired(ak: &mut Assoc, now: simcore::SimTime) {
+    if !ak.pr_active() {
+        return;
+    }
+    if ak.per_stream_q {
+        for sid in 0..ak.out_q.len() {
+            while let Some((s, n)) = ak.out_q[sid]
+                .front()
+                .filter(|pc| pc.expires.is_some_and(|e| now > e))
+                .map(|pc| (pc.stream, pc.ssn))
+            {
+                abandon_message(ak, s, n);
+            }
+        }
+    } else {
+        while let Some((s, n)) = ak
+            .pending
+            .front()
+            .filter(|pc| pc.expires.is_some_and(|e| now > e))
+            .map(|pc| (pc.stream, pc.ssn))
+        {
+            abandon_message(ak, s, n);
+        }
+    }
+}
+
+/// Emit a FORWARD-TSN when the Advanced.Peer.Ack.Point (RFC 3758 §3.5)
+/// moved past the last one sent. With nothing else outstanding the T3
+/// timer is armed to guard the chunk itself — its loss leaves no data in
+/// flight to clock a resend (see the retry branch in `on_t3`). Under CMT
+/// the per-path timers don't take over that duty — a documented
+/// limitation; the PR-SCTP workloads run single-path.
+fn maybe_send_forward_tsn(w: &mut World, ctx: &mut Wx, a: AssocId) {
+    let cfg = cfg_of(w, a.host);
+    let (chunk, vtag, path) = {
+        let ak = assoc_mut(w, a);
+        if !ak.pr_active()
+            || !matches!(
+                ak.state,
+                AssocState::Established | AssocState::ShutdownPending | AssocState::ShutdownReceived
+            )
+        {
+            return;
+        }
+        let Some((point, skips)) = ak.adv_peer_ack() else { return };
+        if point <= ak.fwd_sent {
+            return;
+        }
+        ak.fwd_sent = point;
+        ak.stats.fwd_tsn_out += 1;
+        (Chunk::ForwardTsn { new_cum: point, skips }, ak.peer_tag, ak.primary)
+    };
+    send_packet(w, ctx, a, path, vtag, vec![chunk]);
+    if !cfg.cmt {
+        let need_arm = {
+            let ak = assoc_ref(w, a);
+            ak.outstanding_bytes == 0 && !ak.t3_armed
+        };
+        if need_arm {
+            arm_t3(w, ctx, a);
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -867,12 +1217,34 @@ fn arm_t3(w: &mut World, ctx: &mut Wx, a: AssocId) {
 
 fn on_t3(w: &mut World, ctx: &mut Wx, a: AssocId, gen: u64) {
     let cfg = cfg_of(w, a.host);
-    let mut failed = false;
+    // PR-SCTP: nothing outstanding but an unconfirmed FORWARD-TSN — its
+    // loss leaves no data in flight to clock a resend, so the timer is the
+    // only recovery. Reset the dedup point and re-emit (`try_send` arms a
+    // fresh T3 via `maybe_send_forward_tsn`). No cwnd or error penalty:
+    // the path carried no data to lose.
     {
         let ak = assoc_mut(w, a);
         if ak.t3_gen != gen || !ak.t3_armed {
             return;
         }
+        if ak.outstanding_bytes == 0
+            && ak.pr_active()
+            && ak.adv_peer_ack().is_some_and(|(p, _)| p > ak.peer_cum)
+        {
+            ak.t3_armed = false;
+            ak.fwd_sent = 0;
+        } else if ak.outstanding_bytes == 0 {
+            ak.t3_armed = false;
+            return;
+        }
+    }
+    if !assoc_ref(w, a).t3_armed {
+        try_send(w, ctx, a);
+        return;
+    }
+    let mut failed = false;
+    {
+        let ak = assoc_mut(w, a);
         if ak.outstanding_bytes == 0 {
             ak.t3_armed = false;
             return;
@@ -1257,7 +1629,7 @@ fn arm_autoclose(w: &mut World, ctx: &mut Wx, a: AssocId) {
                 return;
             }
             let idle = ctx.now().since(ak.last_traffic);
-            (idle >= d && ak.outstanding_bytes == 0 && ak.pending.is_empty(), idle < d)
+            (idle >= d && ak.outstanding_bytes == 0 && ak.q_is_empty(), idle < d)
         };
         if expired {
             shutdown(w, ctx, a);
@@ -1283,6 +1655,7 @@ fn send_init(w: &mut World, ctx: &mut Wx, a: AssocId) {
                 out_streams: cfg.out_streams,
                 in_streams: cfg.out_streams,
                 init_tsn: 1,
+                ext_flags: cfg.ext_offer(),
             },
             ak.primary,
         )
@@ -1352,6 +1725,7 @@ fn handle_init(
     a_rwnd: u64,
     out_streams: u16,
     init_tsn: u64,
+    peer_ext: u8,
 ) {
     let cfg = cfg_of(w, e.host);
     let secret = host_secret(w, ctx, e.host);
@@ -1369,6 +1743,10 @@ fn handle_init(
         out_streams,
         in_streams: cfg.out_streams,
         created_at: ctx.now(),
+        // The negotiated set: what the peer offered AND we support. Rides
+        // the cookie so the association created at COOKIE-ECHO time knows
+        // it without extra listener state.
+        ext_flags: peer_ext & cfg.ext_offer(),
         mac: 0,
     }
     .sign(secret);
@@ -1382,6 +1760,7 @@ fn handle_init(
             out_streams: cfg.out_streams,
             in_streams: out_streams,
             init_tsn: 1,
+            ext_flags: cfg.ext_offer(),
             cookie,
         }],
     };
@@ -1398,13 +1777,17 @@ fn handle_init_ack(
     init_tag: u64,
     a_rwnd: u64,
     init_tsn: u64,
+    peer_ext: u8,
     cookie: Cookie,
 ) {
+    let cfg = cfg_of(w, a.host);
     {
         let ak = assoc_mut(w, a);
         if ak.state != AssocState::CookieWait {
             return; // duplicate INIT-ACK
         }
+        // Extensions usable on this association: peer's offer ∩ ours.
+        ak.ext_flags = peer_ext & cfg.ext_offer();
         // Handshake RTT sample (unretransmitted INITs only).
         if let Some(t0) = ak.hs_sent_at.take() {
             let now = ctx.now();
@@ -1456,6 +1839,7 @@ fn handle_cookie_echo(w: &mut World, ctx: &mut Wx, e: EpId, src: IfAddr, src_por
     ak.peer_tag = cookie.peer_tag;
     ak.peer_rwnd = cookie.peer_rwnd;
     ak.cum_tsn = cookie.peer_init_tsn - 1;
+    ak.ext_flags = cookie.ext_flags;
     ak.last_traffic = ctx.now();
     let ep = ep_mut(w, e);
     let idx = ep.assocs.len() as u32;
@@ -1531,9 +1915,12 @@ pub fn input(w: &mut World, ctx: &mut Wx, src: IfAddr, dst: IfAddr, pkt: SctpPac
     // Association-setup chunks travel alone at the head of a packet and
     // are handled before verification-tag checks.
     match pkt.chunks.first() {
-        Some(Chunk::Init { init_tag, a_rwnd, out_streams, init_tsn, .. }) => {
+        Some(Chunk::Init { init_tag, a_rwnd, out_streams, init_tsn, ext_flags, .. }) => {
             if pkt.vtag == 0 && ep_ref(w, e).listening && assoc.is_none() {
-                handle_init(w, ctx, e, src, pkt.src_port, *init_tag, *a_rwnd, *out_streams, *init_tsn);
+                handle_init(
+                    w, ctx, e, src, pkt.src_port, *init_tag, *a_rwnd, *out_streams, *init_tsn,
+                    *ext_flags,
+                );
             }
             return;
         }
@@ -1568,13 +1955,23 @@ pub fn input(w: &mut World, ctx: &mut Wx, src: IfAddr, dst: IfAddr, pkt: SctpPac
     for chunk in chunks.drain(..) {
         match chunk {
             Chunk::Init { .. } | Chunk::CookieEcho { .. } => {}
-            Chunk::InitAck { init_tag, a_rwnd, init_tsn, cookie, .. } => {
-                handle_init_ack(w, ctx, a, init_tag, a_rwnd, init_tsn, cookie);
+            Chunk::InitAck { init_tag, a_rwnd, init_tsn, ext_flags, cookie, .. } => {
+                handle_init_ack(w, ctx, a, init_tag, a_rwnd, init_tsn, ext_flags, cookie);
             }
             Chunk::CookieAck => handle_cookie_ack(w, ctx, a),
             Chunk::Data(d) => {
                 saw_data = true;
                 handle_data(w, ctx, a, src, d);
+            }
+            Chunk::IData(d) => {
+                saw_data = true;
+                handle_idata(w, ctx, a, src, d);
+            }
+            Chunk::ForwardTsn { new_cum, skips } => {
+                // Rides the SACK decision machinery: it moves the receive
+                // window like data does.
+                saw_data = true;
+                handle_forward_tsn(w, ctx, a, new_cum, skips);
             }
             Chunk::Sack { cum_tsn, a_rwnd, gaps, .. } => {
                 process_sack(w, ctx, a, cum_tsn, a_rwnd, &gaps);
@@ -1721,10 +2118,219 @@ fn handle_data(w: &mut World, ctx: &mut Wx, a: AssocId, _src: IfAddr, d: DataChu
                 a.host,
                 peer,
                 sid,
+                trace::HolSide::Rcv,
                 blocked,
                 delivered.len() as u32,
             );
         }
+        ak.stats.msgs_delivered += delivered.len() as u64;
+    }
+    if !delivered.is_empty() {
+        let e = a.endpoint();
+        let ep = ep_mut(w, e);
+        for m in delivered.drain(..) {
+            ep.deliver_q.push_back(m);
+        }
+        ctx.wake_all(&ep.readers);
+        ep.readers.clear();
+    }
+    w.pool.put_msg_vec(delivered);
+}
+
+/// RFC 8260 receive path: per-(stream, MID) reassembly. Fragments of
+/// different messages interleave in TSN space, so each message's fragments
+/// are keyed by FSN under their MID and reassemble independently — an
+/// incomplete message never blocks a complete one from assembling (ordered
+/// *delivery* is still gated on the MID sequence, which is the semantic
+/// stream order, not a reassembly artifact).
+fn handle_idata(w: &mut World, ctx: &mut Wx, a: AssocId, _src: IfAddr, d: IDataChunk) {
+    let cfg = cfg_of(w, a.host);
+    let mut delivered = w.pool.take_msg_vec();
+    {
+        let (ak, pool) = assoc_pool_mut(w, a);
+        if !matches!(
+            ak.state,
+            AssocState::Established | AssocState::ShutdownPending | AssocState::ShutdownSent
+        ) {
+            pool.put_msg_vec(delivered);
+            return;
+        }
+        ak.last_traffic = ctx.now();
+        let len = d.data.len() as u64;
+        // TSN-level duplicate / window checks: identical to DATA.
+        if d.tsn <= ak.cum_tsn || ak.rcv_have.contains(d.tsn) {
+            ak.stats.dup_tsns_in += 1;
+            ak.dup_since_sack += 1;
+            ak.sack_immediate = true;
+            pool.put_msg_vec(delivered);
+            return;
+        }
+        let fills_gap = ak.rcv_have.max_end().is_some_and(|e| d.tsn < e);
+        let cap = cfg.rcvbuf + cfg.pmtu as u64;
+        if ak.rcvbuf_used + len > cap && !fills_gap {
+            ak.sack_immediate = true;
+            pool.put_msg_vec(delivered);
+            return;
+        }
+        ak.rcv_have.insert_point(d.tsn);
+        let first_missing = ak.rcv_have.first_missing_from(ak.cum_tsn + 1);
+        if first_missing > ak.cum_tsn + 1 {
+            ak.cum_tsn = first_missing - 1;
+            ak.rcv_have.remove_below(ak.cum_tsn + 1);
+        }
+        ak.rcvbuf_used += len;
+        ak.stats.data_chunks_in += 1;
+        ak.stats.bytes_in += len;
+
+        let sid = d.stream;
+        let mid = d.mid;
+        let aid = a;
+        let peer = ak.peer_host;
+        let st = ak.in_stream_mut(sid);
+        st.i_frags.entry(mid).or_default().insert(d.fsn, d);
+        // Complete when FSNs 0..=last are all present and `last` carries
+        // the E bit (distinct keys ≤ last with count last+1 ⇒ no holes).
+        let complete = {
+            let m = &st.i_frags[&mid];
+            m.last_key_value().is_some_and(|(&last, c)| c.end && m.len() as u64 == last as u64 + 1)
+                && m.contains_key(&0)
+        };
+        if complete {
+            let m = st.i_frags.remove(&mid).unwrap();
+            let mut data = pool.take_bytes_vec();
+            let mut mlen = 0u32;
+            let (mut ppid, mut unordered) = (0u32, false);
+            for (_, c) in m {
+                ppid = c.ppid;
+                unordered = c.unordered;
+                mlen += c.data.len() as u32;
+                data.push(c.data);
+            }
+            // The MID doubles as the SSN: both count messages per stream,
+            // so ordered delivery gates on the same counter.
+            let ssn = mid as u32;
+            if unordered {
+                delivered.push(RecvMsg { assoc: aid, stream: sid, ssn, ppid, data, len: mlen });
+            } else if ssn == st.next_ssn {
+                st.next_ssn += 1;
+                delivered.push(RecvMsg { assoc: aid, stream: sid, ssn, ppid, data, len: mlen });
+                while let Some((p2, d2, l2)) = st.ready.remove(&st.next_ssn) {
+                    delivered.push(RecvMsg {
+                        assoc: aid,
+                        stream: sid,
+                        ssn: st.next_ssn,
+                        ppid: p2,
+                        data: d2,
+                        len: l2,
+                    });
+                    st.next_ssn += 1;
+                }
+            } else {
+                st.ready.insert(ssn, (ppid, data, mlen));
+            }
+        }
+        // Flight recorder: same receiver-side HOL definition as DATA —
+        // complete messages gated in `ready` behind a missing earlier MID.
+        if let Some(t) = ctx.tracer() {
+            let blocked = !st.ready.is_empty();
+            t.hol_update(
+                ctx.now().as_nanos(),
+                a.host,
+                peer,
+                sid,
+                trace::HolSide::Rcv,
+                blocked,
+                delivered.len() as u32,
+            );
+        }
+        ak.stats.msgs_delivered += delivered.len() as u64;
+    }
+    if !delivered.is_empty() {
+        let e = a.endpoint();
+        let ep = ep_mut(w, e);
+        for m in delivered.drain(..) {
+            ep.deliver_q.push_back(m);
+        }
+        ctx.wake_all(&ep.readers);
+        ep.readers.clear();
+    }
+    w.pool.put_msg_vec(delivered);
+}
+
+/// RFC 3758 receive path: the peer abandoned messages; jump the cumulative
+/// TSN over their chunks and drop any partial reassembly state they left,
+/// then un-gate ordered delivery on each skipped (stream, MID).
+fn handle_forward_tsn(w: &mut World, ctx: &mut Wx, a: AssocId, new_cum: u64, skips: Vec<(u16, u64)>) {
+    let mut delivered = w.pool.take_msg_vec();
+    {
+        let (ak, pool) = assoc_pool_mut(w, a);
+        if !matches!(
+            ak.state,
+            AssocState::Established | AssocState::ShutdownPending | AssocState::ShutdownSent
+        ) {
+            pool.put_msg_vec(delivered);
+            return;
+        }
+        ak.last_traffic = ctx.now();
+        ak.stats.fwd_tsn_in += 1;
+        if new_cum > ak.cum_tsn {
+            ak.cum_tsn = new_cum;
+            ak.rcv_have.remove_below(ak.cum_tsn + 1);
+            // Chunks above the jump may now be contiguous with it.
+            let first_missing = ak.rcv_have.first_missing_from(ak.cum_tsn + 1);
+            if first_missing > ak.cum_tsn + 1 {
+                ak.cum_tsn = first_missing - 1;
+                ak.rcv_have.remove_below(ak.cum_tsn + 1);
+            }
+        }
+        let aid = a;
+        for &(sid, mid) in &skips {
+            let ssn = mid as u32;
+            let mut freed = 0u64;
+            let st = ak.in_stream_mut(sid);
+            // Drop the abandoned message's partial reassembly state — and
+            // ONLY its own: other messages' fragments at TSNs at or below
+            // the jump may belong to complete-but-unacked messages and
+            // must survive.
+            if let Some(m) = st.i_frags.remove(&mid) {
+                for c in m.values() {
+                    freed += c.data.len() as u64;
+                }
+            }
+            let drop_tsns: Vec<u64> =
+                st.frags.iter().filter(|(_, c)| c.ssn == ssn).map(|(&t, _)| t).collect();
+            for t in drop_tsns {
+                if let Some(c) = st.frags.remove(&t) {
+                    freed += c.data.len() as u64;
+                }
+            }
+            // Un-gate ordered delivery: hand over anything the abandoned
+            // message was blocking (in order), then skip past it.
+            if ssn >= st.next_ssn {
+                while let Some((&k, _)) = st.ready.first_key_value() {
+                    if k > ssn {
+                        break;
+                    }
+                    let (p2, d2, l2) = st.ready.remove(&k).unwrap();
+                    delivered.push(RecvMsg { assoc: aid, stream: sid, ssn: k, ppid: p2, data: d2, len: l2 });
+                }
+                st.next_ssn = ssn + 1;
+                while let Some((p2, d2, l2)) = st.ready.remove(&st.next_ssn) {
+                    delivered.push(RecvMsg {
+                        assoc: aid,
+                        stream: sid,
+                        ssn: st.next_ssn,
+                        ppid: p2,
+                        data: d2,
+                        len: l2,
+                    });
+                    st.next_ssn += 1;
+                }
+            }
+            ak.rcvbuf_used = ak.rcvbuf_used.saturating_sub(freed);
+        }
+        // Ack the jump promptly so the sender stops re-emitting it.
+        ak.sack_immediate = true;
         ak.stats.msgs_delivered += delivered.len() as u64;
     }
     if !delivered.is_empty() {
@@ -1868,6 +2474,9 @@ fn process_sack(w: &mut World, ctx: &mut Wx, a: AssocId, cum: u64, a_rwnd: u64, 
     {
         let (ak, pool) = assoc_pool_mut(w, a);
         ak.stats.sacks_in += 1;
+        // PR-SCTP: the peer's cumulative ack is the FORWARD-TSN baseline
+        // (Advanced.Peer.Ack.Point walks upward from here).
+        ak.peer_cum = ak.peer_cum.max(cum);
         let n_paths = ak.paths.len();
         let mut newly_acked = pool.take_u64_vec();
         newly_acked.resize(n_paths, 0);
@@ -2198,6 +2807,7 @@ fn process_sack(w: &mut World, ctx: &mut Wx, a: AssocId, cum: u64, a_rwnd: u64, 
 /// own path's marked chunks (RTX-SAME keeps the per-path accounting true).
 fn fast_retransmit_burst(w: &mut World, ctx: &mut Wx, a: AssocId) {
     let cfg = cfg_of(w, a.host);
+    let abandoned_before = assoc_ref(w, a).stats.msgs_abandoned;
     let mut packets: Vec<(u8, Vec<Chunk>)> = Vec::new();
     let vtag;
     {
@@ -2207,6 +2817,8 @@ fn fast_retransmit_burst(w: &mut World, ctx: &mut Wx, a: AssocId) {
         // `rtx_queue` is exactly the marked, unacked TSNs; snapshot it
         // because the loops remove entries as they go on the wire.
         let tsns: Vec<u64> = ak.rtx_queue.iter().copied().collect();
+        let interleave = ak.interleaving();
+        let pr = ak.pr_active();
         let targets: Vec<u8> = if cfg.cmt {
             (0..ak.paths.len() as u8).collect()
         } else {
@@ -2217,13 +2829,20 @@ fn fast_retransmit_burst(w: &mut World, ctx: &mut Wx, a: AssocId) {
             let mut packet = Vec::new();
             for &tsn in &tsns {
                 if !ak.rtx_queue.contains(&tsn) {
-                    continue; // already resent for an earlier target
+                    continue; // already resent for an earlier target (or abandoned)
                 }
                 if cfg.cmt && cmt_rtx_target(ak, ak.sent[&tsn].path) != path {
                     continue;
                 }
+                // PR-SCTP: expired at retransmission time → abandon.
+                if pr && ak.sent[&tsn].expires.is_some_and(|e| now > e) {
+                    let (s, n) = (ak.sent[&tsn].stream, ak.sent[&tsn].ssn);
+                    abandon_message(ak, s, n);
+                    continue;
+                }
                 let c = ak.sent.get_mut(&tsn).unwrap();
-                let clen = 16 + (c.data.len() as u32).div_ceil(4) * 4;
+                let hdr: u32 = if interleave { 20 } else { 16 };
+                let clen = hdr + (c.data.len() as u32).div_ceil(4) * 4;
                 if clen > budget {
                     break;
                 }
@@ -2241,16 +2860,7 @@ fn fast_retransmit_burst(w: &mut World, ctx: &mut Wx, a: AssocId) {
                     cmt_note_assign(ak, path, tsn);
                 }
                 let c = ak.sent.get(&tsn).unwrap();
-                packet.push(Chunk::Data(DataChunk {
-                    tsn,
-                    stream: c.stream,
-                    ssn: c.ssn,
-                    begin: c.begin,
-                    end: c.end,
-                    unordered: c.unordered,
-                    ppid: c.ppid,
-                    data: c.data.clone(),
-                }));
+                packet.push(data_chunk_for(interleave, tsn, c));
                 ak.paths[path as usize].flight += len;
             }
             if !packet.is_empty() {
@@ -2272,6 +2882,7 @@ fn fast_retransmit_burst(w: &mut World, ctx: &mut Wx, a: AssocId) {
     } else if sent_any && !assoc_ref(w, a).t3_armed {
         arm_t3(w, ctx, a);
     }
+    wake_writers_after_abandon(w, ctx, a, abandoned_before);
 }
 
 // ---------------------------------------------------------------------------
@@ -2290,7 +2901,7 @@ fn wake_endpoint(w: &mut World, ctx: &mut Wx, e: EpId) {
 fn maybe_progress_shutdown(w: &mut World, ctx: &mut Wx, a: AssocId) {
     let (state, drained) = {
         let ak = assoc_ref(w, a);
-        (ak.state, ak.outstanding_bytes == 0 && ak.pending.is_empty())
+        (ak.state, ak.outstanding_bytes == 0 && ak.q_is_empty())
     };
     match (state, drained) {
         (AssocState::ShutdownPending, true) => {

@@ -3,13 +3,17 @@
 
 mod assoc;
 mod engine;
+pub mod sched;
 mod wire;
 
 pub use assoc::{AssocId, AssocState, AssocStats, EpId, PathState, RecvMsg, SctpCfg, SctpHost};
 pub use engine::{
     assoc_state, can_send, connect, dump_all, input, listen, lookup_peer, peer_addrs, primary_path,
-    readable, recvmsg, register_reader, register_writer, sendmsg, sendmsg_v, set_primary, shutdown,
-    socket,
-    stats, SendErr,
+    readable, recvmsg, register_reader, register_writer, sendmsg, sendmsg_pr, sendmsg_v,
+    set_primary, shutdown, socket, stats, SendErr,
 };
-pub use wire::{Chunk, Cookie, DataChunk, SctpPacket, COMMON_HEADER, COOKIE_WIRE_LEN};
+pub use sched::{SchedCandidate, SchedKind, StreamScheduler};
+pub use wire::{
+    Chunk, Cookie, DataChunk, IDataChunk, SctpPacket, COMMON_HEADER, COOKIE_WIRE_LEN,
+    EXT_INTERLEAVE, EXT_PR_SCTP,
+};

@@ -30,7 +30,7 @@ use netsim::IfAddr;
 
 use crate::crc32c::crc32c;
 use crate::ip::{Packet, Proto, IP_HEADER};
-use crate::sctp::{Chunk, Cookie, DataChunk, SctpPacket};
+use crate::sctp::{Chunk, Cookie, DataChunk, IDataChunk, SctpPacket};
 use crate::tcp::{Flags, TcpSegment};
 
 /// Trace metadata extracted from a packet: (proto, kind, first payload
@@ -54,6 +54,12 @@ pub fn pkt_meta(body: &Proto) -> (trace::Proto8, trace::PktKind, u64, u32, i32) 
             for c in &p.chunks {
                 match c {
                     Chunk::Data(d) => {
+                        if first_data.is_none() {
+                            first_data = Some((d.tsn, d.stream));
+                        }
+                        ndata += 1;
+                    }
+                    Chunk::IData(d) => {
                         if first_data.is_none() {
                             first_data = Some((d.tsn, d.stream));
                         }
@@ -265,13 +271,53 @@ fn encode_chunk(out: &mut Vec<u8>, c: &Chunk) {
                 out.extend_from_slice(&e.to_be_bytes());
             }
         }
-        Chunk::Init { init_tag, a_rwnd, out_streams, in_streams, init_tsn } => {
-            put_chunk_header(out, 1, 0, 20);
-            put_init_body(out, *init_tag, *a_rwnd, *out_streams, *in_streams, *init_tsn);
+        Chunk::IData(d) => {
+            let mut flags = 0u8;
+            if d.end {
+                flags |= 0x01;
+            }
+            if d.begin {
+                flags |= 0x02;
+            }
+            if d.unordered {
+                flags |= 0x04;
+            }
+            put_chunk_header(out, 64, flags, (20 + d.data.len()) as u16);
+            out.extend_from_slice(&(d.tsn as u32).to_be_bytes());
+            out.extend_from_slice(&d.stream.to_be_bytes());
+            out.extend_from_slice(&0u16.to_be_bytes()); // reserved
+            out.extend_from_slice(&(d.mid as u32).to_be_bytes());
+            // RFC 8260 §2.1: the fourth word carries the PPID on the first
+            // fragment (B=1, FSN implicitly 0) and the FSN otherwise.
+            if d.begin {
+                out.extend_from_slice(&d.ppid.to_be_bytes());
+            } else {
+                out.extend_from_slice(&d.fsn.to_be_bytes());
+            }
+            out.extend_from_slice(&d.data);
         }
-        Chunk::InitAck { init_tag, a_rwnd, out_streams, in_streams, init_tsn, cookie } => {
-            put_chunk_header(out, 2, 0, 96);
+        Chunk::ForwardTsn { new_cum, skips } => {
+            // I-FORWARD-TSN (RFC 8260 §2.3.1): new cum TSN + per-stream
+            // (sid, reserved, MID) skip entries.
+            put_chunk_header(out, 194, 0, (8 + 8 * skips.len()) as u16);
+            out.extend_from_slice(&(*new_cum as u32).to_be_bytes());
+            for &(sid, mid) in skips {
+                out.extend_from_slice(&sid.to_be_bytes());
+                out.extend_from_slice(&0u16.to_be_bytes()); // flags/reserved
+                out.extend_from_slice(&(mid as u32).to_be_bytes());
+            }
+        }
+        Chunk::Init { init_tag, a_rwnd, out_streams, in_streams, init_tsn, ext_flags } => {
+            let len = 20 + if *ext_flags != 0 { 8 } else { 0 };
+            put_chunk_header(out, 1, 0, len);
             put_init_body(out, *init_tag, *a_rwnd, *out_streams, *in_streams, *init_tsn);
+            put_ext_param(out, *ext_flags);
+        }
+        Chunk::InitAck { init_tag, a_rwnd, out_streams, in_streams, init_tsn, ext_flags, cookie } => {
+            let len = 96 + if *ext_flags != 0 { 8 } else { 0 };
+            put_chunk_header(out, 2, 0, len);
+            put_init_body(out, *init_tag, *a_rwnd, *out_streams, *in_streams, *init_tsn);
+            put_ext_param(out, *ext_flags);
             // State cookie parameter: 4-byte header + 72-byte padded value.
             out.extend_from_slice(&7u16.to_be_bytes());
             out.extend_from_slice(&76u16.to_be_bytes());
@@ -317,6 +363,19 @@ fn put_init_body(out: &mut Vec<u8>, init_tag: u64, a_rwnd: u64, out_streams: u16
     out.extend_from_slice(&(init_tsn as u32).to_be_bytes());
 }
 
+/// Supported-extensions parameter (type 0x8008): the offered extension
+/// bitmask in one value byte, padded to the 8 bytes the model charges.
+/// Omitted entirely when no extensions are offered (legacy wire size).
+fn put_ext_param(out: &mut Vec<u8>, ext_flags: u8) {
+    if ext_flags == 0 {
+        return;
+    }
+    out.extend_from_slice(&0x8008u16.to_be_bytes());
+    out.extend_from_slice(&5u16.to_be_bytes());
+    out.push(ext_flags);
+    out.extend_from_slice(&[0, 0, 0]); // pad to a 4-byte boundary
+}
+
 /// Heartbeat info parameter (type 1): the nonce, truncated to 4 bytes —
 /// enough for the dissector; `path` is implicit in the addresses.
 fn put_hb_info(out: &mut Vec<u8>, _path: u8, nonce: u64) {
@@ -340,6 +399,10 @@ fn put_cookie(out: &mut Vec<u8>, c: &Cookie) {
     out.extend_from_slice(&c.in_streams.to_be_bytes());
     out.extend_from_slice(&c.created_at.as_nanos().to_be_bytes());
     out.extend_from_slice(&c.mac.to_be_bytes());
+    // Negotiated extension set, packed into what used to be padding (after
+    // the mac, so every pre-extension field keeps its offset and legacy
+    // frames — zero padding here — decode to ext_flags 0).
+    out.push(c.ext_flags);
 }
 
 // ---------------------------------------------------------------------------
@@ -532,19 +595,23 @@ fn decode_chunk(ty: u8, flags: u8, v: &[u8]) -> Result<Chunk, DecodeError> {
                 return Err(short());
             }
             let (init_tag, a_rwnd, out_streams, in_streams, init_tsn) = decode_init_body(v);
-            Chunk::Init { init_tag, a_rwnd, out_streams, in_streams, init_tsn }
+            let ext_flags = decode_ext_param(v, 16);
+            Chunk::Init { init_tag, a_rwnd, out_streams, in_streams, init_tsn, ext_flags }
         }
         2 => {
-            // INIT body + the state-cookie parameter (type 7).
-            if v.len() < 16 + 4 + COOKIE_BYTES {
+            // INIT body + optional supported-extensions parameter + the
+            // state-cookie parameter (type 7).
+            if v.len() < 16 {
                 return Err(short());
             }
             let (init_tag, a_rwnd, out_streams, in_streams, init_tsn) = decode_init_body(v);
-            if be16(v, 16) != 7 {
+            let ext_flags = decode_ext_param(v, 16);
+            let coff = if ext_flags != 0 { 24 } else { 16 };
+            if v.len() < coff + 4 + COOKIE_BYTES || be16(v, coff) != 7 {
                 return Err(short());
             }
-            let cookie = decode_cookie(&v[20..20 + COOKIE_BYTES]);
-            Chunk::InitAck { init_tag, a_rwnd, out_streams, in_streams, init_tsn, cookie }
+            let cookie = decode_cookie(&v[coff + 4..coff + 4 + COOKIE_BYTES]);
+            Chunk::InitAck { init_tag, a_rwnd, out_streams, in_streams, init_tsn, ext_flags, cookie }
         }
         10 => {
             if v.len() < COOKIE_BYTES {
@@ -575,8 +642,49 @@ fn decode_chunk(ty: u8, flags: u8, v: &[u8]) -> Result<Chunk, DecodeError> {
         8 => Chunk::ShutdownAck,
         14 => Chunk::ShutdownComplete,
         6 => Chunk::Abort,
+        64 => {
+            if v.len() < 16 {
+                return Err(short());
+            }
+            let begin = flags & 0x02 != 0;
+            let slot = be32(v, 12);
+            Chunk::IData(IDataChunk {
+                tsn: be32(v, 0) as u64,
+                stream: be16(v, 4),
+                mid: be32(v, 8) as u64,
+                // The shared word: PPID on the B fragment (whose FSN is 0
+                // by definition), FSN elsewhere (whose PPID rides on the B
+                // fragment) — each decodes to its neutral value otherwise.
+                fsn: if begin { 0 } else { slot },
+                ppid: if begin { slot } else { 0 },
+                begin,
+                end: flags & 0x01 != 0,
+                unordered: flags & 0x04 != 0,
+                data: Bytes::copy_from_slice(&v[16..]),
+            })
+        }
+        194 => {
+            if v.len() < 4 || (v.len() - 4) % 8 != 0 {
+                return Err(short());
+            }
+            let new_cum = be32(v, 0) as u64;
+            let skips = (0..(v.len() - 4) / 8)
+                .map(|i| (be16(v, 4 + 8 * i), be32(v, 8 + 8 * i) as u64))
+                .collect();
+            Chunk::ForwardTsn { new_cum, skips }
+        }
         other => return Err(DecodeError::BadChunk(other)),
     })
+}
+
+/// Parse a supported-extensions parameter (type 0x8008) at `off`, if
+/// present; absent (legacy frame) decodes to no extensions.
+fn decode_ext_param(v: &[u8], off: usize) -> u8 {
+    if v.len() >= off + 8 && be16(v, off) == 0x8008 && be16(v, off + 2) == 5 {
+        v[off + 4]
+    } else {
+        0
+    }
 }
 
 fn decode_init_body(v: &[u8]) -> (u64, u64, u16, u16, u64) {
@@ -585,11 +693,12 @@ fn decode_init_body(v: &[u8]) -> (u64, u64, u16, u16, u64) {
 
 /// Bytes [`put_cookie`] writes before padding: every field full-width, so
 /// the cookie (and its MAC) round-trips exactly.
-const COOKIE_BYTES: usize = 66;
+const COOKIE_BYTES: usize = 67;
 
 fn decode_cookie(v: &[u8]) -> Cookie {
     debug_assert!(v.len() >= COOKIE_BYTES);
     Cookie {
+        ext_flags: v[66],
         peer_host: be16(v, 0),
         peer_port: be16(v, 2),
         local_port: be16(v, 4),
@@ -962,6 +1071,150 @@ mod tests {
         let Proto::Sctp(p) = &back.body else { panic!() };
         let Chunk::Heartbeat { path, nonce } = &p.chunks[0] else { panic!() };
         assert_eq!((*path, *nonce), (1, 0xFEED_FACE));
+    }
+
+    #[test]
+    fn idata_and_forward_tsn_round_trip() {
+        let pkt = Packet {
+            src: IfAddr::new(0, 0),
+            dst: IfAddr::new(1, 0),
+            body: Proto::Sctp(SctpPacket {
+                src_port: 5600,
+                dst_port: 5600,
+                vtag: 7,
+                chunks: vec![
+                    Chunk::IData(IDataChunk {
+                        tsn: 100,
+                        stream: 2,
+                        mid: 5,
+                        fsn: 0,
+                        begin: true,
+                        end: false,
+                        unordered: false,
+                        ppid: 0xC0FE,
+                        data: Bytes::from_static(b"first"),
+                    }),
+                    Chunk::IData(IDataChunk {
+                        tsn: 101,
+                        stream: 2,
+                        mid: 5,
+                        fsn: 1,
+                        begin: false,
+                        end: true,
+                        unordered: false,
+                        ppid: 0, // non-B fragment: PPID rides on the wire's B fragment
+                        data: Bytes::from_static(b"second"),
+                    }),
+                    Chunk::ForwardTsn { new_cum: 99, skips: vec![(2, 4), (5, 0)] },
+                ],
+            }),
+        };
+        let frame = encode_packet(&pkt, 0);
+        let back = decode_packet(&frame).expect("own frames must decode");
+        let Proto::Sctp(p) = &back.body else { panic!("proto flipped") };
+        let Chunk::IData(b) = &p.chunks[0] else { panic!("I-DATA first") };
+        assert_eq!((b.tsn, b.stream, b.mid, b.fsn, b.ppid), (100, 2, 5, 0, 0xC0FE));
+        assert!(b.begin && !b.end);
+        let Chunk::IData(e) = &p.chunks[1] else { panic!("I-DATA second") };
+        assert_eq!((e.tsn, e.mid, e.fsn, e.ppid), (101, 5, 1, 0));
+        assert!(!e.begin && e.end);
+        assert_eq!(&e.data[..], b"second");
+        let Chunk::ForwardTsn { new_cum, skips } = &p.chunks[2] else { panic!("FWD-TSN third") };
+        assert_eq!((*new_cum, skips.as_slice()), (99, &[(2u16, 4u64), (5, 0)][..]));
+        assert_eq!(encode_packet(&back, 0), frame, "re-encode is byte-identical");
+        // The serialized sizes match the model's accounting.
+        assert_eq!(frame.len() as u32, IP_HEADER + body_wire_len(&pkt.body));
+    }
+
+    #[test]
+    fn ext_handshake_round_trips() {
+        use crate::sctp::{EXT_INTERLEAVE, EXT_PR_SCTP};
+        let cookie = Cookie {
+            peer_host: 0,
+            peer_port: 5600,
+            local_port: 5600,
+            peer_tag: 11,
+            local_tag: 22,
+            peer_rwnd: 1 << 16,
+            peer_init_tsn: 1,
+            my_init_tsn: 1,
+            out_streams: 10,
+            in_streams: 10,
+            created_at: simcore::SimTime::from_nanos(5),
+            ext_flags: EXT_INTERLEAVE | EXT_PR_SCTP,
+            mac: 0xFACE,
+        };
+        let pkt = Packet {
+            src: IfAddr::new(1, 0),
+            dst: IfAddr::new(0, 0),
+            body: Proto::Sctp(SctpPacket {
+                src_port: 5600,
+                dst_port: 5600,
+                vtag: 11,
+                chunks: vec![
+                    Chunk::Init {
+                        init_tag: 1,
+                        a_rwnd: 1 << 16,
+                        out_streams: 10,
+                        in_streams: 10,
+                        init_tsn: 1,
+                        ext_flags: EXT_INTERLEAVE,
+                    },
+                    Chunk::InitAck {
+                        init_tag: 2,
+                        a_rwnd: 1 << 16,
+                        out_streams: 10,
+                        in_streams: 10,
+                        init_tsn: 1,
+                        ext_flags: EXT_INTERLEAVE | EXT_PR_SCTP,
+                        cookie,
+                    },
+                    Chunk::CookieEcho { cookie },
+                ],
+            }),
+        };
+        let frame = encode_packet(&pkt, 0);
+        let back = decode_packet(&frame).expect("own frames must decode");
+        let Proto::Sctp(p) = &back.body else { panic!() };
+        let Chunk::Init { ext_flags, .. } = &p.chunks[0] else { panic!("INIT first") };
+        assert_eq!(*ext_flags, EXT_INTERLEAVE);
+        let Chunk::InitAck { ext_flags, cookie: c2, .. } = &p.chunks[1] else { panic!() };
+        assert_eq!(*ext_flags, EXT_INTERLEAVE | EXT_PR_SCTP);
+        assert_eq!(*c2, cookie, "cookie round-trips including ext_flags and mac");
+        let Chunk::CookieEcho { cookie: c3 } = &p.chunks[2] else { panic!() };
+        assert_eq!(*c3, cookie);
+        assert_eq!(encode_packet(&back, 0), frame);
+        assert_eq!(frame.len() as u32, IP_HEADER + body_wire_len(&pkt.body));
+    }
+
+    #[test]
+    fn legacy_handshake_wire_size_unchanged() {
+        // ext_flags = 0 emits no supported-extensions parameter: the frame
+        // is byte-for-byte the pre-extension encoding.
+        let pkt = Packet {
+            src: IfAddr::new(1, 0),
+            dst: IfAddr::new(0, 0),
+            body: Proto::Sctp(SctpPacket {
+                src_port: 5600,
+                dst_port: 5600,
+                vtag: 0,
+                chunks: vec![Chunk::Init {
+                    init_tag: 1,
+                    a_rwnd: 1 << 16,
+                    out_streams: 10,
+                    in_streams: 10,
+                    init_tsn: 1,
+                    ext_flags: 0,
+                }],
+            }),
+        };
+        let frame = encode_packet(&pkt, 0);
+        // IP 20 + SCTP common 12 + INIT 20.
+        assert_eq!(frame.len(), 52);
+        let back = decode_packet(&frame).unwrap();
+        let Proto::Sctp(p) = &back.body else { panic!() };
+        let Chunk::Init { ext_flags, .. } = &p.chunks[0] else { panic!() };
+        assert_eq!(*ext_flags, 0);
     }
 
     #[test]

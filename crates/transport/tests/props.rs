@@ -182,6 +182,7 @@ proptest! {
             out_streams: 10,
             in_streams: 10,
             created_at: SimTime::from_nanos(77),
+            ext_flags: 0,
             mac: 0,
         }
         .sign(secret);

@@ -383,6 +383,7 @@ fn stale_and_forged_cookies_are_rejected() {
                 out_streams: 10,
                 in_streams: 10,
                 created_at: SimTime::ZERO,
+                ext_flags: 0,
                 mac: 0x1234_5678, // forged
             };
             let pkt = sctp::SctpPacket {

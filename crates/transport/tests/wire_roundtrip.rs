@@ -15,7 +15,7 @@ use bytes::Bytes;
 use netsim::IfAddr;
 use proptest::prelude::*;
 use transport::ip::{Packet, Proto};
-use transport::sctp::{Chunk, Cookie, DataChunk, SctpPacket};
+use transport::sctp::{Chunk, Cookie, DataChunk, IDataChunk, SctpPacket};
 use transport::tcp::{Flags, TcpSegment};
 use transport::wire_bytes::{decode_packet, encode_packet, DecodeError};
 
@@ -23,9 +23,9 @@ fn arb_cookie() -> impl Strategy<Value = Cookie> {
     (
         (any::<u16>(), any::<u16>(), any::<u16>(), any::<u64>(), any::<u64>()),
         (any::<u64>(), any::<u64>(), any::<u64>(), any::<u16>(), any::<u16>()),
-        (any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), 0u8..4),
     )
-        .prop_map(|((ph, pp, lp, pt, lt), (rw, ptsn, mtsn, os, is), (at, mac))| Cookie {
+        .prop_map(|((ph, pp, lp, pt, lt), (rw, ptsn, mtsn, os, is), (at, mac, ext))| Cookie {
             peer_host: ph,
             peer_port: pp,
             local_port: lp,
@@ -37,8 +37,39 @@ fn arb_cookie() -> impl Strategy<Value = Cookie> {
             out_streams: os,
             in_streams: is,
             created_at: simcore::SimTime::from_nanos(at),
+            ext_flags: ext,
             mac,
         })
+}
+
+fn arb_idata_chunk() -> impl Strategy<Value = Chunk> {
+    (
+        (0u64..u32::MAX as u64, any::<u16>(), 0u64..u32::MAX as u64, any::<u32>()),
+        (any::<bool>(), any::<bool>()),
+        prop::collection::vec(any::<u8>(), 0..1400),
+    )
+        .prop_map(|((tsn, stream, mid, slot), (end, unordered), data)| {
+            // Model the wire-representable shapes: a B fragment carries the
+            // PPID (FSN is 0 by definition); a non-B fragment carries the
+            // FSN (PPID rides on the B fragment).
+            let begin = slot % 2 == 0;
+            Chunk::IData(IDataChunk {
+                tsn,
+                stream,
+                mid,
+                fsn: if begin { 0 } else { slot },
+                ppid: if begin { slot } else { 0 },
+                begin,
+                end,
+                unordered,
+                data: Bytes::from(data),
+            })
+        })
+}
+
+fn arb_forward_tsn() -> impl Strategy<Value = Chunk> {
+    (0u64..u32::MAX as u64, prop::collection::vec((any::<u16>(), 0u64..u32::MAX as u64), 0..6))
+        .prop_map(|(new_cum, skips)| Chunk::ForwardTsn { new_cum, skips })
 }
 
 fn arb_data_chunk() -> impl Strategy<Value = Chunk> {
@@ -80,19 +111,29 @@ fn arb_chunk() -> impl Strategy<Value = Chunk> {
     prop_oneof![
         arb_data_chunk(),
         arb_sack(),
-        (any::<u64>(), any::<u64>(), any::<u16>(), any::<u16>(), 0u64..u32::MAX as u64).prop_map(
-            |(init_tag, a_rwnd, out_streams, in_streams, init_tsn)| Chunk::Init {
-                init_tag,
-                a_rwnd,
-                out_streams,
-                in_streams,
-                init_tsn,
-            }
-        ),
-        ((any::<u64>(), any::<u64>(), any::<u16>(), any::<u16>(), any::<u64>()), arb_cookie())
-            .prop_map(|((init_tag, a_rwnd, out_streams, in_streams, init_tsn), cookie)| {
-                Chunk::InitAck { init_tag, a_rwnd, out_streams, in_streams, init_tsn, cookie }
+        arb_idata_chunk(),
+        arb_forward_tsn(),
+        (any::<u64>(), any::<u64>(), any::<u16>(), any::<u16>(), 0u64..u32::MAX as u64, 0u8..4)
+            .prop_map(|(init_tag, a_rwnd, out_streams, in_streams, init_tsn, ext_flags)| {
+                Chunk::Init { init_tag, a_rwnd, out_streams, in_streams, init_tsn, ext_flags }
             }),
+        (
+            (any::<u64>(), any::<u64>(), any::<u16>(), any::<u16>(), any::<u64>(), 0u8..4),
+            arb_cookie()
+        )
+            .prop_map(
+                |((init_tag, a_rwnd, out_streams, in_streams, init_tsn, ext_flags), cookie)| {
+                    Chunk::InitAck {
+                        init_tag,
+                        a_rwnd,
+                        out_streams,
+                        in_streams,
+                        init_tsn,
+                        ext_flags,
+                        cookie,
+                    }
+                }
+            ),
         arb_cookie().prop_map(|cookie| Chunk::CookieEcho { cookie }),
         Just(Chunk::CookieAck),
         (0u8..3, any::<u64>()).prop_map(|(path, nonce)| Chunk::Heartbeat { path, nonce }),

@@ -4,12 +4,19 @@
 //! * [`farm`] — the Bulk Processor Farm manager/worker program
 //!   (Figures 10–12);
 //! * [`nas`] — synthetic kernels reproducing the communication patterns of
-//!   the NAS Parallel Benchmarks the paper runs (Figure 9).
+//!   the NAS Parallel Benchmarks the paper runs (Figure 9);
+//! * [`mixed`] — the farm with mixed task sizes, the RFC 8260 interleaving
+//!   study (sender-side HOL blocking);
+//! * [`media`] — a deadline-driven frame source on the raw SCTP API, the
+//!   PR-SCTP (RFC 3758) study.
 //!
-//! All workloads are plain functions over [`mpi_core::Mpi`], runnable under
-//! [`mpi_core::mpirun`] on either transport.
+//! All workloads except [`media`] are plain functions over
+//! [`mpi_core::Mpi`], runnable under [`mpi_core::mpirun`] on either
+//! transport; [`media`] drives the raw `transport::sctp` socket API.
 
 pub mod farm;
+pub mod media;
+pub mod mixed;
 pub mod nas;
 pub mod pingpong;
 pub mod scale;
